@@ -1,0 +1,72 @@
+"""Micro-benchmarks of the hot kernels.
+
+These are genuine pytest-benchmark timings (many rounds), quantifying the
+paper's light-weight claim at the operation level: radical-row assembly,
+the WLS solve, the full LionLocalizer pipeline, and one hologram kernel
+evaluation for contrast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.hologram import hologram_likelihood
+from repro.core.pairing import lag_pairs
+from repro.core.radical import radical_rows
+from repro.core.solvers import solve_weighted_least_squares
+from repro.core.system import build_system
+from repro.core.localizer import LionLocalizer
+from repro.datasets.synthetic import simulate_scan
+from repro.rf.antenna import Antenna
+from repro.rf.noise import GaussianPhaseNoise
+from repro.trajectory.linear import LinearTrajectory
+
+
+@pytest.fixture(scope="module")
+def scan_data():
+    rng = np.random.default_rng(5)
+    antenna = Antenna(physical_center=(0.1, 0.9, 0.0), boresight=(0, -1, 0))
+    scan = simulate_scan(
+        LinearTrajectory((-0.5, 0, 0), (0.5, 0, 0)), antenna, rng=rng,
+        noise=GaussianPhaseNoise(0.08), read_rate_hz=120.0,
+    )
+    return scan, antenna
+
+
+def test_bench_radical_rows(benchmark, rng=np.random.default_rng(1)):
+    positions = rng.uniform(-1, 1, size=(1000, 3))
+    deltas = rng.uniform(-0.1, 0.1, size=1000)
+    pairs = lag_pairs(1000, 100)
+    matrix, rhs = benchmark(radical_rows, positions, deltas, pairs)
+    assert matrix.shape == (900, 4)
+
+
+def test_bench_wls_solve(benchmark, rng=np.random.default_rng(2)):
+    target = np.array([0.2, 0.9])
+    angles = np.linspace(0, 2 * np.pi, 800, endpoint=False)
+    positions = 0.4 * np.stack([np.cos(angles), np.sin(angles)], axis=1)
+    distances = np.linalg.norm(positions - target, axis=1)
+    deltas = distances - distances[0] + rng.normal(0, 0.001, 800)
+    system = build_system(positions, deltas, lag_pairs(800, 100))
+    solution = benchmark(solve_weighted_least_squares, system)
+    assert np.linalg.norm(solution.position - target) < 0.01
+
+
+def test_bench_lion_full_pipeline_2d(benchmark, scan_data):
+    scan, antenna = scan_data
+    localizer = LionLocalizer(dim=2, interval_m=0.25)
+    result = benchmark(localizer.locate, scan.positions, scan.phases)
+    assert np.linalg.norm(result.position - antenna.phase_center[:2]) < 0.02
+
+
+def test_bench_hologram_kernel(benchmark, scan_data):
+    scan, antenna = scan_data
+    stride = max(len(scan) // 30, 1)
+    positions = scan.positions[::stride, :2]
+    phases = scan.phases[::stride]
+    truth = antenna.phase_center[:2]
+    xs = np.arange(truth[0] - 0.1, truth[0] + 0.1, 0.002)
+    ys = np.arange(truth[1] - 0.1, truth[1] + 0.1, 0.002)
+    mesh = np.meshgrid(xs, ys, indexing="ij")
+    cells = np.stack([m.ravel() for m in mesh], axis=1)
+    likelihood = benchmark(hologram_likelihood, positions, phases, cells)
+    assert likelihood.shape == (cells.shape[0],)

@@ -1,0 +1,13 @@
+"""Fig. 2: the phase valley sits centimeters from the physical center."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_bench_fig02(benchmark):
+    result = regenerate(benchmark, "fig02")
+    for row in result.rows:
+        valley = row["valley_offset_cm"]
+        truth = row["true_displacement_cm"]
+        # The valley tracks the hidden displacement, not the origin.
+        assert abs(valley - truth) < abs(truth) + 1.0
+        assert abs(valley) > 0.5  # clearly away from the physical center

@@ -1,0 +1,15 @@
+"""Fig. 4: the two-measurement hologram and its cost."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_bench_fig04(benchmark):
+    result = regenerate(benchmark, "fig04")
+    values = {row["quantity"]: row["value"] for row in result.rows}
+
+    # The high-likelihood set is a thin ridge, not the whole area.
+    assert 0 < values["ridge_cells_unweighted"] < values["grid_cells"] * 0.5
+    # Weighting (coherence sharpening) thins the candidate set further.
+    assert values["ridge_cells_weighted"] < values["ridge_cells_unweighted"]
+    # Building even this small hologram has a measurable cost.
+    assert values["build_seconds"] > 0.0

@@ -1,0 +1,23 @@
+"""Fig. 6: LION vs hologram with the antenna at different directions."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_bench_fig06(benchmark):
+    result = regenerate(benchmark, "fig06")
+    by_key = {(row["direction_deg"], row["method"]): row for row in result.rows}
+
+    # Comparable accuracy: LION within 2x of DAH everywhere (and all cm-scale).
+    for direction in (0.0, 45.0, 90.0):
+        lion = by_key[(direction, "LION")]["mean_error_cm"]
+        dah = by_key[(direction, "DAH")]["mean_error_cm"]
+        assert lion < max(2.0 * dah, dah + 1.0)
+        assert lion < 5.0
+
+    # Axis errors follow the antenna direction (errors distribute along the
+    # trajectory-center-to-antenna line): at 0 deg the x error dominates,
+    # at 90 deg the y error dominates.
+    row0 = by_key[(0.0, "LION")]
+    row90 = by_key[(90.0, "LION")]
+    assert row0["mean_abs_x_cm"] > row0["mean_abs_y_cm"]
+    assert row90["mean_abs_y_cm"] > row90["mean_abs_x_cm"]

@@ -1,0 +1,13 @@
+"""Fig. 9: 2D localization from a linear trajectory (lower-dimension)."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_bench_fig09(benchmark):
+    result = regenerate(benchmark, "fig09")
+    means = {row["method"]: row["mean_error_cm"] for row in result.rows}
+
+    # LION works with the linear trajectory (the lower-dimension recovery
+    # is sound) and is comparable to the hologram.
+    assert means["LION"] < 5.0
+    assert means["LION"] < 2.0 * means["DAH"] + 1.0

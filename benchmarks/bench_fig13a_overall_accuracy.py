@@ -1,0 +1,20 @@
+"""Fig. 13(a): overall accuracy — calibration gain, LION vs DAH, 2D/3D."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_bench_fig13a(benchmark):
+    result = regenerate(benchmark, "fig13a")
+    means = {row["case"]: row["mean_error_cm"] for row in result.rows}
+
+    # Calibration improves accuracy in both dimensions (paper: 6x 2D,
+    # 2.1x 3D; we assert a conservative >1.5x to absorb simulation noise).
+    assert means["LION 2D+"] * 1.5 < means["LION 2D-"]
+    assert means["LION 3D+"] * 1.5 < means["LION 3D-"]
+
+    # Calibrated LION is centimeter-accurate or better.
+    assert means["LION 2D+"] < 1.0
+    assert means["LION 3D+"] < 3.0
+
+    # The uncalibrated error is dominated by the hidden 2-3 cm displacement.
+    assert 1.0 < means["LION 2D-"] < 4.0

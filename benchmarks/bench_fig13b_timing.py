@@ -1,0 +1,20 @@
+"""Fig. 13(b): computation time — the headline light-weight claim."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_bench_fig13b(benchmark):
+    result = regenerate(benchmark, "fig13b")
+    seconds = {row["method"]: row["seconds"] for row in result.rows}
+
+    # LION is far faster than DAH in both dimensions.
+    assert seconds["LION 2D"] * 5 < seconds["DAH 2D"]
+    assert seconds["LION 3D"] * 20 < seconds["DAH 3D"]
+
+    # The DAH gap explodes in 3D (grid count is cubic, not quadratic).
+    dah_ratio = seconds["DAH 3D"] / seconds["DAH 2D"]
+    lion_ratio = seconds["LION 3D"] / max(seconds["LION 2D"], 1e-9)
+    assert dah_ratio > lion_ratio
+
+    # LION itself stays sub-second even for 3D.
+    assert seconds["LION 3D"] < 1.0

@@ -1,0 +1,23 @@
+"""Fig. 14(a): 3D localization error vs antenna position P1-P6."""
+
+import numpy as np
+
+from benchmarks.conftest import regenerate
+
+
+def test_bench_fig14a(benchmark):
+    result = regenerate(benchmark, "fig14a")
+    rows = {row["position"]: row for row in result.rows}
+
+    # Accurate within the near zone (depth <= 0.8 m): the paper reports
+    # all-axis errors below 1.5 cm there; allow 2x margin for the fast run.
+    for position in ("P1", "P2", "P3", "P4"):
+        assert rows[position]["err_total_cm"] < 3.0
+
+    # Error grows with depth: the deepest positions are the worst.
+    shallow = np.mean([rows["P1"]["err_total_cm"], rows["P2"]["err_total_cm"]])
+    deep = np.mean([rows["P5"]["err_total_cm"], rows["P6"]["err_total_cm"]])
+    assert deep > shallow
+
+    # The degradation concentrates on y/z, not x (the swept axis).
+    assert rows["P5"]["err_x_cm"] < rows["P5"]["err_y_cm"] + rows["P5"]["err_z_cm"]

@@ -1,0 +1,24 @@
+"""Fig. 14(b): 2D tracking error vs depth under depth-growing multipath."""
+
+import numpy as np
+
+from benchmarks.conftest import regenerate
+
+
+def test_bench_fig14b(benchmark):
+    result = regenerate(benchmark, "fig14b")
+    lion = np.array(result.column("lion_error_cm"), dtype=float)
+    dah = np.array(result.column("dah_error_cm"), dtype=float)
+    depths = np.array(result.column("depth_m"), dtype=float)
+
+    # Near zone (<= 1.2 m): both methods are centimeter-accurate.
+    near = depths <= 1.2
+    assert np.mean(lion[near]) < 3.0
+    assert np.mean(dah[near]) < 3.0
+
+    # The far zone is harder than the near zone for at least one method —
+    # the depth-growing multipath is doing its job.
+    far = depths >= 1.4
+    assert max(np.mean(lion[far]), np.mean(dah[far])) > min(
+        np.mean(lion[near]), np.mean(dah[near])
+    )

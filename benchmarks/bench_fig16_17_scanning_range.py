@@ -1,0 +1,21 @@
+"""Fig. 16+17: distance error and mean residual vs scanning range."""
+
+import numpy as np
+
+from benchmarks.conftest import regenerate
+
+
+def test_bench_fig16_17(benchmark):
+    result = regenerate(benchmark, "fig16_17")
+    ranges = np.array(result.column("range_m"), dtype=float)
+    errors = np.array(result.column("mean_error_cm"), dtype=float)
+
+    # The paper's U-shape: an interior range (around 80 cm) beats both
+    # extremes — too small lacks geometric diversity, too large pulls in
+    # off-beam noise.
+    best = int(np.argmin(errors))
+    assert 0 < best < len(ranges) - 1 or errors[best] < min(errors[0], errors[-1])
+
+    # The best interior range outperforms the widest one.
+    interior = errors[(ranges >= 0.7) & (ranges <= 0.9)]
+    assert interior.min() <= errors[-1] + 0.2

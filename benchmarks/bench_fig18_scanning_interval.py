@@ -1,0 +1,20 @@
+"""Fig. 18: distance error vs scanning interval."""
+
+import numpy as np
+
+from benchmarks.conftest import regenerate
+
+
+def test_bench_fig18(benchmark):
+    result = regenerate(benchmark, "fig18")
+    intervals = np.array(result.column("interval_m"), dtype=float)
+    errors = np.array(result.column("mean_error_cm"), dtype=float)
+    dirtiness = np.array(result.column("mean_abs_residual_mm"), dtype=float)
+
+    # Small intervals are noise-dominated: errors drop markedly once the
+    # interval reaches ~20 cm (paper). Compare the two extremes.
+    assert errors[intervals >= 0.2].mean() < errors[intervals <= 0.15].mean()
+
+    # The per-equation residual scale shrinks as the interval grows (the
+    # same noise is divided by a larger phase difference).
+    assert dirtiness[-1] < dirtiness[0]

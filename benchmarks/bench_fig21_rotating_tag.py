@@ -1,0 +1,21 @@
+"""Fig. 21: rotating-tag (turntable) localization vs radius."""
+
+import numpy as np
+
+from benchmarks.conftest import regenerate
+
+
+def test_bench_fig21(benchmark):
+    result = regenerate(benchmark, "fig21")
+    radii = np.array(result.column("radius_m"), dtype=float)
+    err_x = np.array(result.column("err_x_cm"), dtype=float)
+    err_y = np.array(result.column("err_y_cm"), dtype=float)
+    totals = np.array(result.column("err_total_cm"), dtype=float)
+
+    # Errors distribute along the scan-center-to-antenna line (here +y):
+    # the x error is consistently the smaller one.
+    assert np.all(err_x <= err_y + 0.1)
+
+    # Accuracy improves with the rotation radius.
+    assert totals[-1] < totals[0]
+    assert totals[-1] < 2.0

@@ -1,0 +1,67 @@
+"""Micro-benchmarks of the streaming localizer (extension).
+
+Quantifies the per-read update cost — the number that matters on an edge
+node — and verifies the stream matches batch accuracy on the same data.
+"""
+
+import numpy as np
+
+from repro.constants import DEFAULT_WAVELENGTH_M, TWO_PI
+from repro.core.localizer import LionLocalizer
+from repro.core.online import OnlineLionLocalizer
+
+
+def _stream(target, n=2000, noise=0.06, seed=3):
+    rng = np.random.default_rng(seed)
+    x = np.linspace(-0.6, 0.6, n)
+    positions = np.stack([x, np.zeros_like(x)], axis=1)
+    distances = np.linalg.norm(positions - target, axis=1)
+    phases = np.mod(
+        2.0 * TWO_PI / DEFAULT_WAVELENGTH_M * distances
+        + 0.7
+        + rng.normal(0.0, noise, n),
+        TWO_PI,
+    )
+    return positions, phases
+
+
+def test_bench_online_per_read_update(benchmark):
+    target = np.array([0.1, 0.9])
+    positions, phases = _stream(target)
+    online = OnlineLionLocalizer(dim=2, pair_lag=300)
+
+    index = {"value": 0}
+
+    def one_read():
+        i = index["value"] % len(positions)
+        if i == 0:
+            online.reset()
+        online.add_read(positions[i], phases[i])
+        index["value"] += 1
+
+    benchmark(one_read)
+
+
+def test_bench_online_vs_batch_accuracy(benchmark):
+    target = np.array([0.1, 0.9])
+    positions, phases = _stream(target)
+
+    def run():
+        online = OnlineLionLocalizer(dim=2, pair_lag=300)
+        for position, phase in zip(positions, phases):
+            online.add_read(position, phase)
+        streaming = online.estimate().position
+        batch = LionLocalizer(dim=2, interval_m=0.3).locate(positions, phases).position
+        return (
+            float(np.linalg.norm(streaming - target)),
+            float(np.linalg.norm(batch - target)),
+        )
+
+    streaming_error, batch_error = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print(
+        f"== online vs batch: streaming {streaming_error * 100:.3f} cm, "
+        f"batch {batch_error * 100:.3f} cm =="
+    )
+    assert streaming_error < 0.01
+    assert batch_error < 0.01

@@ -1,0 +1,60 @@
+"""Scaling characterization: LION's cost vs scan size.
+
+The light-weight claim, quantified: the full pipeline (unwrap + smooth +
+pair + WLS) should scale near-linearly in the number of reads — it is a
+fixed number of passes over the data plus one (dim+1)-unknown solve —
+where the hologram's cost scales with reads x grid cells.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.constants import DEFAULT_WAVELENGTH_M, TWO_PI
+from repro.core.localizer import LionLocalizer
+
+
+def _scan(n, target=np.array([0.1, 0.9]), seed=0):
+    rng = np.random.default_rng(seed)
+    x = np.linspace(-0.6, 0.6, n)
+    positions = np.stack([x, np.zeros_like(x)], axis=1)
+    distances = np.linalg.norm(positions - target, axis=1)
+    phases = np.mod(
+        2.0 * TWO_PI / DEFAULT_WAVELENGTH_M * distances
+        + rng.normal(0.0, 0.05, n),
+        TWO_PI,
+    )
+    return positions, phases
+
+
+@pytest.mark.parametrize("reads", [500, 2000, 8000])
+def test_bench_pipeline_vs_reads(benchmark, reads):
+    positions, phases = _scan(reads)
+    localizer = LionLocalizer(dim=2, interval_m=0.25)
+    result = benchmark(localizer.locate, positions, phases)
+    assert np.all(np.isfinite(result.position))
+
+
+def test_bench_scaling_is_subquadratic(benchmark):
+    """Doubling the reads must not quadruple the cost."""
+
+    def run():
+        timings = {}
+        for reads in (1000, 2000, 4000, 8000):
+            positions, phases = _scan(reads)
+            localizer = LionLocalizer(dim=2, interval_m=0.25)
+            start = time.perf_counter()
+            for _ in range(3):
+                localizer.locate(positions, phases)
+            timings[reads] = (time.perf_counter() - start) / 3.0
+        return timings
+
+    timings = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print("== scaling: full pipeline seconds vs reads ==")
+    for reads, seconds in timings.items():
+        print(f"  {reads:>5} reads: {seconds * 1000:8.2f} ms")
+    growth = timings[8000] / timings[1000]
+    print(f"  8x reads -> {growth:.1f}x time")
+    assert growth < 24.0  # near-linear with slack for the O(n·w) smoother

@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark suite.
+
+Every figure of the paper has one bench module. Each bench regenerates its
+figure through :func:`repro.experiments.figures.run_figure` under
+pytest-benchmark timing, prints the regenerated table (visible with
+``pytest -s``), and asserts the *shape* properties the paper reports —
+who wins, what grows, where the optimum sits — rather than absolute
+numbers, which belong to the authors' testbed.
+
+Set ``LION_BENCH_FULL=1`` to run the full-size (non-fast) workloads.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.figures import run_figure
+from repro.experiments.metrics import ExperimentResult
+
+
+def full_mode() -> bool:
+    """Whether benches run at full (paper-sized) workloads."""
+    return os.environ.get("LION_BENCH_FULL", "0") == "1"
+
+
+def regenerate(benchmark, figure_id: str, seed: int = 0) -> ExperimentResult:
+    """Time one regeneration of ``figure_id`` and return its result."""
+    fast = not full_mode()
+    result = benchmark.pedantic(
+        run_figure,
+        kwargs={"figure_id": figure_id, "seed": seed, "fast": fast},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(result.format_table())
+    return result
+
+
+@pytest.fixture
+def figure_result():
+    """Factory fixture: ``figure_result(benchmark, "fig13a")``."""
+    return regenerate

@@ -1,0 +1,97 @@
+"""Conveyor tracking: the paper's motivating industrial scenario.
+
+Tagged items ride a conveyor past a reader antenna. The item's position
+*along the belt* is what a sorting robot needs, at millimeter-to-
+centimeter accuracy, computed fast enough to act on. We compare three
+methods on identical scans:
+
+* LION (weighted linear model) — the paper's contribution,
+* DAH (Tagoram differential hologram) — accurate but grid-search slow,
+* parabola fit — very fast but 2D/linear-only and biased.
+
+Each method sees the same reads; we report accuracy and wall-clock time.
+
+Run:  python examples/conveyor_tracking.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import (
+    Antenna,
+    BurstyPhaseNoise,
+    DifferentialHologram,
+    LinearTrajectory,
+    LionLocalizer,
+    SnrScaledPhaseNoise,
+    locate_parabola_2d,
+    simulate_scan,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(23)
+    items = 6
+    depth = 0.8  # belt runs 0.8 m in front of the antenna
+
+    stats = {"LION": [], "DAH": [], "Parabola": []}
+    timings = {"LION": 0.0, "DAH": 0.0, "Parabola": 0.0}
+
+    for item in range(items):
+        # Each item carries its own tag (own hardware offset) and passes
+        # the antenna with a slightly different lateral alignment.
+        belt_offset = float(rng.uniform(-0.2, 0.2))
+        antenna = Antenna(
+            physical_center=(belt_offset, depth, 0.0),
+            boresight=(0.0, -1.0, 0.0),
+            name="dock-antenna",
+        )
+        noise = BurstyPhaseNoise(
+            base=SnrScaledPhaseNoise(base_std_rad=0.08, reference_distance_m=depth),
+            burst_probability=0.02,
+            burst_magnitude_rad=1.0,
+        )
+        scan = simulate_scan(
+            LinearTrajectory((belt_offset - 0.5, 0, 0), (belt_offset + 0.5, 0, 0)),
+            antenna,
+            rng=rng,
+            noise=noise,
+        )
+        truth = antenna.phase_center[:2]
+
+        # LION
+        start = time.perf_counter()
+        lion = LionLocalizer(dim=2, interval_m=0.25).locate(scan.positions, scan.phases)
+        timings["LION"] += time.perf_counter() - start
+        stats["LION"].append(np.linalg.norm(lion.position - truth))
+
+        # DAH on a thinned read set (its cost scales with reads x cells).
+        stride = max(len(scan) // 40, 1)
+        start = time.perf_counter()
+        dah = DifferentialHologram(grid_size_m=0.002).locate(
+            scan.positions[::stride, :2],
+            scan.phases[::stride],
+            [(truth[0] - 0.1, truth[0] + 0.1), (truth[1] - 0.1, truth[1] + 0.1)],
+        )
+        timings["DAH"] += time.perf_counter() - start
+        stats["DAH"].append(np.linalg.norm(dah.position - truth))
+
+        # Parabola fit on the belt coordinate.
+        start = time.perf_counter()
+        parabola = locate_parabola_2d(scan.positions[:, 0], scan.phases)
+        timings["Parabola"] += time.perf_counter() - start
+        stats["Parabola"].append(np.linalg.norm(parabola.position - truth))
+
+    print(f"{items} items tracked at {depth} m depth")
+    print(f"{'method':<10} {'mean err (cm)':>14} {'max err (cm)':>13} {'time/item (ms)':>15}")
+    for method in ("LION", "DAH", "Parabola"):
+        errors = np.array(stats[method]) * 100
+        print(
+            f"{method:<10} {errors.mean():>14.2f} {errors.max():>13.2f} "
+            f"{timings[method] / items * 1000:>15.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Quickstart: locate an RFID antenna from one sliding-track scan.
+
+Simulates the paper's basic setup — a tag on a linear slide read by one
+antenna — and runs the LION linear localizer on the reported phases.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    GaussianPhaseNoise,
+    LinearTrajectory,
+    LionLocalizer,
+    default_antenna,
+    simulate_scan,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # An antenna 1 m behind the track. Its *true* phase center is a few
+    # centimeters away from the physical center we constructed it at —
+    # the hidden hardware quirk LION exists to measure.
+    antenna = default_antenna((0.2, 1.0, 0.0), rng)
+    print(f"physical center : {antenna.physical_center_array.round(4)}")
+    print(f"true phase center (hidden): {antenna.phase_center.round(4)}")
+
+    # One pass of the tag along the track, 0.8 m of travel at 10 cm/s,
+    # sampled >100 times per second with the paper's noise level.
+    trajectory = LinearTrajectory((-0.4, 0.0, 0.0), (0.4, 0.0, 0.0))
+    scan = simulate_scan(trajectory, antenna, rng=rng, noise=GaussianPhaseNoise(0.1))
+    print(f"collected {len(scan)} reads")
+
+    # LION: unwrap, smooth, build radical-line equations, weighted solve.
+    # The trajectory is a line, so the y coordinate is recovered from the
+    # reference distance (the paper's lower-dimension trick).
+    localizer = LionLocalizer(dim=2)
+    result = localizer.locate(scan.positions, scan.phases)
+
+    error_m = np.linalg.norm(result.position - antenna.phase_center[:2])
+    print(f"estimated phase center (2D): {result.position.round(4)}")
+    print(f"error: {error_m * 100:.2f} cm")
+    print(f"recovered axis: {result.recovered_axis} (1 = depth, via d_r)")
+    print(f"WLS iterations: {result.solution.iterations}")
+
+
+if __name__ == "__main__":
+    main()

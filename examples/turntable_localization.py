@@ -1,0 +1,69 @@
+"""Rotating-tag localization (paper Sec. V-F2, Fig. 21).
+
+Where a linear slide is impractical, a turntable works: LION accepts any
+known trajectory. A tag spins at several radii in front of an antenna;
+we locate the antenna with LION and with a Tagspin-style rotating-tag
+solver, and show the paper's two observations: errors align with the
+center-to-antenna direction, and larger radii help.
+
+Run:  python examples/turntable_localization.py
+"""
+
+import numpy as np
+
+from repro import (
+    Antenna,
+    CircularTrajectory,
+    GaussianPhaseNoise,
+    LionLocalizer,
+    locate_rotating_tag,
+    simulate_scan,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(31)
+    antenna = Antenna(
+        physical_center=(0.0, 0.7, 0.0),
+        boresight=(0.0, -1.0, 0.0),
+        name="shelf-antenna",
+    )
+    truth = antenna.phase_center[:2]
+    print(f"antenna at {truth.round(3)} (0.7 m in front of the turntable center)")
+    print(f"{'radius (m)':>10} {'LION err x/y (cm)':>20} {'LION total':>11} {'Tagspin total':>14}")
+
+    for radius in (0.10, 0.15, 0.20, 0.25):
+        lion_axis, lion_total, spin_total = [], [], []
+        for _ in range(10):
+            scan = simulate_scan(
+                CircularTrajectory(center=(0, 0, 0), radius=radius),
+                antenna,
+                rng=rng,
+                noise=GaussianPhaseNoise(0.1),
+            )
+            result = LionLocalizer(dim=2, interval_m=min(radius, 0.2)).locate(
+                scan.positions, scan.phases
+            )
+            lion_axis.append(np.abs(result.position - truth))
+            lion_total.append(np.linalg.norm(result.position - truth))
+
+            # Tagspin-style baseline needs the turntable angle per read.
+            angles = np.arctan2(scan.positions[:, 1], scan.positions[:, 0])
+            angles = np.unwrap(angles)
+            spin = locate_rotating_tag(angles, scan.phases, radius_m=radius)
+            spin_total.append(np.linalg.norm(spin.position - truth))
+
+        axis = np.mean(np.vstack(lion_axis), axis=0) * 100
+        print(
+            f"{radius:>10.2f} {axis[0]:>9.2f}/{axis[1]:<9.2f} "
+            f"{np.mean(lion_total) * 100:>10.2f} {np.mean(spin_total) * 100:>13.2f}"
+        )
+
+    print()
+    print("note: the x error (perpendicular to the center-antenna line) is")
+    print("smaller than the y error, and both shrink as the radius grows -")
+    print("the Fig. 21 observations.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim for environments without the ``wheel`` package (offline installs).
+
+``pip install -e .`` needs to build an editable wheel under PEP 660; when
+the ``wheel`` module is unavailable, ``python setup.py develop`` provides
+the equivalent editable install through setuptools directly.
+"""
+
+from setuptools import setup
+
+setup()

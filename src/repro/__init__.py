@@ -1,0 +1,170 @@
+"""LION: linear localization and phase calibration for RFID antennas.
+
+A full reproduction of *"Pinpoint Achilles' Heel in RFID Localization:
+Phase Calibration of RFID Antenna based on Linear Localization Model"*
+(ICDCS 2022), including the RF/trajectory substrates the paper's COTS
+testbed provided, the LION linear model itself, the baselines it is
+compared against, and the experiment harness that regenerates every figure.
+
+Quickstart::
+
+    import numpy as np
+    from repro import (
+        LionLocalizer, LinearTrajectory, default_antenna, simulate_scan,
+    )
+
+    rng = np.random.default_rng(7)
+    antenna = default_antenna((0.2, 1.0, 0.0), rng)
+    scan = simulate_scan(
+        LinearTrajectory((-0.4, 0.0, 0.0), (0.4, 0.0, 0.0)), antenna, rng=rng
+    )
+    result = LionLocalizer(dim=2).locate(scan.positions, scan.phases)
+    print(result.position)            # ~ the antenna's true phase center (x, y)
+
+See ``examples/`` for complete calibration and tracking applications.
+"""
+
+from repro.constants import (
+    DEFAULT_FREQUENCY_HZ,
+    DEFAULT_WAVELENGTH_M,
+    SPEED_OF_LIGHT,
+    wavelength_for_frequency,
+)
+from repro.core import (
+    AdaptiveResult,
+    AntennaCalibration,
+    CalibratedArray,
+    DifferentialResult,
+    TrackingResult,
+    LionLocalizer,
+    LocalizationResult,
+    ParameterGrid,
+    PreprocessConfig,
+    Solution,
+    MultiReferenceSolution,
+    OnlineLionLocalizer,
+    PairingDiagnostics,
+    SolutionUncertainty,
+    adaptive_localize,
+    analyze_pairing,
+    calibrate_antenna,
+    differential_hologram,
+    locate_multireference,
+    estimate_phase_offset,
+    locate_tag_differential,
+    locate_tag_with_array,
+    relative_phase_offsets,
+    track_tag_start,
+    uncertainty_of,
+)
+from repro.baselines import (
+    DifferentialHologram,
+    locate_hyperbola,
+    locate_parabola_2d,
+    locate_rotating_tag,
+)
+from repro.datasets import (
+    ScanData,
+    default_antenna,
+    read_records_csv,
+    simulate_scan,
+    simulate_static_reads,
+    write_records_csv,
+)
+from repro.rf import (
+    Antenna,
+    Channel,
+    ChannelConfig,
+    BurstyPhaseNoise,
+    GaussianPhaseNoise,
+    NoPhaseNoise,
+    ReadRecord,
+    Reader,
+    ReaderConfig,
+    Reflector,
+    SnrScaledPhaseNoise,
+    Tag,
+    WallReflector,
+)
+from repro.trajectory import (
+    CircularTrajectory,
+    LinearTrajectory,
+    RasterScan,
+    ThreeLineScan,
+    Trajectory,
+    TrajectorySamples,
+    TwoLineScan,
+    WaypointTrajectory,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # constants
+    "SPEED_OF_LIGHT",
+    "DEFAULT_FREQUENCY_HZ",
+    "DEFAULT_WAVELENGTH_M",
+    "wavelength_for_frequency",
+    # core
+    "LionLocalizer",
+    "LocalizationResult",
+    "PreprocessConfig",
+    "Solution",
+    "AdaptiveResult",
+    "ParameterGrid",
+    "adaptive_localize",
+    "AntennaCalibration",
+    "calibrate_antenna",
+    "estimate_phase_offset",
+    "relative_phase_offsets",
+    "CalibratedArray",
+    "DifferentialResult",
+    "differential_hologram",
+    "locate_tag_differential",
+    "locate_tag_with_array",
+    "TrackingResult",
+    "track_tag_start",
+    "MultiReferenceSolution",
+    "locate_multireference",
+    "OnlineLionLocalizer",
+    "PairingDiagnostics",
+    "analyze_pairing",
+    "SolutionUncertainty",
+    "uncertainty_of",
+    # baselines
+    "DifferentialHologram",
+    "locate_hyperbola",
+    "locate_parabola_2d",
+    "locate_rotating_tag",
+    # datasets
+    "ScanData",
+    "default_antenna",
+    "simulate_scan",
+    "simulate_static_reads",
+    "read_records_csv",
+    "write_records_csv",
+    # rf
+    "Antenna",
+    "Tag",
+    "Channel",
+    "ChannelConfig",
+    "Reader",
+    "ReaderConfig",
+    "ReadRecord",
+    "Reflector",
+    "WallReflector",
+    "BurstyPhaseNoise",
+    "GaussianPhaseNoise",
+    "SnrScaledPhaseNoise",
+    "NoPhaseNoise",
+    # trajectories
+    "Trajectory",
+    "TrajectorySamples",
+    "LinearTrajectory",
+    "CircularTrajectory",
+    "RasterScan",
+    "ThreeLineScan",
+    "TwoLineScan",
+    "WaypointTrajectory",
+]

@@ -1,0 +1,38 @@
+"""Baseline localization methods the paper compares against.
+
+* :mod:`repro.baselines.hologram` — Tagoram's Differential Augmented
+  Hologram (DAH) [2], the paper's principal accuracy/time comparator:
+  grid search over a likelihood image built from phase differences.
+* :mod:`repro.baselines.hyperbola` — hyperbola/TDoA model solved by
+  nonlinear least squares [6, 14-19]: accurate but requires iterating on
+  quadratic equations.
+* :mod:`repro.baselines.parabola` — the parabola-fit method [8]: 2D only,
+  linear scanning only.
+* :mod:`repro.baselines.angle` — a Tagspin-style [7] rotating-tag AoA
+  method: circular scanning only.
+
+Each baseline exposes a ``locate*`` function taking the same
+``(positions, wrapped phases)`` data LION consumes, so experiment runners
+can swap methods freely.
+"""
+
+from repro.baselines.hologram import (
+    DifferentialHologram,
+    HologramResult,
+    hologram_likelihood,
+)
+from repro.baselines.hyperbola import HyperbolaResult, locate_hyperbola
+from repro.baselines.parabola import ParabolaResult, locate_parabola_2d
+from repro.baselines.angle import RotatingTagResult, locate_rotating_tag
+
+__all__ = [
+    "DifferentialHologram",
+    "HologramResult",
+    "hologram_likelihood",
+    "HyperbolaResult",
+    "locate_hyperbola",
+    "ParabolaResult",
+    "locate_parabola_2d",
+    "RotatingTagResult",
+    "locate_rotating_tag",
+]

@@ -1,0 +1,295 @@
+"""Command-line interface.
+
+Figure regeneration::
+
+    lion list                      # show available figure ids
+    lion run fig13a                # regenerate one figure
+    lion run all --fast --seed 3   # everything, CI-sized
+
+Data tooling (CSV read-record workflow, see repro.datasets.io)::
+
+    lion simulate --scenario conveyor --out scan.csv --seed 5
+    lion locate scan.csv --dim 2
+    lion calibrate scan.csv --physical-center 0,0.8,0 --scenario three-line
+
+``python -m repro ...`` is equivalent to ``lion ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.figures import FIGURE_RUNNERS, run_figure
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="lion",
+        description=(
+            "LION (ICDCS 2022) reproduction: regenerate evaluation figures "
+            "and run the localization/calibration pipeline on CSV scans."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available figure ids")
+
+    run_parser = subparsers.add_parser("run", help="run one figure (or 'all')")
+    run_parser.add_argument(
+        "figure", help=f"figure id ({', '.join(sorted(FIGURE_RUNNERS))}) or 'all'"
+    )
+    run_parser.add_argument("--seed", type=int, default=0, help="random seed")
+    run_parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="CI-sized run: fewer repetitions, coarser hologram grids",
+    )
+    run_parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="render an ASCII plot of each figure's numeric series",
+    )
+    run_parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write the result(s) as JSON (one object, or a list for 'all')",
+    )
+
+    simulate_parser = subparsers.add_parser(
+        "simulate", help="simulate a scan and write it as a read-record CSV"
+    )
+    simulate_parser.add_argument(
+        "--scenario",
+        choices=("conveyor", "three-line", "turntable"),
+        default="conveyor",
+        help="scan geometry (default: conveyor)",
+    )
+    simulate_parser.add_argument("--out", required=True, help="output CSV path")
+    simulate_parser.add_argument("--seed", type=int, default=0, help="random seed")
+    simulate_parser.add_argument(
+        "--depth", type=float, default=0.8, help="antenna depth in meters"
+    )
+    simulate_parser.add_argument(
+        "--noise", type=float, default=0.08, help="base phase-noise sigma (rad)"
+    )
+
+    locate_parser = subparsers.add_parser(
+        "locate", help="locate the antenna from a read-record CSV"
+    )
+    locate_parser.add_argument("csv", help="input CSV (from 'lion simulate' or a logger)")
+    locate_parser.add_argument("--dim", type=int, choices=(2, 3), default=2)
+    locate_parser.add_argument(
+        "--interval", type=float, default=0.25, help="scanning interval (m)"
+    )
+    locate_parser.add_argument(
+        "--method", choices=("wls", "ls"), default="wls", help="solver"
+    )
+
+    calibrate_parser = subparsers.add_parser(
+        "calibrate", help="full phase calibration from a read-record CSV"
+    )
+    calibrate_parser.add_argument("csv", help="input CSV of a three-line scan")
+    calibrate_parser.add_argument(
+        "--physical-center",
+        required=True,
+        help="manually measured center as 'x,y,z' (meters)",
+    )
+    calibrate_parser.add_argument(
+        "--scenario",
+        choices=("three-line",),
+        default="three-line",
+        help="scan geometry used to rebuild segment structure",
+    )
+    return parser
+
+
+def _parse_center(text: str) -> np.ndarray:
+    parts = text.split(",")
+    if len(parts) != 3:
+        raise SystemExit(f"--physical-center must be 'x,y,z', got {text!r}")
+    try:
+        return np.array([float(p) for p in parts])
+    except ValueError as error:
+        raise SystemExit(f"bad --physical-center {text!r}: {error}") from error
+
+
+def _plot_result(result) -> None:
+    """Best-effort ASCII plot of a figure's first numeric x/y columns."""
+    from repro.viz import line_plot, sparkline
+
+    numeric_columns = [
+        name
+        for name in result.columns
+        if all(isinstance(row.get(name), (int, float)) for row in result.rows)
+        and len(result.rows) > 1
+    ]
+    if len(numeric_columns) >= 2:
+        x_name, y_name = numeric_columns[0], numeric_columns[1]
+        x = [float(row[x_name]) for row in result.rows]
+        y = [float(row[y_name]) for row in result.rows]
+        print(line_plot(x, y, title=f"{y_name} vs {x_name}"))
+    elif len(numeric_columns) == 1:
+        name = numeric_columns[0]
+        values = [float(row[name]) for row in result.rows]
+        print(f"{name}: {sparkline(values)}")
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    figure_ids = sorted(FIGURE_RUNNERS) if args.figure == "all" else [args.figure]
+    results = []
+    for figure_id in figure_ids:
+        try:
+            result = run_figure(figure_id, seed=args.seed, fast=args.fast)
+        except KeyError as error:
+            print(error.args[0], file=sys.stderr)
+            return 2
+        results.append(result)
+        print(result.format_table())
+        if getattr(args, "plot", False):
+            _plot_result(result)
+        print()
+    if getattr(args, "json", None):
+        import json
+        from pathlib import Path
+
+        payload = (
+            results[0].to_dict() if len(results) == 1 else [r.to_dict() for r in results]
+        )
+        Path(args.json).write_text(json.dumps(payload, indent=2))
+        print(f"wrote JSON to {args.json}")
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    from repro.datasets.io import write_records_csv
+    from repro.datasets.synthetic import default_antenna, simulate_scan
+    from repro.rf.noise import SnrScaledPhaseNoise
+    from repro.trajectory.circular import CircularTrajectory
+    from repro.trajectory.linear import LinearTrajectory
+    from repro.trajectory.multiline import ThreeLineScan
+
+    rng = np.random.default_rng(args.seed)
+    antenna = default_antenna((0.0, args.depth, 0.0), rng, name="cli-antenna")
+    if args.scenario == "conveyor":
+        trajectory = LinearTrajectory((-0.6, 0.0, 0.0), (0.6, 0.0, 0.0))
+    elif args.scenario == "three-line":
+        trajectory = ThreeLineScan(-0.55, 0.55)
+    else:
+        trajectory = CircularTrajectory((0.0, 0.0, 0.0), radius=0.2)
+    scan = simulate_scan(
+        trajectory,
+        antenna,
+        rng=rng,
+        noise=SnrScaledPhaseNoise(
+            base_std_rad=args.noise, reference_distance_m=args.depth
+        ),
+    )
+    write_records_csv(scan.records, args.out)
+    print(f"wrote {len(scan.records)} reads to {args.out}")
+    print(f"scenario: {args.scenario}; antenna physical center (0, {args.depth}, 0)")
+    print(
+        "hidden truth: phase center "
+        f"{np.round(antenna.phase_center, 4).tolist()}, "
+        f"offset {antenna.phase_offset_rad:.3f} rad"
+    )
+    return 0
+
+
+def _command_locate(args: argparse.Namespace) -> int:
+    from repro.core.localizer import LionLocalizer
+    from repro.datasets.io import read_records_csv
+
+    records = read_records_csv(args.csv)
+    positions = np.array([r.tag_position for r in records])
+    phases = np.array([r.phase_rad for r in records])
+    localizer = LionLocalizer(
+        dim=args.dim, method=args.method, interval_m=args.interval
+    )
+    try:
+        result = localizer.locate(positions, phases)
+    except ValueError as error:
+        print(f"localization failed: {error}", file=sys.stderr)
+        return 1
+    print(f"reads: {len(records)} from antenna {records[0].antenna!r}")
+    print(f"estimated position: {np.round(result.position, 4).tolist()}")
+    print(f"reference distance: {result.reference_distance_m:.4f} m")
+    if result.recovered_axis is not None:
+        print(f"axis {result.recovered_axis} recovered from d_r (lower-dimension)")
+    print(f"mean |residual|: {result.solution.mean_abs_residual * 1000:.3f} mm")
+    return 0
+
+
+def _command_calibrate(args: argparse.Namespace) -> int:
+    from repro.core.calibration import calibrate_antenna
+    from repro.datasets.io import read_records_csv
+    from repro.trajectory.multiline import ThreeLineScan
+
+    records = read_records_csv(args.csv)
+    positions = np.array([r.tag_position for r in records])
+    phases = np.array([r.phase_rad for r in records])
+    physical = _parse_center(args.physical_center)
+
+    # Rebuild the sweep structure from the canonical scenario geometry.
+    trajectory = ThreeLineScan(-0.55, 0.55)
+    samples = trajectory.sample()
+    if len(samples) != len(records):
+        print(
+            f"warning: CSV has {len(records)} reads but the canonical "
+            f"{args.scenario} scan has {len(samples)}; segment structure "
+            "is inferred from positions instead",
+            file=sys.stderr,
+        )
+        segment_ids = None
+        exclude = None
+    else:
+        segment_ids = samples.segment_ids
+        exclude = trajectory.transit_mask(samples)
+
+    try:
+        calibration, adaptive = calibrate_antenna(
+            positions,
+            phases,
+            physical,
+            antenna_name=records[0].antenna,
+            segment_ids=segment_ids,
+            exclude_mask=exclude,
+        )
+    except ValueError as error:
+        print(f"calibration failed: {error}", file=sys.stderr)
+        return 1
+    print(f"antenna: {calibration.antenna_name}")
+    print(f"estimated phase center: {np.round(calibration.estimated_center, 4).tolist()}")
+    print(f"center displacement  : {np.round(calibration.center_displacement, 4).tolist()}")
+    print(f"displacement size    : {calibration.displacement_magnitude_m * 100:.2f} cm")
+    print(f"phase offset (Eq. 17): {calibration.phase_offset_rad:.3f} rad")
+    print(
+        f"adaptive sweep: {len(adaptive.outcomes)} configurations, "
+        f"{len(adaptive.selected)} selected"
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for figure_id in sorted(FIGURE_RUNNERS):
+            print(figure_id)
+        return 0
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "simulate":
+        return _command_simulate(args)
+    if args.command == "locate":
+        return _command_locate(args)
+    if args.command == "calibrate":
+        return _command_calibrate(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

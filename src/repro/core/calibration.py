@@ -1,0 +1,186 @@
+"""Phase calibration: center displacement and phase offset (paper Sec. IV-C).
+
+Given an antenna located in 3D by :class:`repro.core.localizer.LionLocalizer`
+(or the adaptive sweep), calibration produces:
+
+* the **center displacement** — estimated phase center minus the manually
+  measured physical center; downstream localization should use
+  ``physical_center + displacement`` as the signal origin;
+* the **phase offset** ``delta_theta = theta_T + theta_R`` (Eq. 17) — the
+  circular mean over reads of (measured phase − distance-predicted phase),
+  where the distance is computed from the *estimated* phase center.
+
+The absolute offset mixes tag and antenna hardware and cannot be split
+(Sec. IV-C2); what multi-antenna systems need is the *difference* of
+offsets between antennas interrogating the same tag, which cancels
+``theta_T`` — provided by :func:`relative_phase_offsets`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.constants import DEFAULT_WAVELENGTH_M, TWO_PI
+from repro.core.adaptive import AdaptiveResult, ParameterGrid, adaptive_localize
+from repro.core.localizer import LionLocalizer
+from repro.signalproc.stats import circular_mean
+
+
+@dataclass(frozen=True)
+class AntennaCalibration:
+    """Calibration record for one antenna.
+
+    Attributes:
+        antenna_name: identifier.
+        physical_center: the manually measured center, shape ``(3,)``.
+        estimated_center: the located phase center, shape ``(3,)``.
+        phase_offset_rad: estimated ``theta_T + theta_R`` in ``[0, 2*pi)``
+            (tag-dependent; difference between antennas sharing a tag is
+            tag-free).
+    """
+
+    antenna_name: str
+    physical_center: np.ndarray
+    estimated_center: np.ndarray
+    phase_offset_rad: float
+
+    @property
+    def center_displacement(self) -> np.ndarray:
+        """Estimated phase center minus physical center, meters."""
+        return self.estimated_center - self.physical_center
+
+    @property
+    def displacement_magnitude_m(self) -> float:
+        """Euclidean size of the center displacement."""
+        return float(np.linalg.norm(self.center_displacement))
+
+
+def estimate_phase_offset(
+    positions: np.ndarray,
+    wrapped_phase_rad: np.ndarray,
+    phase_center: np.ndarray,
+    wavelength_m: float = DEFAULT_WAVELENGTH_M,
+) -> float:
+    """Eq. (17): circular-mean phase offset given a known phase center.
+
+    For each read, the distance from the (estimated) phase center to the
+    tag position predicts the distance phase
+    ``theta_d = (4*pi/lambda) * d``; the per-read offset is the wrapped
+    difference ``theta_measured - theta_d``, and the estimate is the
+    circular mean over reads. (The paper's Eq. 17 prints the coefficient
+    as lambda/(4*pi) — a typo for 4*pi/lambda, cf. Eq. 1 — and averages
+    before wrapping; the circular mean is the numerically correct form.)
+
+    Args:
+        positions: tag positions, shape ``(n, 3)`` (or ``(n, 2)`` for
+            planar setups, interpreted as z = 0).
+        wrapped_phase_rad: the *raw wrapped* measured phases, shape ``(n,)``.
+        phase_center: the calibrated phase center.
+        wavelength_m: carrier wavelength.
+
+    Raises:
+        ValueError: on shape mismatch or empty input.
+    """
+    points = np.asarray(positions, dtype=float)
+    phases = np.asarray(wrapped_phase_rad, dtype=float)
+    if points.ndim != 2 or points.shape[1] not in (2, 3):
+        raise ValueError(f"positions must be (n, 2) or (n, 3), got {points.shape}")
+    if phases.shape != (points.shape[0],) or phases.size == 0:
+        raise ValueError("phases must be non-empty and match positions")
+    center = np.asarray(phase_center, dtype=float)
+    if center.shape[0] != points.shape[1]:
+        if center.shape[0] == 3 and points.shape[1] == 2:
+            center = center[:2]
+        else:
+            raise ValueError(
+                f"phase center dim {center.shape} incompatible with positions {points.shape}"
+            )
+    distances = np.linalg.norm(points - center[np.newaxis, :], axis=1)
+    theta_d = (2.0 * TWO_PI / wavelength_m) * distances
+    return circular_mean(np.mod(phases - theta_d, TWO_PI))
+
+
+def calibrate_antenna(
+    positions: np.ndarray,
+    wrapped_phase_rad: np.ndarray,
+    physical_center: np.ndarray,
+    antenna_name: str = "antenna",
+    localizer: LionLocalizer | None = None,
+    segment_ids: np.ndarray | None = None,
+    exclude_mask: np.ndarray | None = None,
+    grid: ParameterGrid | None = None,
+    wavelength_m: float = DEFAULT_WAVELENGTH_M,
+) -> tuple[AntennaCalibration, AdaptiveResult]:
+    """Full phase calibration of one antenna from a known-trajectory scan.
+
+    Runs the adaptive 3D localization to pinpoint the phase center, then
+    Eq. (17) for the phase offset.
+
+    Args:
+        positions: tag positions of the scan, shape ``(n, 3)``.
+        wrapped_phase_rad: reported wrapped phases, shape ``(n,)``.
+        physical_center: the manually measured antenna center.
+        antenna_name: identifier for the record.
+        localizer: optional pre-configured localizer; defaults to a 3D WLS
+            localizer at ``wavelength_m``.
+        segment_ids: per-read sweep ids (three-line scans).
+        exclude_mask: reads to exclude from equations (transits).
+        grid: adaptive sweep grid; defaults to the paper's.
+
+    Returns:
+        ``(calibration, adaptive_result)``.
+    """
+    if localizer is None:
+        localizer = LionLocalizer(dim=3, wavelength_m=wavelength_m, method="wls")
+    if localizer.dim != 3:
+        raise ValueError("phase-center calibration requires a 3-D localizer")
+    adaptive = adaptive_localize(
+        localizer,
+        positions,
+        wrapped_phase_rad,
+        grid=grid,
+        segment_ids=segment_ids,
+        exclude_mask=exclude_mask,
+    )
+    estimated_center = adaptive.position
+    offset = estimate_phase_offset(
+        np.asarray(positions, dtype=float),
+        wrapped_phase_rad,
+        estimated_center,
+        wavelength_m=localizer.wavelength_m,
+    )
+    calibration = AntennaCalibration(
+        antenna_name=antenna_name,
+        physical_center=np.asarray(physical_center, dtype=float),
+        estimated_center=estimated_center,
+        phase_offset_rad=offset,
+    )
+    return calibration, adaptive
+
+
+def relative_phase_offsets(
+    calibrations: Sequence[AntennaCalibration],
+    reference_index: int = 0,
+) -> Dict[str, float]:
+    """Per-antenna offsets relative to a reference antenna, in ``(-pi, pi]``.
+
+    When every calibration used the *same tag*, ``theta_T`` cancels in the
+    difference, leaving pure antenna-to-antenna offsets — exactly what
+    differential (hyperbola/hologram) localization needs (Sec. IV-C2).
+
+    Raises:
+        ValueError: on empty input or a bad reference index.
+    """
+    if not calibrations:
+        raise ValueError("need at least one calibration")
+    if not 0 <= reference_index < len(calibrations):
+        raise ValueError(f"reference index {reference_index} out of range")
+    reference = calibrations[reference_index].phase_offset_rad
+    result: Dict[str, float] = {}
+    for calibration in calibrations:
+        delta = np.mod(calibration.phase_offset_rad - reference + np.pi, TWO_PI) - np.pi
+        result[calibration.antenna_name] = float(delta)
+    return result

@@ -1,0 +1,381 @@
+"""High-level LION localizer: wrapped phases in, position out.
+
+:class:`LionLocalizer` wires the whole Sec. IV pipeline together:
+preprocessing (unwrap + smooth), Eq. (6) distance differences, pair
+selection, system assembly, the (weighted) least-squares solve, and
+lower-dimension coordinate recovery. It is symmetric in who moves: give it
+tag positions to locate an antenna (calibration), or antenna-relative
+positions to locate a tag (the conveyor and turntable applications).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import DEFAULT_WAVELENGTH_M
+from repro.core.lowerdim import (
+    RecoveryResult,
+    detect_missing_axis,
+    recover_coordinate_from_reference,
+)
+from repro.core.pairing import lag_pairs, spacing_pairs, three_line_pairs
+from repro.core.solvers import (
+    Solution,
+    solve_least_squares,
+    solve_weighted_least_squares,
+)
+from repro.core.system import LinearSystem, build_system, delta_distances
+from repro.core.weights import gaussian_residual_weights
+from repro.geometry.transforms import to_line_frame_2d
+from repro.signalproc.smoothing import hampel_filter, smooth_phase_profile
+from repro.signalproc.unwrap import unwrap_phase
+
+Method = Literal["wls", "ls"]
+
+
+@dataclass(frozen=True)
+class PreprocessConfig:
+    """Signal preprocessing knobs (paper Sec. IV-A).
+
+    Attributes:
+        smoothing_window: moving-average window in samples (1 disables).
+        jump_threshold_rad: unwrap jump threshold; ``pi`` per the paper.
+        hampel_window: when positive, apply Hampel outlier rejection of
+            this window before smoothing (multipath spike removal).
+    """
+
+    smoothing_window: int = 9
+    jump_threshold_rad: float = float(np.pi)
+    hampel_window: int = 0
+
+
+@dataclass(frozen=True)
+class LocalizationResult:
+    """Full output of one localization run.
+
+    Attributes:
+        position: estimated target position, shape ``(dim,)``, meters.
+        reference_distance_m: estimated ``d_r``.
+        solution: the underlying least-squares solution (residuals,
+            weights, iteration count).
+        system: the assembled linear system (for diagnostics).
+        recovered_axis: index of the coordinate recovered from ``d_r``
+            via the lower-dimension path, or ``None``.
+        recovery: details of that recovery (both candidates), or ``None``.
+        reference_position: the tag position used as Eq. (6) reference.
+    """
+
+    position: np.ndarray
+    reference_distance_m: float
+    solution: Solution
+    system: LinearSystem
+    recovered_axis: int | None
+    recovery: RecoveryResult | None
+    reference_position: np.ndarray
+
+    @property
+    def mean_residual(self) -> float:
+        """Weighted mean residual of the final solve (adaptive-selection signal)."""
+        return self.solution.mean_residual
+
+
+@dataclass
+class LionLocalizer:
+    """Configurable LION pipeline.
+
+    Attributes:
+        dim: spatial dimension of the answer, 2 or 3.
+        wavelength_m: carrier wavelength.
+        method: ``"wls"`` (paper default) or ``"ls"``.
+        interval_m: default scanning interval (pair spacing), meters.
+        positive_side: deployment prior for lower-dimension recovery —
+            whether the target lies on the positive side of the scan along
+            the unobserved axis.
+        preprocess: signal preprocessing configuration.
+        max_iterations / tolerance_m: WLS iteration control.
+    """
+
+    dim: int = 2
+    wavelength_m: float = DEFAULT_WAVELENGTH_M
+    method: Method = "wls"
+    interval_m: float = 0.25
+    positive_side: bool = True
+    preprocess: PreprocessConfig = field(default_factory=PreprocessConfig)
+    max_iterations: int = 20
+    tolerance_m: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.dim not in (2, 3):
+            raise ValueError(f"dim must be 2 or 3, got {self.dim}")
+        if self.wavelength_m <= 0.0:
+            raise ValueError("wavelength must be positive")
+        if self.method not in ("wls", "ls"):
+            raise ValueError(f"method must be 'wls' or 'ls', got {self.method!r}")
+        if self.interval_m <= 0.0:
+            raise ValueError("interval must be positive")
+
+    # ------------------------------------------------------------------
+    # preprocessing
+    # ------------------------------------------------------------------
+    def preprocess_phase(
+        self,
+        wrapped_phase_rad: np.ndarray,
+        segment_ids: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Unwrap and smooth a continuous wrapped-phase profile.
+
+        Unwrapping runs over the whole profile (the scan is continuous,
+        transits included); smoothing and outlier rejection run *per
+        segment* — a moving average across a trajectory corner would mix
+        reads with discontinuous phase slope and bias the profile there.
+        """
+        profile = unwrap_phase(
+            np.asarray(wrapped_phase_rad, dtype=float),
+            self.preprocess.jump_threshold_rad,
+        )
+        if segment_ids is None:
+            runs = [np.arange(profile.shape[0])]
+        else:
+            ids = np.asarray(segment_ids, dtype=int)
+            boundaries = np.flatnonzero(np.diff(ids) != 0) + 1
+            runs = np.split(np.arange(profile.shape[0]), boundaries)
+        for run in runs:
+            if run.size == 0:
+                continue
+            chunk = profile[run]
+            if self.preprocess.hampel_window > 1:
+                chunk, _ = hampel_filter(chunk, self.preprocess.hampel_window)
+            if self.preprocess.smoothing_window > 1:
+                chunk = smooth_phase_profile(chunk, self.preprocess.smoothing_window)
+            profile[run] = chunk
+        return profile
+
+    # ------------------------------------------------------------------
+    # main entry point
+    # ------------------------------------------------------------------
+    def locate(
+        self,
+        positions: np.ndarray,
+        wrapped_phase_rad: np.ndarray,
+        segment_ids: np.ndarray | None = None,
+        exclude_mask: np.ndarray | None = None,
+        pairs: Sequence[Tuple[int, int]] | None = None,
+        interval_m: float | None = None,
+        reference_index: int | None = None,
+    ) -> LocalizationResult:
+        """Locate the target from one continuous scan.
+
+        Args:
+            positions: known scan positions, shape ``(n, 2)`` or ``(n, 3)``,
+                in time order. For ``dim == 2`` a 3-column input uses the
+                first two columns (scan and target must share the plane).
+            wrapped_phase_rad: reported wrapped phases, shape ``(n,)``, in
+                the same time order — assumed *continuously* sampled so the
+                whole profile unwraps as one piece (include transit reads
+                of multi-line scans; mark them with ``exclude_mask``).
+            segment_ids: per-read sweep ids. When exactly three data
+                segments are present and ``dim == 3``, the structured
+                three-line pairing of Sec. IV-B1 is used automatically.
+            exclude_mask: boolean mask of reads to keep for unwrapping but
+                exclude from equations (transit reads, out-of-range reads).
+            pairs: explicit pair selection (indices into the *included*
+                reads); overrides automatic pairing.
+            interval_m: scanning interval override for this call.
+            reference_index: index (into included reads) of the Eq. (6)
+                reference; defaults to the middle read, which keeps the
+                reference inside the antenna's main beam.
+
+        Raises:
+            ValueError: on shape mismatches or an unobservable geometry
+                (e.g. a single straight line for a 3D target).
+        """
+        points = np.asarray(positions, dtype=float)
+        phases = np.asarray(wrapped_phase_rad, dtype=float)
+        if points.ndim != 2 or points.shape[1] not in (2, 3):
+            raise ValueError(f"positions must be (n, 2) or (n, 3), got {points.shape}")
+        if phases.shape != (points.shape[0],):
+            raise ValueError(
+                f"phases must have shape ({points.shape[0]},), got {phases.shape}"
+            )
+        if points.shape[0] < 3:
+            raise ValueError("need at least three reads to localize")
+        if not np.all(np.isfinite(points)):
+            raise ValueError("positions contain non-finite values")
+        if not np.all(np.isfinite(phases)):
+            raise ValueError(
+                "phases contain non-finite values; filter failed reads upstream"
+            )
+
+        profile = self.preprocess_phase(
+            phases,
+            segment_ids=np.asarray(segment_ids, dtype=int)
+            if segment_ids is not None
+            else None,
+        )
+
+        include = np.ones(points.shape[0], dtype=bool)
+        if exclude_mask is not None:
+            mask = np.asarray(exclude_mask, dtype=bool)
+            if mask.shape != include.shape:
+                raise ValueError("exclude_mask must match the number of reads")
+            include = ~mask
+        if int(np.count_nonzero(include)) < 3:
+            raise ValueError("need at least three included reads")
+
+        used_points_full = points[include]
+        used_profile = profile[include]
+        used_segments = (
+            np.asarray(segment_ids, dtype=int)[include] if segment_ids is not None else None
+        )
+
+        if reference_index is None:
+            if used_segments is not None:
+                # Middle of the most-populated sweep: keeps the reference
+                # read far from trajectory corners, where even symmetric
+                # smoothing has reduced support.
+                ids, counts = np.unique(used_segments, return_counts=True)
+                largest = ids[int(np.argmax(counts))]
+                members = np.flatnonzero(used_segments == largest)
+                reference_index = int(members[members.size // 2])
+            else:
+                reference_index = used_profile.shape[0] // 2
+        if not 0 <= reference_index < used_profile.shape[0]:
+            raise ValueError("reference index out of range of included reads")
+
+        used_points = used_points_full[:, : self.dim] if self.dim == 2 else used_points_full
+        if self.dim == 3 and used_points.shape[1] == 2:
+            used_points = np.hstack([used_points, np.zeros((used_points.shape[0], 1))])
+
+        # Degeneracy handling: find the axis (if any) the scan never moves
+        # along; for 2D a non-axis-aligned line is rotated into its frame.
+        rotation: np.ndarray | None = None
+        frame_origin: np.ndarray | None = None
+        solve_points = used_points
+        missing_axis = self._detect_degeneracy(used_points)
+        if self.dim == 2 and missing_axis is None and self._is_collinear(used_points):
+            direction = self._principal_direction(used_points)
+            frame_origin = used_points[0].copy()
+            solve_points, rotation = to_line_frame_2d(used_points, frame_origin, direction)
+            missing_axis = 1
+
+        delta_d = delta_distances(used_profile, reference_index, self.wavelength_m)
+
+        if pairs is None:
+            pairs = self._auto_pairs(
+                solve_points, used_segments, interval_m or self.interval_m
+            )
+
+        system = build_system(solve_points, delta_d, pairs, dim=self.dim)
+        if self.method == "wls":
+            solution = solve_weighted_least_squares(
+                system,
+                weight_function=gaussian_residual_weights,
+                max_iterations=self.max_iterations,
+                tolerance_m=self.tolerance_m,
+            )
+        else:
+            solve_ls = solve_least_squares
+            solution = solve_ls(system)
+
+        position = solution.position.copy()
+        reference_position = solve_points[reference_index].copy()
+        recovery: RecoveryResult | None = None
+        if missing_axis is not None:
+            recovery = recover_coordinate_from_reference(
+                position,
+                missing_axis,
+                max(solution.reference_distance, 0.0),
+                reference_position,
+                positive_side=self.positive_side,
+            )
+            position = recovery.position
+
+        if rotation is not None and frame_origin is not None:
+            position = rotation.T @ position + frame_origin
+            reference_position = rotation.T @ reference_position + frame_origin
+
+        return LocalizationResult(
+            position=position,
+            reference_distance_m=solution.reference_distance,
+            solution=solution,
+            system=system,
+            recovered_axis=missing_axis,
+            recovery=recovery,
+            reference_position=reference_position,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _detect_degeneracy(self, points: np.ndarray) -> int | None:
+        """Missing-axis detection with the Sec. III-C unsolvable case check."""
+        try:
+            return detect_missing_axis(points, span_threshold_m=1e-6)
+        except ValueError as error:
+            raise ValueError(
+                f"trajectory cannot observe a {self.dim}-D position: {error}"
+            ) from error
+
+    @staticmethod
+    def _is_collinear(points: np.ndarray, tol: float = 1e-9) -> bool:
+        """Whether all 2D points lie on one straight line."""
+        centered = points - points.mean(axis=0)
+        singular_values = np.linalg.svd(centered, compute_uv=False)
+        return bool(singular_values[-1] <= tol * max(singular_values[0], 1.0))
+
+    @staticmethod
+    def _principal_direction(points: np.ndarray) -> np.ndarray:
+        """Dominant direction of a point cloud (first right singular vector)."""
+        centered = points - points.mean(axis=0)
+        _, _, vt = np.linalg.svd(centered, full_matrices=False)
+        return vt[0]
+
+    def _auto_pairs(
+        self,
+        points: np.ndarray,
+        segments: np.ndarray | None,
+        interval_m: float,
+    ) -> Sequence[Tuple[int, int]]:
+        """Pick a pairing strategy from the scan structure."""
+        if (
+            self.dim == 3
+            and segments is not None
+            and np.unique(segments).size == 3
+        ):
+            ids = tuple(int(v) for v in np.unique(segments))
+            return three_line_pairs(points, segments, interval_m, line_ids=ids)
+        if segments is not None and np.unique(segments).size > 1:
+            # Multi-segment but not the canonical three-line scan: pair
+            # within segments at the interval, plus across consecutive
+            # segments by matching the sweep coordinate.
+            return self._generic_multisegment_pairs(points, segments, interval_m)
+        try:
+            return spacing_pairs(points, interval_m)
+        except ValueError:
+            # Trajectory shorter than the interval: fall back to widest lag.
+            return lag_pairs(points.shape[0], max(points.shape[0] // 2, 1))
+
+    def _generic_multisegment_pairs(
+        self, points: np.ndarray, segments: np.ndarray, interval_m: float
+    ) -> list[Tuple[int, int]]:
+        from repro.core.pairing import cross_segment_pairs
+
+        pairs: list[Tuple[int, int]] = []
+        unique = [int(v) for v in np.unique(segments)]
+        for segment in unique:
+            index = np.flatnonzero(segments == segment)
+            if index.size < 2:
+                continue
+            try:
+                local = spacing_pairs(points[index], interval_m)
+            except ValueError:
+                continue
+            pairs += [(int(index[i]), int(index[j])) for i, j in local]
+        for first, second in zip(unique, unique[1:]):
+            pairs += cross_segment_pairs(points, segments, first, second)
+        if not pairs:
+            raise ValueError("could not build any radical-equation pairs")
+        return pairs

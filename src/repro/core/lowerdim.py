@@ -1,0 +1,127 @@
+"""Lower-dimension recovery (paper Sec. III-C, Observation 2).
+
+When the trajectory spans fewer dimensions than the space, the linear
+system cannot observe the coordinate(s) orthogonal to the trajectory's
+span — e.g. a tag sliding along the x-axis says nothing linear about the
+antenna's y. But the solved reference distance ``d_r`` ties the unknowns
+together: with the reference tag position ``p_r`` known and the observed
+coordinates solved, the unobserved coordinate ``u`` satisfies::
+
+    u = u_r +/- sqrt(d_r^2 - |observed displacement|^2)
+
+Two candidates remain; deployment knowledge (the antenna is in front of /
+above the track) picks the physical one. The paper notes a single linear
+trajectory cannot fix a 3D position at all (the locus is a full circle
+around the track) — :func:`recover_coordinate_from_reference` enforces
+that by only filling in *one* missing coordinate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RecoveryResult:
+    """Outcome of a lower-dimension coordinate recovery.
+
+    Attributes:
+        position: completed position, shape ``(dim,)``.
+        candidates: both sign candidates, shape ``(2, dim)`` (may coincide
+            when the radicand is ~0).
+        radicand: the value under the square root; a strongly negative
+            radicand indicates an inconsistent ``d_r`` (noise), which is
+            clipped to zero with ``position`` placed at the reference level.
+    """
+
+    position: np.ndarray
+    candidates: np.ndarray
+    radicand: float
+
+
+def recover_coordinate_from_reference(
+    partial_position: np.ndarray,
+    missing_axis: int,
+    reference_distance_m: float,
+    reference_position: np.ndarray,
+    positive_side: bool = True,
+) -> RecoveryResult:
+    """Fill in the one coordinate a degenerate trajectory cannot observe.
+
+    Args:
+        partial_position: the solved position with the missing axis set to
+            any placeholder, shape ``(dim,)`` with dim 2 or 3.
+        missing_axis: index of the unobserved coordinate.
+        reference_distance_m: the solved ``d_r`` (distance from the target
+            to the reference tag position).
+        reference_position: the reference tag position, shape ``(dim,)``.
+        positive_side: deployment prior — when True choose the candidate
+            on the positive side of the reference along the missing axis
+            (e.g. "the antenna is above the trajectory plane",
+            Sec. IV-B3), else the negative side.
+
+    Returns:
+        A :class:`RecoveryResult`; ``position[missing_axis]`` equals
+        ``ref +/- sqrt(radicand)`` with the radicand floored at 0.
+
+    Raises:
+        ValueError: on shape mismatch, a bad axis, or a negative ``d_r``.
+    """
+    position = np.asarray(partial_position, dtype=float).copy()
+    reference = np.asarray(reference_position, dtype=float)
+    if position.ndim != 1 or position.shape[0] not in (2, 3):
+        raise ValueError(f"position must have shape (2,) or (3,), got {position.shape}")
+    if reference.shape != position.shape:
+        raise ValueError(
+            f"reference must match position shape {position.shape}, got {reference.shape}"
+        )
+    if not 0 <= missing_axis < position.shape[0]:
+        raise ValueError(f"missing_axis {missing_axis} out of range")
+    if reference_distance_m < 0.0:
+        raise ValueError(f"reference distance must be non-negative, got {reference_distance_m}")
+
+    observed_axes = [i for i in range(position.shape[0]) if i != missing_axis]
+    in_plane = position[observed_axes] - reference[observed_axes]
+    radicand = float(reference_distance_m**2 - np.dot(in_plane, in_plane))
+    offset = float(np.sqrt(max(radicand, 0.0)))
+
+    high = position.copy()
+    high[missing_axis] = reference[missing_axis] + offset
+    low = position.copy()
+    low[missing_axis] = reference[missing_axis] - offset
+    chosen = high if positive_side else low
+    return RecoveryResult(
+        position=chosen,
+        candidates=np.vstack([high, low]),
+        radicand=radicand,
+    )
+
+
+def detect_missing_axis(
+    positions: np.ndarray, span_threshold_m: float = 1e-6
+) -> int | None:
+    """Find the single axis (if any) along which the scan never moves.
+
+    Returns the axis index when exactly one coordinate is constant across
+    all tag positions, ``None`` when the scan spans the full space.
+
+    Raises:
+        ValueError: when two or more axes are degenerate — that is the
+            "single linear trajectory in 3D" case the paper proves
+            unsolvable (the target could sit anywhere on a circle).
+    """
+    points = np.asarray(positions, dtype=float)
+    if points.ndim != 2:
+        raise ValueError(f"positions must be a matrix, got shape {points.shape}")
+    spans = points.max(axis=0) - points.min(axis=0)
+    degenerate = np.flatnonzero(spans <= span_threshold_m)
+    if degenerate.size == 0:
+        return None
+    if degenerate.size > 1:
+        raise ValueError(
+            "trajectory is degenerate along multiple axes; the target is "
+            "unobservable (Sec. III-C: a single line cannot fix a 3D position)"
+        )
+    return int(degenerate[0])

@@ -1,0 +1,115 @@
+"""Radical line/plane equation rows (paper Eq. 7 and Eq. 9).
+
+Subtracting the circle (sphere) equations of two tag positions ``i`` and
+``j`` cancels the quadratic antenna terms and leaves a *linear* equation in
+the antenna position. Because only distance *differences*
+``delta_d = d - d_r`` are observable from phase, the unknown reference
+distance ``d_r`` is carried as one more linear unknown::
+
+    2(p_i - p_j) . p  +  2(delta_d_i - delta_d_j) d_r
+        = |p_i|^2 - |p_j|^2 - delta_d_i^2 + delta_d_j^2
+
+Each pair of reads contributes one such row; stacking rows over many pairs
+yields the over-determined system solved in :mod:`repro.core.solvers`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def radical_row(
+    position_i: np.ndarray,
+    delta_d_i: float,
+    position_j: np.ndarray,
+    delta_d_j: float,
+) -> Tuple[np.ndarray, float]:
+    """One radical equation row for a pair of reads.
+
+    Args:
+        position_i: tag position of the first read, shape ``(dim,)`` with
+            dim 2 or 3.
+        delta_d_i: distance difference of the first read relative to the
+            reference read (Eq. 6), meters.
+        position_j: tag position of the second read, same dim.
+        delta_d_j: distance difference of the second read.
+
+    Returns:
+        ``(coefficients, kappa)`` where ``coefficients`` has shape
+        ``(dim + 1,)`` — the last entry multiplies ``d_r`` — and ``kappa``
+        is the right-hand side.
+
+    Raises:
+        ValueError: if positions disagree in dimension or coincide (a
+            coincident pair yields the degenerate row 0 = 0 only when the
+            delta distances also agree; otherwise it is inconsistent noise,
+            so both cases are rejected).
+    """
+    pi = np.asarray(position_i, dtype=float)
+    pj = np.asarray(position_j, dtype=float)
+    if pi.shape != pj.shape or pi.ndim != 1 or pi.shape[0] not in (2, 3):
+        raise ValueError(
+            f"positions must share shape (2,) or (3,), got {pi.shape} and {pj.shape}"
+        )
+    if np.allclose(pi, pj):
+        raise ValueError("radical equation undefined for coincident tag positions")
+    spatial = 2.0 * (pi - pj)
+    omega = 2.0 * (delta_d_i - delta_d_j)
+    coefficients = np.concatenate([spatial, [omega]])
+    kappa = float(np.dot(pi, pi) - np.dot(pj, pj) - delta_d_i**2 + delta_d_j**2)
+    return coefficients, kappa
+
+
+def radical_rows(
+    positions: np.ndarray,
+    delta_d: np.ndarray,
+    pairs: Sequence[Tuple[int, int]],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorised construction of radical rows for many index pairs.
+
+    Args:
+        positions: tag positions, shape ``(n, dim)`` with dim 2 or 3.
+        delta_d: distance differences per read, shape ``(n,)``.
+        pairs: index pairs ``(i, j)`` into the reads.
+
+    Returns:
+        ``(matrix, rhs)`` with shapes ``(m, dim + 1)`` and ``(m,)``.
+
+    Raises:
+        ValueError: on shape mismatch, empty pair list, out-of-range
+            indices, or any coincident-position pair.
+    """
+    points = np.asarray(positions, dtype=float)
+    deltas = np.asarray(delta_d, dtype=float)
+    if points.ndim != 2 or points.shape[1] not in (2, 3):
+        raise ValueError(f"positions must be (n, 2) or (n, 3), got {points.shape}")
+    if deltas.shape != (points.shape[0],):
+        raise ValueError(
+            f"delta_d must have shape ({points.shape[0]},), got {deltas.shape}"
+        )
+    if len(pairs) == 0:
+        raise ValueError("need at least one pair of reads")
+    index = np.asarray(pairs, dtype=int)
+    if index.ndim != 2 or index.shape[1] != 2:
+        raise ValueError(f"pairs must be a sequence of 2-tuples, got shape {index.shape}")
+    if index.min() < 0 or index.max() >= points.shape[0]:
+        raise ValueError("pair index out of range")
+
+    pi = points[index[:, 0]]
+    pj = points[index[:, 1]]
+    if np.any(np.all(np.isclose(pi, pj), axis=1)):
+        raise ValueError("radical equation undefined for coincident tag positions")
+    di = deltas[index[:, 0]]
+    dj = deltas[index[:, 1]]
+    spatial = 2.0 * (pi - pj)
+    omega = 2.0 * (di - dj)
+    matrix = np.hstack([spatial, omega[:, np.newaxis]])
+    rhs = (
+        np.einsum("ij,ij->i", pi, pi)
+        - np.einsum("ij,ij->i", pj, pj)
+        - di**2
+        + dj**2
+    )
+    return matrix, rhs

@@ -1,0 +1,180 @@
+"""Least-squares solvers for the radical-equation system (Eq. 13-16).
+
+``solve_least_squares`` is the plain normal-equation solution Eq. (13);
+``solve_weighted_least_squares`` is the paper's iteratively re-weighted
+variant: solve, compute residuals, weight each equation by
+:func:`repro.core.weights.gaussian_residual_weights`, re-solve with the
+diagonal weight matrix (Eq. 16), and repeat until the estimate moves less
+than a threshold.
+
+The *mean weighted residual* of the final solve is retained on the
+returned :class:`Solution` — it is the signal the adaptive parameter
+selection scheme (Sec. IV-C1) thresholds on: estimates whose mean residual
+sits near zero were produced from cleaner data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.system import LinearSystem
+from repro.core.weights import gaussian_residual_weights
+
+WeightFunction = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class Solution:
+    """Result of a (weighted) least-squares solve.
+
+    Attributes:
+        estimate: solved unknowns ``[x, y, (z,) d_r]``, shape ``(dim + 1,)``.
+        residuals: final per-equation residuals ``A X - K``.
+        normalized_residuals: residuals divided by each row's coefficient
+            norm — a distance-like (meters) measure of how far the
+            estimate sits from each radical line/plane, comparable across
+            scanning ranges and intervals.
+        weights: final per-equation weights (all ones for plain LS).
+        iterations: number of weighted re-solves performed (0 for plain LS).
+        converged: whether the iteration met the tolerance (True for LS).
+    """
+
+    estimate: np.ndarray
+    residuals: np.ndarray
+    normalized_residuals: np.ndarray
+    weights: np.ndarray
+    iterations: int
+    converged: bool
+
+    @property
+    def position(self) -> np.ndarray:
+        """The spatial part of the estimate (without ``d_r``)."""
+        return self.estimate[:-1]
+
+    @property
+    def reference_distance(self) -> float:
+        """The estimated reference distance ``d_r``, meters."""
+        return float(self.estimate[-1])
+
+    @property
+    def mean_residual(self) -> float:
+        """Weighted mean of the normalized residuals, meters.
+
+        This is the adaptive-selection signal (Sec. IV-C1): the cleaner
+        the data the closer it sits to zero. Residuals are normalized by
+        their rows' coefficient norms first — raw residuals are in m^2
+        with a scale that depends on the scanning interval, and for a
+        linear scan the raw *weighted mean* is structurally pinned to ~0
+        (the constant sweep-axis column makes the all-ones vector lie in
+        the weighted column span), carrying no information.
+        """
+        total = float(np.sum(self.weights))
+        if total == 0.0:
+            return float(np.mean(self.normalized_residuals))
+        return float(np.sum(self.weights * self.normalized_residuals) / total)
+
+    @property
+    def mean_abs_residual(self) -> float:
+        """Unweighted mean |normalized residual|, meters — data dirtiness."""
+        return float(np.mean(np.abs(self.normalized_residuals)))
+
+    @property
+    def rms_residual(self) -> float:
+        """Unweighted RMS of the raw residuals (m^2 units)."""
+        return float(np.sqrt(np.mean(self.residuals**2)))
+
+
+def _weighted_solve(
+    matrix: np.ndarray, rhs: np.ndarray, weights: np.ndarray
+) -> np.ndarray:
+    """Solve ``min ||W^(1/2) (A X - K)||`` via scaled lstsq.
+
+    Scaling rows by sqrt(w) and calling lstsq is numerically safer than
+    forming the normal equations ``(A^T W A)^-1 A^T W K`` of Eq. (16) and
+    solves the same problem; rank deficiency (the lower-dimension issue)
+    falls through to the minimum-norm solution instead of blowing up.
+    """
+    root = np.sqrt(weights)
+    solution, *_ = np.linalg.lstsq(matrix * root[:, np.newaxis], rhs * root, rcond=None)
+    return solution
+
+
+def _row_norms(matrix: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(matrix, axis=1)
+    return np.where(norms > 0.0, norms, 1.0)
+
+
+def solve_least_squares(system: LinearSystem) -> Solution:
+    """Plain least squares (paper Eq. 13).
+
+    Raises:
+        ValueError: if the system has no equations.
+    """
+    if system.equation_count == 0:
+        raise ValueError("cannot solve an empty system")
+    weights = np.ones(system.equation_count)
+    estimate = _weighted_solve(system.matrix, system.rhs, weights)
+    residuals = system.matrix @ estimate - system.rhs
+    return Solution(
+        estimate=estimate,
+        residuals=residuals,
+        normalized_residuals=residuals / _row_norms(system.matrix),
+        weights=weights,
+        iterations=0,
+        converged=True,
+    )
+
+
+def solve_weighted_least_squares(
+    system: LinearSystem,
+    weight_function: WeightFunction = gaussian_residual_weights,
+    max_iterations: int = 20,
+    tolerance_m: float = 1e-6,
+) -> Solution:
+    """Iteratively re-weighted least squares (paper Eq. 14-16).
+
+    Args:
+        system: the assembled radical-equation system.
+        weight_function: residuals -> weights map; defaults to the paper's
+            Gaussian-of-residual weights.
+        max_iterations: cap on re-weighting rounds.
+        tolerance_m: stop once the estimate moves less than this between
+            rounds (the paper's "difference between the last estimation and
+            the current estimation is less than the given threshold").
+
+    Raises:
+        ValueError: on an empty system or non-positive iteration/tolerance
+            parameters.
+    """
+    if system.equation_count == 0:
+        raise ValueError("cannot solve an empty system")
+    if max_iterations <= 0:
+        raise ValueError(f"max_iterations must be positive, got {max_iterations}")
+    if tolerance_m <= 0.0:
+        raise ValueError(f"tolerance must be positive, got {tolerance_m}")
+
+    weights = np.ones(system.equation_count)
+    estimate = _weighted_solve(system.matrix, system.rhs, weights)
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        residuals = system.matrix @ estimate - system.rhs
+        weights = weight_function(residuals)
+        updated = _weighted_solve(system.matrix, system.rhs, weights)
+        step = float(np.linalg.norm(updated - estimate))
+        estimate = updated
+        if step < tolerance_m:
+            converged = True
+            break
+    residuals = system.matrix @ estimate - system.rhs
+    return Solution(
+        estimate=estimate,
+        residuals=residuals,
+        normalized_residuals=residuals / _row_norms(system.matrix),
+        weights=weights,
+        iterations=iterations,
+        converged=converged,
+    )

@@ -1,0 +1,127 @@
+"""Assembly of the linear system ``A [x y (z) d_r]^T = K`` (paper Eq. 12).
+
+Also home of :func:`delta_distances`, the Eq. (6) conversion from an
+unwrapped phase profile to per-read distance differences relative to a
+chosen reference read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import DEFAULT_WAVELENGTH_M, TWO_PI
+from repro.core.radical import radical_rows
+
+
+@dataclass(frozen=True)
+class LinearSystem:
+    """An assembled radical-equation system.
+
+    Attributes:
+        matrix: coefficient matrix ``A`` of shape ``(m, dim + 1)``; the
+            last column multiplies the reference distance ``d_r``.
+        rhs: right-hand side ``K`` of shape ``(m,)``.
+        dim: spatial dimensionality, 2 or 3.
+    """
+
+    matrix: np.ndarray
+    rhs: np.ndarray
+    dim: int
+
+    def __post_init__(self) -> None:
+        if self.dim not in (2, 3):
+            raise ValueError(f"dim must be 2 or 3, got {self.dim}")
+        if self.matrix.ndim != 2 or self.matrix.shape[1] != self.dim + 1:
+            raise ValueError(
+                f"matrix must be (m, {self.dim + 1}), got {self.matrix.shape}"
+            )
+        if self.rhs.shape != (self.matrix.shape[0],):
+            raise ValueError(
+                f"rhs must have shape ({self.matrix.shape[0]},), got {self.rhs.shape}"
+            )
+
+    @property
+    def equation_count(self) -> int:
+        """Number of radical equations (rows)."""
+        return int(self.matrix.shape[0])
+
+    def column_excitation(self) -> np.ndarray:
+        """RMS magnitude per unknown's column — a conditioning diagnostic.
+
+        A near-zero entry means the pairing never displaced along that
+        coordinate, i.e. the lower-dimension issue (Sec. III-C) applies.
+        """
+        return np.sqrt(np.mean(self.matrix**2, axis=0))
+
+    def observable_coordinates(self, threshold: float = 1e-9) -> np.ndarray:
+        """Boolean mask over the ``dim`` coordinates that the system excites."""
+        return self.column_excitation()[: self.dim] > threshold
+
+
+def delta_distances(
+    unwrapped_phase_rad: np.ndarray,
+    reference_index: int = 0,
+    wavelength_m: float = DEFAULT_WAVELENGTH_M,
+) -> np.ndarray:
+    """Distance differences relative to a reference read (paper Eq. 6).
+
+    ``delta_d_t = lambda / (4 pi) * (theta_t - theta_r)`` — valid only on
+    an *unwrapped, stitched* phase profile.
+
+    Args:
+        unwrapped_phase_rad: unwrapped phase per read, shape ``(n,)``.
+        reference_index: which read is the reference position.
+        wavelength_m: carrier wavelength.
+
+    Raises:
+        ValueError: on empty input, out-of-range reference index, or
+            non-positive wavelength.
+    """
+    phases = np.asarray(unwrapped_phase_rad, dtype=float)
+    if phases.ndim != 1 or phases.size == 0:
+        raise ValueError("expected a non-empty 1-D unwrapped phase profile")
+    if not 0 <= reference_index < phases.size:
+        raise ValueError(
+            f"reference index {reference_index} out of range [0, {phases.size})"
+        )
+    if wavelength_m <= 0.0:
+        raise ValueError("wavelength must be positive")
+    return (wavelength_m / (2.0 * TWO_PI)) * (phases - phases[reference_index])
+
+
+def build_system(
+    positions: np.ndarray,
+    delta_d: np.ndarray,
+    pairs: Sequence[Tuple[int, int]],
+    dim: int | None = None,
+) -> LinearSystem:
+    """Build the radical-equation system from reads and a pair selection.
+
+    Args:
+        positions: tag positions, shape ``(n, 2)`` or ``(n, 3)``. A 3-column
+            input with ``dim=2`` uses only the first two columns (the scan
+            must then lie in a constant-z plane containing the target).
+        delta_d: per-read distance differences from :func:`delta_distances`.
+        pairs: index pairs, e.g. from :mod:`repro.core.pairing`.
+        dim: target spatial dimension; inferred from ``positions`` when
+            omitted.
+
+    Raises:
+        ValueError: on inconsistent shapes or an invalid ``dim``.
+    """
+    points = np.asarray(positions, dtype=float)
+    if points.ndim != 2 or points.shape[1] not in (2, 3):
+        raise ValueError(f"positions must be (n, 2) or (n, 3), got {points.shape}")
+    if dim is None:
+        dim = points.shape[1]
+    if dim not in (2, 3):
+        raise ValueError(f"dim must be 2 or 3, got {dim}")
+    if dim == 2 and points.shape[1] == 3:
+        points = points[:, :2]
+    elif dim == 3 and points.shape[1] == 2:
+        points = np.hstack([points, np.zeros((points.shape[0], 1))])
+    matrix, rhs = radical_rows(points, np.asarray(delta_d, dtype=float), pairs)
+    return LinearSystem(matrix=matrix, rhs=rhs, dim=dim)

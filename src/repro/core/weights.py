@@ -1,0 +1,73 @@
+"""Equation weights for the robust solve (paper Eq. 15).
+
+The paper weights each radical equation by a Gaussian of its residual::
+
+    w_i = exp(-(r_i - mu)^2 / (2 sigma^2))
+
+with ``mu`` and ``sigma`` the mean and standard deviation of all residuals
+from the previous solve. Equations distorted by multipath or ambient noise
+produce outlying residuals and are down-weighted; clean equations dominate.
+``uniform_weights`` and ``huber_weights`` exist for the weighting ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def gaussian_residual_weights(residuals: np.ndarray) -> np.ndarray:
+    """The paper's Eq. (15) weights.
+
+    Degenerate case: when all residuals coincide (e.g. noiseless data),
+    sigma is zero and every weight is 1.
+
+    Raises:
+        ValueError: on empty input.
+    """
+    r = np.asarray(residuals, dtype=float)
+    if r.size == 0:
+        raise ValueError("cannot weight an empty residual vector")
+    mu = float(np.mean(r))
+    sigma = float(np.std(r))
+    # Guard against exact and floating-point-degenerate spreads: identical
+    # residuals can yield a tiny nonzero std from rounding, which would
+    # produce arbitrary sub-1 weights.
+    scale = max(float(np.max(np.abs(r))), 1.0)
+    if sigma <= 1e-12 * scale:
+        return np.ones_like(r)
+    return np.exp(-((r - mu) ** 2) / (2.0 * sigma**2))
+
+
+def uniform_weights(residuals: np.ndarray) -> np.ndarray:
+    """All-ones weights — reduces WLS to ordinary least squares."""
+    r = np.asarray(residuals, dtype=float)
+    if r.size == 0:
+        raise ValueError("cannot weight an empty residual vector")
+    return np.ones_like(r)
+
+
+def huber_weights(residuals: np.ndarray, delta_scale: float = 1.345) -> np.ndarray:
+    """Huber IRLS weights: 1 inside ``delta``, ``delta/|r|`` outside.
+
+    ``delta`` is ``delta_scale`` times the robust (MAD-based) residual
+    scale, the classical 95%-efficiency tuning.
+
+    Raises:
+        ValueError: on empty input or non-positive ``delta_scale``.
+    """
+    r = np.asarray(residuals, dtype=float)
+    if r.size == 0:
+        raise ValueError("cannot weight an empty residual vector")
+    if delta_scale <= 0.0:
+        raise ValueError(f"delta_scale must be positive, got {delta_scale}")
+    centered = r - np.median(r)
+    mad = float(np.median(np.abs(centered)))
+    scale = 1.4826 * mad
+    if scale == 0.0:
+        return np.ones_like(r)
+    delta = delta_scale * scale
+    magnitude = np.abs(centered)
+    weights = np.ones_like(r)
+    outside = magnitude > delta
+    weights[outside] = delta / magnitude[outside]
+    return weights

@@ -1,0 +1,34 @@
+"""Synthetic dataset generation and read-record persistence.
+
+:mod:`repro.datasets.synthetic` glues the RF and trajectory substrates
+into one call that produces everything a localizer consumes (positions,
+wrapped phases, segment structure, transit mask). :mod:`repro.datasets.io`
+round-trips read records through CSV so scans can be archived and replayed.
+"""
+
+from repro.datasets.synthetic import (
+    ScanData,
+    default_antenna,
+    simulate_scan,
+    simulate_static_reads,
+)
+from repro.datasets.io import read_records_csv, write_records_csv
+from repro.datasets.workloads import (
+    Workload,
+    get_workload,
+    list_workloads,
+    register_workload,
+)
+
+__all__ = [
+    "ScanData",
+    "default_antenna",
+    "simulate_scan",
+    "simulate_static_reads",
+    "read_records_csv",
+    "write_records_csv",
+    "Workload",
+    "get_workload",
+    "list_workloads",
+    "register_workload",
+]

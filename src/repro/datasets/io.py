@@ -1,0 +1,94 @@
+"""CSV persistence for read records.
+
+The column schema mirrors what an LLRP client logs from a Speedway reader
+(EPC, antenna port, timestamp, channel, phase, RSSI) plus the ground-truth
+tag position that the slide/turntable encoder provides in the paper's
+setup. Files written here replay byte-identically through
+:func:`read_records_csv`.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Sequence
+
+from repro.rf.reader import ReadRecord
+
+_COLUMNS = (
+    "epc",
+    "antenna",
+    "timestamp_s",
+    "channel_index",
+    "frequency_hz",
+    "phase_rad",
+    "rssi_dbm",
+    "tag_x_m",
+    "tag_y_m",
+    "tag_z_m",
+)
+
+
+def write_records_csv(records: Sequence[ReadRecord], path: "str | Path") -> None:
+    """Write read records to ``path`` in the canonical column order.
+
+    Raises:
+        ValueError: if ``records`` is empty (an empty scan is almost
+            certainly a bug upstream; write nothing rather than a
+            header-only file).
+    """
+    if not records:
+        raise ValueError("refusing to write an empty record set")
+    target = Path(path)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_COLUMNS)
+        for record in records:
+            writer.writerow(
+                [
+                    record.epc,
+                    record.antenna,
+                    repr(record.timestamp_s),
+                    record.channel_index,
+                    repr(record.frequency_hz),
+                    repr(record.phase_rad),
+                    repr(record.rssi_dbm),
+                    repr(record.tag_position[0]),
+                    repr(record.tag_position[1]),
+                    repr(record.tag_position[2]),
+                ]
+            )
+
+
+def read_records_csv(path: "str | Path") -> List[ReadRecord]:
+    """Load read records previously written by :func:`write_records_csv`.
+
+    Raises:
+        ValueError: on a missing or reordered header.
+        FileNotFoundError: when the file does not exist.
+    """
+    source = Path(path)
+    with source.open("r", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or tuple(header) != _COLUMNS:
+            raise ValueError(
+                f"unexpected CSV header in {source}: {header!r} (want {_COLUMNS})"
+            )
+        records: List[ReadRecord] = []
+        for row in reader:
+            if len(row) != len(_COLUMNS):
+                raise ValueError(f"malformed row in {source}: {row!r}")
+            records.append(
+                ReadRecord(
+                    epc=row[0],
+                    antenna=row[1],
+                    timestamp_s=float(row[2]),
+                    channel_index=int(row[3]),
+                    frequency_hz=float(row[4]),
+                    phase_rad=float(row[5]),
+                    rssi_dbm=float(row[6]),
+                    tag_position=(float(row[7]), float(row[8]), float(row[9])),
+                )
+            )
+    return records

@@ -1,0 +1,37 @@
+"""Experiment harness: regenerate every figure of the paper's evaluation.
+
+Each figure has a runner in :mod:`repro.experiments.figures` returning an
+:class:`repro.experiments.metrics.ExperimentResult` — a table of rows plus
+the paper's reported numbers for side-by-side comparison. The CLI
+(``python -m repro``) and the ``benchmarks/`` suite are thin layers over
+these runners.
+"""
+
+from repro.experiments.metrics import (
+    ExperimentResult,
+    axis_errors,
+    distance_error,
+    error_cdf,
+    summarize_errors,
+)
+from repro.experiments.scenarios import (
+    EvaluationGeometry,
+    make_conveyor_scan,
+    make_room_reflectors,
+    standard_antenna,
+)
+from repro.experiments.figures import FIGURE_RUNNERS, run_figure
+
+__all__ = [
+    "ExperimentResult",
+    "distance_error",
+    "axis_errors",
+    "error_cdf",
+    "summarize_errors",
+    "EvaluationGeometry",
+    "standard_antenna",
+    "make_conveyor_scan",
+    "make_room_reflectors",
+    "FIGURE_RUNNERS",
+    "run_figure",
+]

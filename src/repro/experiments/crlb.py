@@ -1,0 +1,116 @@
+"""Cramér-Rao lower bounds for phase-based localization.
+
+An analysis extension beyond the paper: given the scan geometry and a
+phase-noise level, what accuracy is *information-theoretically* possible?
+The bound contextualises the evaluation figures — e.g. why depth (y)
+degrades faster than the along-track axis (x) with a linear scan
+(Fig. 14), and why a larger turntable radius helps (Fig. 21).
+
+Measurement model (one read per position, independent Gaussian phase
+noise): ``theta_i = (4*pi/lambda) * |p_i - q| + c + n_i``, with target
+``q`` and an unknown constant ``c`` (the hardware offset + reference
+ambiguity — estimating it alongside ``q`` mirrors LION's unknown ``d_r``).
+The Fisher information is assembled over the unit direction vectors from
+the scan positions to the target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import DEFAULT_WAVELENGTH_M, TWO_PI
+
+
+@dataclass(frozen=True)
+class CrlbResult:
+    """CRLB of a scan geometry.
+
+    Attributes:
+        covariance: the ``dim x dim`` position block of the inverse Fisher
+            information, square meters.
+        position_std_m: sqrt of the covariance trace — the RMS bound on
+            total position error.
+        axis_std_m: per-axis standard-deviation bounds, meters.
+    """
+
+    covariance: np.ndarray
+    position_std_m: float
+    axis_std_m: np.ndarray
+
+
+def phase_localization_crlb(
+    positions: np.ndarray,
+    target: np.ndarray,
+    phase_noise_std_rad: float,
+    wavelength_m: float = DEFAULT_WAVELENGTH_M,
+    estimate_offset: bool = True,
+) -> CrlbResult:
+    """CRLB for locating ``target`` from phases at ``positions``.
+
+    Args:
+        positions: scan positions, shape ``(n, dim)``, dim 2 or 3.
+        target: true target position, shape ``(dim,)``.
+        phase_noise_std_rad: per-read phase noise sigma.
+        wavelength_m: carrier wavelength.
+        estimate_offset: include the unknown constant phase offset as a
+            nuisance parameter (True matches LION's observability; False
+            gives the bound for a hypothetical absolute-phase system).
+
+    Raises:
+        ValueError: on bad shapes, non-positive noise, a target colliding
+            with a scan position, or a geometry whose Fisher information
+            is singular (e.g. a linear scan in 3D).
+    """
+    points = np.asarray(positions, dtype=float)
+    q = np.asarray(target, dtype=float)
+    if points.ndim != 2 or points.shape[1] not in (2, 3):
+        raise ValueError(f"positions must be (n, 2) or (n, 3), got {points.shape}")
+    if q.shape != (points.shape[1],):
+        raise ValueError(f"target must have shape ({points.shape[1]},), got {q.shape}")
+    if phase_noise_std_rad <= 0.0:
+        raise ValueError("phase noise sigma must be positive")
+    if wavelength_m <= 0.0:
+        raise ValueError("wavelength must be positive")
+
+    differences = q[np.newaxis, :] - points
+    distances = np.linalg.norm(differences, axis=1)
+    if np.any(distances < 1e-9):
+        raise ValueError("target coincides with a scan position")
+    directions = differences / distances[:, np.newaxis]
+
+    k = 2.0 * TWO_PI / wavelength_m  # d(theta)/d(distance)
+    dim = points.shape[1]
+    if estimate_offset:
+        jacobian = np.hstack([k * directions, np.ones((points.shape[0], 1))])
+    else:
+        jacobian = k * directions
+    fisher = jacobian.T @ jacobian / phase_noise_std_rad**2
+    try:
+        inverse = np.linalg.inv(fisher)
+    except np.linalg.LinAlgError as error:
+        raise ValueError(
+            "singular Fisher information: the scan geometry cannot observe "
+            "the target (degenerate trajectory)"
+        ) from error
+    covariance = inverse[:dim, :dim]
+    axis_std = np.sqrt(np.diag(covariance))
+    return CrlbResult(
+        covariance=covariance,
+        position_std_m=float(np.sqrt(np.trace(covariance))),
+        axis_std_m=axis_std,
+    )
+
+
+def efficiency(observed_rmse_m: float, bound: CrlbResult) -> float:
+    """Ratio CRLB / observed RMSE in ``(0, 1]``-ish (1 = efficient).
+
+    Values slightly above 1 can occur from finite-sample evaluation noise.
+
+    Raises:
+        ValueError: for non-positive observed error.
+    """
+    if observed_rmse_m <= 0.0:
+        raise ValueError("observed RMSE must be positive")
+    return bound.position_std_m / observed_rmse_m

@@ -1,0 +1,81 @@
+"""Registry mapping figure ids to their runners.
+
+``run_figure("fig13a")`` regenerates one figure; ``FIGURE_RUNNERS`` lists
+all of them for the CLI and the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments.figures_case import (
+    run_fig19_20_multi_antenna,
+    run_fig21_rotating_tag,
+)
+from repro.experiments.figures_eval import (
+    run_fig13a_overall_accuracy,
+    run_fig13b_timing,
+    run_fig14a_height_depth_3d,
+    run_fig14b_depth_2d,
+    run_fig15_weight,
+    run_fig16_17_scanning_range,
+    run_fig18_scanning_interval,
+)
+from repro.experiments.figures_model import (
+    run_fig06_directions,
+    run_fig09_lower_dimension,
+)
+from repro.experiments.figures_preliminary import (
+    run_fig02_phase_center,
+    run_fig03_phase_offset,
+    run_fig04_hologram,
+)
+from repro.experiments.figures_extensions import (
+    run_ext_multiref,
+    run_ext_online,
+    run_ext_wander,
+)
+from repro.experiments.metrics import ExperimentResult
+
+FigureRunner = Callable[..., ExperimentResult]
+
+#: Studies of this library's extensions (no paper counterpart).
+EXTENSION_RUNNERS: Dict[str, FigureRunner] = {
+    "ext_online": run_ext_online,
+    "ext_multiref": run_ext_multiref,
+    "ext_wander": run_ext_wander,
+}
+
+#: The paper's evaluation figures.
+PAPER_RUNNERS: Dict[str, FigureRunner] = {
+    "fig02": run_fig02_phase_center,
+    "fig03": run_fig03_phase_offset,
+    "fig04": run_fig04_hologram,
+    "fig06": run_fig06_directions,
+    "fig09": run_fig09_lower_dimension,
+    "fig13a": run_fig13a_overall_accuracy,
+    "fig13b": run_fig13b_timing,
+    "fig14a": run_fig14a_height_depth_3d,
+    "fig14b": run_fig14b_depth_2d,
+    "fig15": run_fig15_weight,
+    "fig16_17": run_fig16_17_scanning_range,
+    "fig18": run_fig18_scanning_interval,
+    "fig19_20": run_fig19_20_multi_antenna,
+    "fig21": run_fig21_rotating_tag,
+}
+
+#: Everything runnable by id (paper figures + extension studies).
+FIGURE_RUNNERS: Dict[str, FigureRunner] = {**PAPER_RUNNERS, **EXTENSION_RUNNERS}
+
+
+def run_figure(figure_id: str, seed: int = 0, fast: bool = False) -> ExperimentResult:
+    """Regenerate one figure by id.
+
+    Raises:
+        KeyError: for an unknown figure id (message lists the valid ones).
+    """
+    if figure_id not in FIGURE_RUNNERS:
+        raise KeyError(
+            f"unknown figure {figure_id!r}; valid ids: {sorted(FIGURE_RUNNERS)}"
+        )
+    return FIGURE_RUNNERS[figure_id](seed=seed, fast=fast)

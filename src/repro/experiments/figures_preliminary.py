@@ -1,0 +1,181 @@
+"""Figures 2-4: the preliminary studies motivating phase calibration.
+
+* Fig. 2 — the measured phase valley sits centimeters away from the
+  physical center: the phase-center inconsistency.
+* Fig. 3 — different antenna-tag hardware pairs report different constant
+  phases: the phase-offset problem.
+* Fig. 4 — a two-measurement differential hologram concentrates
+  likelihood along a hyperbola, and weighting sharpens it; building even a
+  small hologram at 1 mm already costs ~a second.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.baselines.hologram import DifferentialHologram, hologram_likelihood
+from repro.constants import DEFAULT_WAVELENGTH_M, TWO_PI
+from repro.datasets.synthetic import simulate_scan, simulate_static_reads
+from repro.experiments.metrics import ExperimentResult
+from repro.rf.antenna import Antenna
+from repro.rf.noise import GaussianPhaseNoise
+from repro.rf.tag import Tag
+from repro.signalproc.smoothing import smooth_phase_profile
+from repro.signalproc.stats import circular_mean
+from repro.signalproc.unwrap import unwrap_phase
+from repro.trajectory.linear import LinearTrajectory
+
+
+def run_fig02_phase_center(seed: int = 0, fast: bool = False) -> ExperimentResult:
+    """Fig. 2: unwrapped-phase valley offset vs the physical center.
+
+    The antenna's physical center is the origin; a tag sweeps the
+    horizontal (x) and vertical (z) axes at 65 cm depth. The arg-min of
+    the unwrapped phase marks where the tag passes closest to the *actual*
+    phase center — 2-3 cm off the origin.
+    """
+    rng = np.random.default_rng(seed)
+    displacement = (0.024, 0.008, -0.027)
+    antenna = Antenna(
+        physical_center=(0.0, 0.0, 0.0),
+        center_displacement=displacement,
+        phase_offset_rad=1.0,
+        boresight=(0.0, 1.0, 0.0),
+        name="fig2-antenna",
+    )
+    read_rate = 40.0 if fast else 120.0
+    noise = GaussianPhaseNoise(0.05)
+    result = ExperimentResult(
+        figure_id="fig02",
+        title="Phase valley offset from the physical center (65 cm depth)",
+        columns=["scan_axis", "valley_offset_cm", "true_displacement_cm"],
+        paper_expectation=(
+            "measured valleys appear about 2-3 cm away from the origin on "
+            "both horizontal and vertical scans"
+        ),
+    )
+    scans = {
+        "horizontal(x)": (LinearTrajectory((-0.5, 0.65, 0.0), (0.5, 0.65, 0.0)), 0),
+        "vertical(z)": (LinearTrajectory((0.0, 0.65, -0.5), (0.0, 0.65, 0.5)), 2),
+    }
+    for label, (trajectory, axis) in scans.items():
+        scan = simulate_scan(
+            trajectory, antenna, tag=Tag(), rng=rng, noise=noise, read_rate_hz=read_rate
+        )
+        # Smooth over ~0.5 s of reads (~5 cm of travel) so the argmin finds
+        # the profile's true valley instead of a noise dip near it.
+        window = max(int(read_rate * 0.5) | 1, 15)
+        profile = smooth_phase_profile(unwrap_phase(scan.phases), window=window)
+        valley = float(scan.positions[int(np.argmin(profile)), axis])
+        result.add_row(
+            scan_axis=label,
+            valley_offset_cm=valley * 100.0,
+            true_displacement_cm=displacement[axis] * 100.0,
+        )
+    return result
+
+
+def run_fig03_phase_offset(seed: int = 0, fast: bool = False) -> ExperimentResult:
+    """Fig. 3: per antenna-tag pair static phase measurements.
+
+    Four antennas x four tags, each pair read 500 times at 1 m. Both the
+    antenna rows and tag columns shift the reported phase — and the shifts
+    compose, so the *difference* between two antennas is tag-independent.
+    """
+    rng = np.random.default_rng(seed)
+    reads = 100 if fast else 500
+    antennas = [
+        Antenna(
+            physical_center=(0.0, 0.0, 0.0),
+            phase_offset_rad=float(rng.uniform(0.0, TWO_PI)),
+            boresight=(0.0, 1.0, 0.0),
+            name=f"A{i + 1}",
+        )
+        for i in range(4)
+    ]
+    tags = [Tag.random(rng, epc=f"T{i + 1}") for i in range(4)]
+    result = ExperimentResult(
+        figure_id="fig03",
+        title="Static phase per antenna-tag pair (1 m separation)",
+        columns=["antenna", "tag", "mean_phase_rad", "std_rad"],
+        paper_expectation=(
+            "both antennas and tags show intrinsic hardware phase shifts; "
+            "500 reads per pair cluster tightly around a pair-specific value"
+        ),
+    )
+    for antenna in antennas:
+        for tag in tags:
+            records = simulate_static_reads(
+                antenna, tag, (0.0, 1.0, 0.0), reads, rng, noise=GaussianPhaseNoise(0.05)
+            )
+            phases = np.array([r.phase_rad for r in records])
+            result.add_row(
+                antenna=antenna.name,
+                tag=tag.epc,
+                mean_phase_rad=circular_mean(phases),
+                std_rad=float(np.std(np.unwrap(np.sort(phases)))) if phases.size else 0.0,
+            )
+    return result
+
+
+def run_fig04_hologram(seed: int = 0, fast: bool = False) -> ExperimentResult:
+    """Fig. 4: the two-measurement hologram and the effect of weighting.
+
+    Tag positions (-0.3, 0) and (0.3, 0), antenna at (0.5, 0.5), 1 mm grid
+    (paper). High-likelihood cells trace the hyperbola of the measured
+    phase difference; squaring the coherence (a simple augmentation)
+    thins the ridge. Also times the build, the paper's ~0.8 s observation.
+    """
+    rng = np.random.default_rng(seed)
+    wavelength = DEFAULT_WAVELENGTH_M
+    tag_positions = np.array([[-0.3, 0.0], [0.3, 0.0]])
+    antenna_position = np.array([0.5, 0.5])
+    k = 2.0 * TWO_PI / wavelength
+    distances = np.linalg.norm(tag_positions - antenna_position, axis=1)
+    phases = np.mod(k * distances + rng.normal(0.0, 0.02, size=2), TWO_PI)
+
+    grid_size = 0.004 if fast else 0.001
+    axes = (
+        np.arange(-0.5, 0.5 + grid_size, grid_size),
+        np.arange(0.0, 1.0 + grid_size, grid_size),
+    )
+    mesh = np.meshgrid(*axes, indexing="ij")
+    cells = np.stack([m.ravel() for m in mesh], axis=1)
+
+    start = time.perf_counter()
+    likelihood = hologram_likelihood(
+        tag_positions, phases, cells, wavelength_m=wavelength
+    )
+    build_seconds = time.perf_counter() - start
+
+    ridge = likelihood > 0.95
+    sharpened = likelihood**4 > 0.95
+    # Verify the ridge is the hyperbola: |d1 - d2| consistent (mod lambda/2).
+    d1 = np.linalg.norm(cells - tag_positions[0], axis=1)
+    d2 = np.linalg.norm(cells - tag_positions[1], axis=1)
+    measured_diff = (phases[1] - phases[0]) / k
+    residual = np.abs(
+        np.mod((d2 - d1) - measured_diff + wavelength / 4.0, wavelength / 2.0)
+        - wavelength / 4.0
+    )
+    on_hyperbola = float(np.mean(residual[ridge] < grid_size * 2.0)) if ridge.any() else 0.0
+
+    result = ExperimentResult(
+        figure_id="fig04",
+        title="Differential hologram of two measurements (hyperbola ridge)",
+        columns=["quantity", "value"],
+        paper_expectation=(
+            "high-likelihood grids distribute along hyperbolas; weights thin "
+            "the candidate set; generating this simple hologram takes ~0.8 s "
+            "at 1 mm grid"
+        ),
+        notes="weighting emulated by coherence sharpening (likelihood^4)",
+    )
+    result.add_row(quantity="grid_cells", value=int(cells.shape[0]))
+    result.add_row(quantity="build_seconds", value=float(build_seconds))
+    result.add_row(quantity="ridge_cells_unweighted", value=int(np.count_nonzero(ridge)))
+    result.add_row(quantity="ridge_cells_weighted", value=int(np.count_nonzero(sharpened)))
+    result.add_row(quantity="ridge_on_hyperbola_fraction", value=on_hyperbola)
+    return result

@@ -1,0 +1,159 @@
+"""Metrics and the experiment result container.
+
+The paper's headline metric is the *distance error* — the Euclidean
+distance between truth and estimate — supplemented by per-axis errors
+(Fig. 6, 14(a), 21) and CDFs (Fig. 15). ``ExperimentResult`` is the
+uniform return type of every figure runner: a titled table of rows plus
+free-text notes recording the paper's reported numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+def distance_error(estimate: np.ndarray, truth: np.ndarray) -> float:
+    """Euclidean distance between estimate and ground truth, meters.
+
+    Raises:
+        ValueError: on shape mismatch.
+    """
+    a = np.asarray(estimate, dtype=float)
+    b = np.asarray(truth, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return float(np.linalg.norm(a - b))
+
+
+def axis_errors(estimate: np.ndarray, truth: np.ndarray) -> np.ndarray:
+    """Absolute per-axis errors, meters."""
+    a = np.asarray(estimate, dtype=float)
+    b = np.asarray(truth, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return np.abs(a - b)
+
+
+def summarize_errors(errors_m: Sequence[float]) -> Dict[str, float]:
+    """Mean / median / std / p90 / max of a set of distance errors."""
+    arr = np.asarray(list(errors_m), dtype=float)
+    if arr.size == 0:
+        raise ValueError("no errors to summarize")
+    return {
+        "mean": float(np.mean(arr)),
+        "median": float(np.median(arr)),
+        "std": float(np.std(arr)),
+        "p90": float(np.percentile(arr, 90)),
+        "max": float(np.max(arr)),
+    }
+
+
+def error_cdf(errors_m: Sequence[float], levels: Sequence[float] = (0.5, 0.9)) -> Dict[float, float]:
+    """Error value at each CDF level (e.g. median and 90th percentile)."""
+    arr = np.asarray(list(errors_m), dtype=float)
+    if arr.size == 0:
+        raise ValueError("no errors to summarize")
+    return {level: float(np.percentile(arr, level * 100.0)) for level in levels}
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated figure.
+
+    Attributes:
+        figure_id: e.g. ``"fig13a"``.
+        title: short description of what the figure shows.
+        columns: ordered column names of ``rows``.
+        rows: the regenerated series, one dict per table row.
+        paper_expectation: the paper's reported numbers/shape, for
+            EXPERIMENTS.md and quick eyeballing.
+        notes: anything worth recording about the run (substitutions,
+            parameter deviations).
+    """
+
+    figure_id: str
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    paper_expectation: str = ""
+    notes: str = ""
+
+    def add_row(self, **values: object) -> None:
+        """Append a row; unknown columns are rejected to keep tables clean.
+
+        Raises:
+            KeyError: when a value does not match a declared column.
+        """
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"row has undeclared columns: {sorted(unknown)}")
+        self.rows.append(values)
+
+    def column(self, name: str) -> List[object]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise KeyError(f"unknown column {name!r}")
+        return [row.get(name) for row in self.rows]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable representation of the result."""
+        return {
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [dict(row) for row in self.rows],
+            "paper_expectation": self.paper_expectation,
+            "notes": self.notes,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize to a JSON string."""
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Raises:
+            KeyError: when required keys are missing.
+        """
+        result = cls(
+            figure_id=str(payload["figure_id"]),
+            title=str(payload["title"]),
+            columns=list(payload["columns"]),  # type: ignore[arg-type]
+            paper_expectation=str(payload.get("paper_expectation", "")),
+            notes=str(payload.get("notes", "")),
+        )
+        for row in payload["rows"]:  # type: ignore[union-attr]
+            result.add_row(**row)  # type: ignore[arg-type]
+        return result
+
+    def format_table(self, float_format: str = "{:.4g}") -> str:
+        """Render the result as an aligned text table."""
+        def fmt(value: object) -> str:
+            if isinstance(value, float):
+                return float_format.format(value)
+            return str(value)
+
+        header = [self.columns]
+        body = [[fmt(row.get(c, "")) for c in self.columns] for row in self.rows]
+        widths = [
+            max(len(line[i]) for line in header + body)
+            for i in range(len(self.columns))
+        ]
+        lines = [
+            f"== {self.figure_id}: {self.title} ==",
+            "  ".join(c.ljust(w) for c, w in zip(self.columns, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        lines += ["  ".join(v.ljust(w) for v, w in zip(line, widths)) for line in body]
+        if self.paper_expectation:
+            lines.append(f"paper: {self.paper_expectation}")
+        if self.notes:
+            lines.append(f"notes: {self.notes}")
+        return "\n".join(lines)

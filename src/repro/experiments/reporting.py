@@ -1,0 +1,75 @@
+"""Markdown reporting for experiment results.
+
+Turns one or many :class:`~repro.experiments.metrics.ExperimentResult`
+objects into a publication-ready markdown section — the machinery behind
+keeping EXPERIMENTS.md honest: regenerate, render, diff.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.experiments.metrics import ExperimentResult
+
+
+def _format_cell(value: object, float_format: str = "{:.4g}") -> str:
+    if isinstance(value, float):
+        return float_format.format(value)
+    return str(value)
+
+
+def result_to_markdown(result: ExperimentResult, heading_level: int = 3) -> str:
+    """Render one result as a markdown section with a table.
+
+    Args:
+        result: the experiment result.
+        heading_level: markdown heading depth for the section title.
+
+    Raises:
+        ValueError: for an empty result or bad heading level.
+    """
+    if not result.rows:
+        raise ValueError(f"result {result.figure_id} has no rows to render")
+    if not 1 <= heading_level <= 6:
+        raise ValueError(f"heading level must be 1..6, got {heading_level}")
+    lines = [f"{'#' * heading_level} {result.figure_id} — {result.title}", ""]
+    header = "| " + " | ".join(result.columns) + " |"
+    separator = "|" + "|".join("---" for _ in result.columns) + "|"
+    lines += [header, separator]
+    for row in result.rows:
+        cells = [_format_cell(row.get(column, "")) for column in result.columns]
+        lines.append("| " + " | ".join(cells) + " |")
+    if result.paper_expectation:
+        lines += ["", f"**Paper:** {result.paper_expectation}"]
+    if result.notes:
+        lines += ["", f"**Notes:** {result.notes}"]
+    return "\n".join(lines)
+
+
+def results_to_markdown(
+    results: Sequence[ExperimentResult],
+    title: str = "Regenerated results",
+) -> str:
+    """Render many results as one markdown document.
+
+    Raises:
+        ValueError: when no results are given.
+    """
+    if not results:
+        raise ValueError("no results to render")
+    sections = [f"# {title}", ""]
+    for result in results:
+        sections.append(result_to_markdown(result))
+        sections.append("")
+    return "\n".join(sections).rstrip() + "\n"
+
+
+def write_report(
+    results: Iterable[ExperimentResult],
+    path: "str",
+    title: str = "Regenerated results",
+) -> None:
+    """Write :func:`results_to_markdown` output to ``path``."""
+    from pathlib import Path
+
+    Path(path).write_text(results_to_markdown(list(results), title=title))

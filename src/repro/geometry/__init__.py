@@ -1,0 +1,59 @@
+"""Geometric primitives shared by the localization model and baselines.
+
+The LION model is fundamentally geometric: circles/spheres of constant
+antenna-tag distance, radical lines/planes obtained by subtracting pairs of
+them, and the intersection of those linear loci. This subpackage provides
+the exact-geometry counterparts of the noisy linear algebra in
+:mod:`repro.core`, and is used heavily by the test-suite to validate the
+model against closed-form geometry.
+"""
+
+from repro.geometry.points import (
+    Point2D,
+    Point3D,
+    as_point_array,
+    distance,
+    pairwise_distances,
+)
+from repro.geometry.lines import (
+    Line2D,
+    Plane3D,
+    intersect_lines,
+    intersect_planes,
+    radical_line,
+    radical_plane,
+)
+from repro.geometry.circles import (
+    Circle,
+    Sphere,
+    circle_circle_intersection,
+    sphere_sphere_intersection_circle,
+)
+from repro.geometry.transforms import (
+    rotation_matrix_2d,
+    rotation_matrix_3d,
+    to_line_frame_2d,
+    from_line_frame_2d,
+)
+
+__all__ = [
+    "Point2D",
+    "Point3D",
+    "as_point_array",
+    "distance",
+    "pairwise_distances",
+    "Line2D",
+    "Plane3D",
+    "intersect_lines",
+    "intersect_planes",
+    "radical_line",
+    "radical_plane",
+    "Circle",
+    "Sphere",
+    "circle_circle_intersection",
+    "sphere_sphere_intersection_circle",
+    "rotation_matrix_2d",
+    "rotation_matrix_3d",
+    "to_line_frame_2d",
+    "from_line_frame_2d",
+]

@@ -1,0 +1,123 @@
+"""Circles and spheres of constant antenna-tag distance.
+
+Eq. (2) of the paper: a single distance measurement ``d_t`` constrains the
+antenna to the circle (2D) or sphere (3D) centered at the tag position with
+radius ``d_t``. These types provide the exact intersection operations that
+the linear model replaces, and serve as ground truth in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.geometry.points import ArrayLike, as_point_array
+
+
+@dataclass(frozen=True)
+class Circle:
+    """A circle in the plane: ``|p - center| = radius``."""
+
+    center: Tuple[float, float]
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius < 0.0:
+            raise ValueError(f"radius must be non-negative, got {self.radius}")
+        object.__setattr__(self, "center", tuple(float(v) for v in self.center))
+
+    def center_array(self) -> np.ndarray:
+        """Center as a float array of shape ``(2,)``."""
+        return np.array(self.center, dtype=float)
+
+    def contains(self, point: ArrayLike, tol: float = 1e-9) -> bool:
+        """Whether ``point`` lies on the circle within ``tol`` meters."""
+        p = as_point_array(point, dim=2)
+        return abs(float(np.linalg.norm(p - self.center_array())) - self.radius) <= tol
+
+
+@dataclass(frozen=True)
+class Sphere:
+    """A sphere in 3-space: ``|p - center| = radius``."""
+
+    center: Tuple[float, float, float]
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius < 0.0:
+            raise ValueError(f"radius must be non-negative, got {self.radius}")
+        object.__setattr__(self, "center", tuple(float(v) for v in self.center))
+
+    def center_array(self) -> np.ndarray:
+        """Center as a float array of shape ``(3,)``."""
+        return np.array(self.center, dtype=float)
+
+    def contains(self, point: ArrayLike, tol: float = 1e-9) -> bool:
+        """Whether ``point`` lies on the sphere within ``tol`` meters."""
+        p = as_point_array(point, dim=3)
+        return abs(float(np.linalg.norm(p - self.center_array())) - self.radius) <= tol
+
+
+def circle_circle_intersection(first: Circle, second: Circle) -> np.ndarray:
+    """Intersection points of two circles.
+
+    Returns:
+        An array of shape ``(k, 2)`` with ``k`` in ``{0, 1, 2}``: the
+        circles may be disjoint, tangent, or properly intersecting.
+
+    Raises:
+        ValueError: if the circles are concentric (either identical with
+            infinitely many intersections, or nested with none — both are
+            degenerate for radical-line purposes).
+    """
+    c0 = first.center_array()
+    c1 = second.center_array()
+    separation = float(np.linalg.norm(c1 - c0))
+    if separation == 0.0:
+        raise ValueError("concentric circles have no well-defined intersection")
+    r0, r1 = first.radius, second.radius
+    if separation > r0 + r1 or separation < abs(r0 - r1):
+        return np.empty((0, 2), dtype=float)
+    # Distance from c0 to the radical line along the center line.
+    along = (r0**2 - r1**2 + separation**2) / (2.0 * separation)
+    half_chord_sq = r0**2 - along**2
+    axis = (c1 - c0) / separation
+    foot = c0 + along * axis
+    if half_chord_sq <= 0.0:
+        return foot[np.newaxis, :]
+    half_chord = float(np.sqrt(half_chord_sq))
+    perpendicular = np.array([-axis[1], axis[0]])
+    return np.vstack([foot + half_chord * perpendicular, foot - half_chord * perpendicular])
+
+
+def sphere_sphere_intersection_circle(
+    first: Sphere, second: Sphere
+) -> tuple[np.ndarray, np.ndarray, float] | None:
+    """Intersection circle of two spheres (Fig. 7 of the paper).
+
+    Two intersecting spheres meet in a circle lying in their radical plane.
+
+    Returns:
+        A tuple ``(center, normal, radius)`` of the intersection circle, or
+        ``None`` if the spheres do not intersect. A tangent contact is
+        returned as a circle of radius 0.
+
+    Raises:
+        ValueError: if the spheres are concentric.
+    """
+    c0 = first.center_array()
+    c1 = second.center_array()
+    separation = float(np.linalg.norm(c1 - c0))
+    if separation == 0.0:
+        raise ValueError("concentric spheres have no well-defined intersection")
+    r0, r1 = first.radius, second.radius
+    if separation > r0 + r1 or separation < abs(r0 - r1):
+        return None
+    along = (r0**2 - r1**2 + separation**2) / (2.0 * separation)
+    radius_sq = r0**2 - along**2
+    axis = (c1 - c0) / separation
+    center = c0 + along * axis
+    radius = float(np.sqrt(max(radius_sq, 0.0)))
+    return center, axis, radius

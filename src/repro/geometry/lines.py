@@ -1,0 +1,186 @@
+"""Lines, planes, and the radical lines/planes at the heart of LION.
+
+Observation 1 of the paper: if several circles centered at different tag
+positions intersect in the antenna position, that position is also the
+intersection of their pairwise *radical lines* — the straight lines through
+the two intersection points of a circle pair. Subtracting the two circle
+equations cancels the quadratic terms, so a radical line is linear:
+
+``2(x_i - x_j) x + 2(y_i - y_j) y = x_i^2 - x_j^2 + y_i^2 - y_j^2 - d_i^2 + d_j^2``
+
+(Eq. 5). In 3D the same subtraction of two sphere equations yields the
+*radical plane* of Eq. (8). These exact-geometry constructions are used by
+the core model (via :mod:`repro.core.radical`) and by the tests that verify
+the linear system against closed-form geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.points import ArrayLike, as_point_array
+
+#: Relative tolerance used to declare two lines/planes parallel.
+_PARALLEL_TOL = 1e-12
+
+
+@dataclass(frozen=True)
+class Line2D:
+    """A line in the plane in implicit form ``a*x + b*y = c``."""
+
+    a: float
+    b: float
+    c: float
+
+    def __post_init__(self) -> None:
+        if abs(self.a) < _PARALLEL_TOL and abs(self.b) < _PARALLEL_TOL:
+            raise ValueError("degenerate line: both coefficients are ~0")
+
+    @property
+    def normal(self) -> np.ndarray:
+        """Unit normal vector of the line."""
+        n = np.array([self.a, self.b], dtype=float)
+        return n / np.linalg.norm(n)
+
+    @property
+    def direction(self) -> np.ndarray:
+        """Unit direction vector of the line (normal rotated by 90 deg)."""
+        n = self.normal
+        return np.array([-n[1], n[0]])
+
+    def evaluate(self, point: ArrayLike) -> float:
+        """Return ``a*x + b*y - c`` at ``point`` (0 iff the point is on the line)."""
+        p = as_point_array(point, dim=2)
+        return float(self.a * p[0] + self.b * p[1] - self.c)
+
+    def distance_to(self, point: ArrayLike) -> float:
+        """Perpendicular distance from ``point`` to the line."""
+        norm = float(np.hypot(self.a, self.b))
+        return abs(self.evaluate(point)) / norm
+
+    def contains(self, point: ArrayLike, tol: float = 1e-9) -> bool:
+        """Whether ``point`` lies on the line within ``tol`` meters."""
+        return self.distance_to(point) <= tol
+
+
+@dataclass(frozen=True)
+class Plane3D:
+    """A plane in 3-space in implicit form ``a*x + b*y + c*z = d``."""
+
+    a: float
+    b: float
+    c: float
+    d: float
+
+    def __post_init__(self) -> None:
+        if np.linalg.norm([self.a, self.b, self.c]) < _PARALLEL_TOL:
+            raise ValueError("degenerate plane: zero normal vector")
+
+    @property
+    def normal(self) -> np.ndarray:
+        """Unit normal vector of the plane."""
+        n = np.array([self.a, self.b, self.c], dtype=float)
+        return n / np.linalg.norm(n)
+
+    def evaluate(self, point: ArrayLike) -> float:
+        """Return ``a*x + b*y + c*z - d`` at ``point``."""
+        p = as_point_array(point, dim=3)
+        return float(self.a * p[0] + self.b * p[1] + self.c * p[2] - self.d)
+
+    def distance_to(self, point: ArrayLike) -> float:
+        """Perpendicular distance from ``point`` to the plane."""
+        norm = float(np.linalg.norm([self.a, self.b, self.c]))
+        return abs(self.evaluate(point)) / norm
+
+    def contains(self, point: ArrayLike, tol: float = 1e-9) -> bool:
+        """Whether ``point`` lies on the plane within ``tol`` meters."""
+        return self.distance_to(point) <= tol
+
+
+def radical_line(
+    center_i: ArrayLike,
+    d_i: float,
+    center_j: ArrayLike,
+    d_j: float,
+) -> Line2D:
+    """Radical line of two circles (Eq. 5 of the paper).
+
+    Args:
+        center_i: center of the first circle (tag position ``T_i``).
+        d_i: radius of the first circle (antenna-tag distance).
+        center_j: center of the second circle (tag position ``T_j``).
+        d_j: radius of the second circle.
+
+    Returns:
+        The line ``2(x_i-x_j) x + 2(y_i-y_j) y = x_i^2-x_j^2+y_i^2-y_j^2-d_i^2+d_j^2``.
+
+    Raises:
+        ValueError: if the two centers coincide (no radical line exists).
+    """
+    ci = as_point_array(center_i, dim=2)
+    cj = as_point_array(center_j, dim=2)
+    if np.allclose(ci, cj):
+        raise ValueError("radical line is undefined for concentric circles")
+    a = 2.0 * (ci[0] - cj[0])
+    b = 2.0 * (ci[1] - cj[1])
+    c = float(np.dot(ci, ci) - np.dot(cj, cj) - d_i**2 + d_j**2)
+    return Line2D(a, b, c)
+
+
+def radical_plane(
+    center_i: ArrayLike,
+    d_i: float,
+    center_j: ArrayLike,
+    d_j: float,
+) -> Plane3D:
+    """Radical plane of two spheres (Eq. 8 of the paper)."""
+    ci = as_point_array(center_i, dim=3)
+    cj = as_point_array(center_j, dim=3)
+    if np.allclose(ci, cj):
+        raise ValueError("radical plane is undefined for concentric spheres")
+    a = 2.0 * (ci[0] - cj[0])
+    b = 2.0 * (ci[1] - cj[1])
+    c = 2.0 * (ci[2] - cj[2])
+    d = float(np.dot(ci, ci) - np.dot(cj, cj) - d_i**2 + d_j**2)
+    return Plane3D(a, b, c, d)
+
+
+def intersect_lines(lines: Sequence[Line2D]) -> np.ndarray:
+    """Least-squares intersection point of two or more lines.
+
+    For exactly two non-parallel lines this is their unique intersection;
+    for more, the point minimizing the sum of squared implicit-form
+    residuals. This mirrors how LION treats noisy radical lines.
+
+    Raises:
+        ValueError: if fewer than two lines are given or the system is
+            rank-deficient (all lines parallel).
+    """
+    if len(lines) < 2:
+        raise ValueError("need at least two lines to intersect")
+    matrix = np.array([[line.a, line.b] for line in lines], dtype=float)
+    rhs = np.array([line.c for line in lines], dtype=float)
+    if np.linalg.matrix_rank(matrix) < 2:
+        raise ValueError("lines are parallel; no unique intersection")
+    solution, *_ = np.linalg.lstsq(matrix, rhs, rcond=None)
+    return solution
+
+
+def intersect_planes(planes: Sequence[Plane3D]) -> np.ndarray:
+    """Least-squares intersection point of three or more planes.
+
+    Raises:
+        ValueError: if fewer than three planes are given or their normals
+            do not span 3-space.
+    """
+    if len(planes) < 3:
+        raise ValueError("need at least three planes to intersect in a point")
+    matrix = np.array([[p.a, p.b, p.c] for p in planes], dtype=float)
+    rhs = np.array([p.d for p in planes], dtype=float)
+    if np.linalg.matrix_rank(matrix) < 3:
+        raise ValueError("plane normals are degenerate; no unique intersection")
+    solution, *_ = np.linalg.lstsq(matrix, rhs, rcond=None)
+    return solution

@@ -1,0 +1,113 @@
+"""Point types and distance helpers.
+
+Positions in this library are plain numpy arrays of shape ``(2,)`` or
+``(3,)`` (or stacks thereof, shape ``(n, dim)``). The small named tuples
+here exist for readability at API boundaries — a :class:`Point2D` *is*
+convertible to an array and all internal math runs on arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple, Sequence, Union
+
+import numpy as np
+
+ArrayLike = Union[Sequence[float], np.ndarray, "Point2D", "Point3D"]
+
+
+class Point2D(NamedTuple):
+    """A point in the plane, meters."""
+
+    x: float
+    y: float
+
+    def as_array(self) -> np.ndarray:
+        """Return the point as a float numpy array of shape ``(2,)``."""
+        return np.array([self.x, self.y], dtype=float)
+
+    def distance_to(self, other: "ArrayLike") -> float:
+        """Euclidean distance from this point to ``other``."""
+        return distance(self.as_array(), as_point_array(other, dim=2))
+
+
+class Point3D(NamedTuple):
+    """A point in 3-space, meters."""
+
+    x: float
+    y: float
+    z: float
+
+    def as_array(self) -> np.ndarray:
+        """Return the point as a float numpy array of shape ``(3,)``."""
+        return np.array([self.x, self.y, self.z], dtype=float)
+
+    def distance_to(self, other: "ArrayLike") -> float:
+        """Euclidean distance from this point to ``other``."""
+        return distance(self.as_array(), as_point_array(other, dim=3))
+
+
+def as_point_array(value: ArrayLike, dim: int | None = None) -> np.ndarray:
+    """Coerce ``value`` into a float array of shape ``(dim,)``.
+
+    Accepts :class:`Point2D`, :class:`Point3D`, sequences and arrays.
+    When ``dim`` is given, the result is validated against it; a 2D point
+    is promoted to 3D by appending ``z = 0`` when ``dim == 3``.
+
+    Raises:
+        ValueError: if the value cannot be interpreted as a point of the
+            requested dimensionality.
+    """
+    if isinstance(value, (Point2D, Point3D)):
+        array = value.as_array()
+    else:
+        array = np.asarray(value, dtype=float)
+    if array.ndim != 1:
+        raise ValueError(f"expected a 1-D point, got shape {array.shape}")
+    if dim is not None:
+        if array.shape[0] == 2 and dim == 3:
+            array = np.append(array, 0.0)
+        if array.shape[0] != dim:
+            raise ValueError(
+                f"expected a point of dimension {dim}, got {array.shape[0]}"
+            )
+    elif array.shape[0] not in (2, 3):
+        raise ValueError(
+            f"points must be 2-D or 3-D, got dimension {array.shape[0]}"
+        )
+    return array
+
+
+def as_point_matrix(values: Iterable[ArrayLike], dim: int | None = None) -> np.ndarray:
+    """Stack an iterable of points into a float matrix of shape ``(n, dim)``."""
+    rows = [as_point_array(value, dim=dim) for value in values]
+    if not rows:
+        width = dim if dim is not None else 0
+        return np.empty((0, width), dtype=float)
+    return np.vstack(rows)
+
+
+def distance(a: ArrayLike, b: ArrayLike) -> float:
+    """Euclidean distance between two points of equal dimension."""
+    pa = as_point_array(a)
+    pb = as_point_array(b, dim=pa.shape[0])
+    return float(np.linalg.norm(pa - pb))
+
+
+def pairwise_distances(points: np.ndarray, target: ArrayLike) -> np.ndarray:
+    """Distances from each row of ``points`` (shape ``(n, dim)``) to ``target``.
+
+    This is the vectorised form of Eq. (2) in the paper: the distance from
+    every tag position in a scan to a candidate antenna position.
+    """
+    matrix = np.asarray(points, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected an (n, dim) matrix, got shape {matrix.shape}")
+    center = as_point_array(target, dim=matrix.shape[1])
+    return np.linalg.norm(matrix - center[np.newaxis, :], axis=1)
+
+
+def midpoint(a: ArrayLike, b: ArrayLike) -> np.ndarray:
+    """Midpoint of segment ``ab`` as a float array."""
+    pa = as_point_array(a)
+    pb = as_point_array(b, dim=pa.shape[0])
+    return (pa + pb) / 2.0

@@ -1,0 +1,104 @@
+"""Coordinate rotations and line-frame transforms.
+
+The lower-dimension recovery of Sec. III-C assumes an axis-aligned linear
+trajectory ("the tag moves along the x-axis"). Real trajectories may run in
+an arbitrary direction; these helpers rotate positions into a frame whose
+first axis is the trajectory direction so the axis-aligned math applies,
+then rotate the estimate back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.points import ArrayLike, as_point_array
+
+
+def rotation_matrix_2d(angle_rad: float) -> np.ndarray:
+    """Counter-clockwise rotation matrix by ``angle_rad``."""
+    c, s = np.cos(angle_rad), np.sin(angle_rad)
+    return np.array([[c, -s], [s, c]])
+
+
+def rotation_matrix_3d(axis: ArrayLike, angle_rad: float) -> np.ndarray:
+    """Rotation matrix about ``axis`` by ``angle_rad`` (Rodrigues' formula).
+
+    Raises:
+        ValueError: if ``axis`` is the zero vector.
+    """
+    u = as_point_array(axis, dim=3)
+    norm = float(np.linalg.norm(u))
+    if norm == 0.0:
+        raise ValueError("rotation axis must be non-zero")
+    u = u / norm
+    c, s = np.cos(angle_rad), np.sin(angle_rad)
+    cross = np.array(
+        [
+            [0.0, -u[2], u[1]],
+            [u[2], 0.0, -u[0]],
+            [-u[1], u[0], 0.0],
+        ]
+    )
+    return c * np.eye(3) + s * cross + (1.0 - c) * np.outer(u, u)
+
+
+def to_line_frame_2d(
+    points: np.ndarray, origin: ArrayLike, direction: ArrayLike
+) -> tuple[np.ndarray, np.ndarray]:
+    """Rotate/translate ``points`` into the frame of a 2D line.
+
+    The line frame has its origin at ``origin`` and its first axis along
+    ``direction``; points on the line have second coordinate 0.
+
+    Args:
+        points: array of shape ``(n, 2)``.
+        origin: a point on the line.
+        direction: the line direction (not necessarily unit length).
+
+    Returns:
+        ``(transformed_points, rotation)`` where ``rotation`` is the 2x2
+        matrix mapping world coordinates to line-frame coordinates.
+
+    Raises:
+        ValueError: if ``direction`` is the zero vector.
+    """
+    d = as_point_array(direction, dim=2)
+    norm = float(np.linalg.norm(d))
+    if norm == 0.0:
+        raise ValueError("line direction must be non-zero")
+    d = d / norm
+    rotation = np.array([[d[0], d[1]], [-d[1], d[0]]])
+    o = as_point_array(origin, dim=2)
+    pts = np.asarray(points, dtype=float)
+    transformed = (pts - o[np.newaxis, :]) @ rotation.T
+    return transformed, rotation
+
+
+def from_line_frame_2d(
+    points: np.ndarray, origin: ArrayLike, rotation: np.ndarray
+) -> np.ndarray:
+    """Inverse of :func:`to_line_frame_2d` given its returned ``rotation``."""
+    o = as_point_array(origin, dim=2)
+    pts = np.asarray(points, dtype=float)
+    return pts @ rotation + o[np.newaxis, :]
+
+
+def orthonormal_basis_for_plane(normal: ArrayLike) -> tuple[np.ndarray, np.ndarray]:
+    """Two orthonormal vectors spanning the plane with the given ``normal``.
+
+    Used to parameterise the circle in which two spheres intersect.
+
+    Raises:
+        ValueError: if ``normal`` is the zero vector.
+    """
+    n = as_point_array(normal, dim=3)
+    norm = float(np.linalg.norm(n))
+    if norm == 0.0:
+        raise ValueError("plane normal must be non-zero")
+    n = n / norm
+    # Pick the world axis least aligned with the normal as a seed.
+    seed = np.eye(3)[int(np.argmin(np.abs(n)))]
+    u = np.cross(n, seed)
+    u = u / np.linalg.norm(u)
+    v = np.cross(n, u)
+    return u, v

@@ -1,0 +1,48 @@
+"""RF substrate: a simulator standing in for the paper's COTS hardware.
+
+The paper evaluates LION on an ImpinJ Speedway R420 reader, Laird S9028PCL
+directional antennas and ImpinJ E41-B/E51 tags. This subpackage simulates
+that stack at the level the algorithms observe it: a stream of wrapped
+phase reads tagged with tag position and timestamp, produced by a physical
+model that includes
+
+* the Eq. (1) phase model with per-antenna offset ``theta_R`` and per-tag
+  offset ``theta_T``;
+* a hidden true phase center displaced 2-3 cm from the antenna's physical
+  center (the Fig. 2 phenomenon LION exists to calibrate);
+* a directional main-beam gain pattern with SNR-dependent phase noise
+  (samples collected off-beam are noisier — the Fig. 16/17 effect);
+* image-source multipath reflectors whose *relative* strength grows with
+  depth as the line-of-sight power falls (the Fig. 14(b) effect);
+* additive Gaussian phase noise, N(0, 0.1 rad) by default as in the
+  paper's own simulations.
+"""
+
+from repro.rf.antenna import Antenna
+from repro.rf.tag import Tag
+from repro.rf.noise import (
+    BurstyPhaseNoise,
+    GaussianPhaseNoise,
+    NoPhaseNoise,
+    SnrScaledPhaseNoise,
+)
+from repro.rf.multipath import Reflector, WallReflector, multipath_components
+from repro.rf.channel import Channel, ChannelConfig
+from repro.rf.reader import ReadRecord, Reader, ReaderConfig
+
+__all__ = [
+    "Antenna",
+    "Tag",
+    "BurstyPhaseNoise",
+    "GaussianPhaseNoise",
+    "NoPhaseNoise",
+    "SnrScaledPhaseNoise",
+    "Reflector",
+    "WallReflector",
+    "multipath_components",
+    "Channel",
+    "ChannelConfig",
+    "ReadRecord",
+    "Reader",
+    "ReaderConfig",
+]

@@ -1,0 +1,145 @@
+"""Directional reader antenna with a hidden, displaced phase center.
+
+The crux of the paper: localization code knows only the antenna's
+*physical* center (where the technician measured it), while signals are
+actually transmitted and received from the *phase* center, which sits a
+few centimeters away due to intrinsic hardware characteristics (Fig. 1-2).
+The :class:`Antenna` model keeps both, exposes only the physical center as
+"public knowledge", and lets the channel simulation use the true phase
+center — exactly the information asymmetry the calibration must resolve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.geometry.points import ArrayLike, as_point_array
+
+
+@dataclass
+class Antenna:
+    """A directional RFID reader antenna.
+
+    Attributes:
+        physical_center: the manually measured center, world coordinates
+            (meters). This is what uncalibrated localization uses.
+        center_displacement: true phase center minus physical center
+            (meters). Hidden from algorithms; typically 2-3 cm (Fig. 2).
+        phase_offset_rad: the antenna-side phase rotation ``theta_R`` of
+            Eq. (1), radians in ``[0, 2*pi)``.
+        boresight: unit vector of the main-beam direction. Defaults to +y,
+            matching the paper's geometry (tag track along x, antenna
+            facing the track along y).
+        beamwidth_deg: full half-power beamwidth of the main lobe. The
+            Laird S9028PCL has a ~70 degree beamwidth.
+        gain_dbi: peak gain. Only relative gain matters to the phase
+            simulation; kept for RSSI realism.
+        center_wander_m: angle dependence of the phase center. Real
+            apertures do not radiate from a single point: the effective
+            phase center recedes along the boresight as the observation
+            angle grows (a textbook horn/patch behaviour). This models it
+            quadratically — at ``theta`` radians off boresight the
+            effective center shifts by ``-center_wander_m * theta**2``
+            along the boresight. Zero (default) keeps the paper's
+            point-center idealisation; a few millimeters sets the floor
+            any point-center calibration (LION included) cannot beat.
+        name: identifier used in read records.
+    """
+
+    physical_center: Tuple[float, ...]
+    center_displacement: Tuple[float, ...] = (0.0, 0.0, 0.0)
+    phase_offset_rad: float = 0.0
+    boresight: Tuple[float, ...] = (0.0, 1.0, 0.0)
+    beamwidth_deg: float = 70.0
+    gain_dbi: float = 8.5
+    center_wander_m: float = 0.0
+    name: str = "antenna"
+
+    _physical: np.ndarray = field(init=False, repr=False)
+    _displacement: np.ndarray = field(init=False, repr=False)
+    _boresight: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._physical = as_point_array(self.physical_center, dim=3)
+        self._displacement = as_point_array(self.center_displacement, dim=3)
+        bore = as_point_array(self.boresight, dim=3)
+        norm = float(np.linalg.norm(bore))
+        if norm == 0.0:
+            raise ValueError("boresight must be a non-zero vector")
+        self._boresight = bore / norm
+        if self.beamwidth_deg <= 0.0 or self.beamwidth_deg > 360.0:
+            raise ValueError(f"beamwidth out of range: {self.beamwidth_deg}")
+
+    @property
+    def physical_center_array(self) -> np.ndarray:
+        """Physical (measured) center as a ``(3,)`` float array."""
+        return self._physical.copy()
+
+    @property
+    def phase_center(self) -> np.ndarray:
+        """True phase center: physical center plus hidden displacement."""
+        return self._physical + self._displacement
+
+    def off_boresight_angle(self, point: ArrayLike) -> float:
+        """Angle in radians between the boresight and the ray to ``point``.
+
+        Measured from the *phase* center, since that is where the pattern
+        is physically anchored.
+        """
+        p = as_point_array(point, dim=3)
+        ray = p - self.phase_center
+        norm = float(np.linalg.norm(ray))
+        if norm == 0.0:
+            return 0.0
+        cosine = float(np.clip(np.dot(ray / norm, self._boresight), -1.0, 1.0))
+        return float(np.arccos(cosine))
+
+    def relative_gain(self, point: ArrayLike) -> float:
+        """Linear power gain toward ``point``, relative to boresight peak.
+
+        A raised-cosine main lobe calibrated so the half-power (-3 dB)
+        point falls at half the beamwidth, floored at -20 dB to mimic side
+        lobes. This produces the paper's observation that samples beyond
+        the main beam carry much more phase noise (Sec. V-E).
+        """
+        angle = self.off_boresight_angle(point)
+        half_beam = np.radians(self.beamwidth_deg) / 2.0
+        # cos^n pattern with n chosen so gain(half_beam) == 0.5.
+        exponent = np.log(0.5) / np.log(np.cos(half_beam)) if half_beam < np.pi / 2 else 2.0
+        floor = 10.0 ** (-20.0 / 10.0)
+        if angle >= np.pi / 2.0:
+            return floor
+        gain = float(np.cos(angle) ** exponent)
+        return max(gain, floor)
+
+    def effective_phase_center(self, point: ArrayLike) -> np.ndarray:
+        """Phase center as seen from ``point``, including angle wander.
+
+        With ``center_wander_m == 0`` this is just :attr:`phase_center`;
+        otherwise the center recedes along the boresight quadratically
+        with the off-boresight angle (computed from the nominal center —
+        the sub-centimeter recursion this ignores is far below the model's
+        fidelity).
+        """
+        center = self.phase_center
+        if self.center_wander_m == 0.0:
+            return center
+        angle = self.off_boresight_angle(point)
+        return center - self.center_wander_m * angle**2 * self._boresight
+
+    def distance_to(self, point: ArrayLike, use_phase_center: bool = True) -> float:
+        """Distance from the antenna to ``point``.
+
+        Args:
+            point: the target position.
+            use_phase_center: when True (default) measure from the true
+                (angle-dependent) phase center — what the RF channel does;
+                when False measure from the physical center — what naive
+                localization assumes.
+        """
+        p = as_point_array(point, dim=3)
+        origin = self.effective_phase_center(p) if use_phase_center else self._physical
+        return float(np.linalg.norm(p - origin))

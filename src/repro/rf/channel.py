@@ -1,0 +1,142 @@
+"""The composite backscatter channel: LoS + multipath + noise -> phase.
+
+This is where the Eq. (1) phase model is realised end to end. Given an
+antenna, a tag and a tag position, the channel forms the complex channel
+response
+
+``h = g/d^2 * exp(-j * 4*pi*d/lambda) + multipath``
+
+(with ``d`` measured from the antenna's *true phase center*), extracts the
+distance-induced phase as ``-angle(h)``, adds the hardware offsets
+``theta_T + theta_R`` and a phase-noise draw, and wraps into ``[0, 2*pi)``
+as a reader would report. RSSI is derived from ``|h|`` for realism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.constants import DEFAULT_WAVELENGTH_M, TWO_PI
+from repro.geometry.points import ArrayLike, as_point_array
+from repro.rf.antenna import Antenna
+from repro.rf.multipath import Reflector, multipath_components
+from repro.rf.noise import GaussianPhaseNoise, PhaseNoiseModel
+from repro.rf.tag import Tag
+
+
+@dataclass
+class ChannelConfig:
+    """Channel parameters.
+
+    Attributes:
+        wavelength_m: carrier wavelength.
+        noise: phase-noise model applied to the reported phase.
+        reflectors: image-source multipath components (empty = pure LoS).
+        reference_rssi_dbm: RSSI at 1 m on boresight with no multipath;
+            used only to synthesise plausible RSSI values.
+    """
+
+    wavelength_m: float = DEFAULT_WAVELENGTH_M
+    noise: PhaseNoiseModel = field(default_factory=GaussianPhaseNoise)
+    reflectors: Sequence[Reflector] = ()
+    reference_rssi_dbm: float = -45.0
+
+    def __post_init__(self) -> None:
+        if self.wavelength_m <= 0.0:
+            raise ValueError(f"wavelength must be positive, got {self.wavelength_m}")
+
+
+@dataclass
+class Channel:
+    """A realised channel between one antenna and one tag."""
+
+    antenna: Antenna
+    tag: Tag
+    config: ChannelConfig = field(default_factory=ChannelConfig)
+
+    def complex_response(self, tag_position: ArrayLike) -> complex:
+        """Complex round-trip channel response at ``tag_position``.
+
+        The LoS term is normalised so that a boresight read at 1 m has
+        unit magnitude, keeping multipath-to-LoS ratios meaningful.
+        """
+        position = as_point_array(tag_position, dim=3)
+        distance = self.antenna.distance_to(position, use_phase_center=True)
+        if distance <= 0.0:
+            raise ValueError("tag cannot be located exactly at the phase center")
+        gain = self.antenna.relative_gain(position)
+        los_amplitude = gain / distance**2
+        los_phase = 2.0 * TWO_PI * distance / self.config.wavelength_m
+        response = los_amplitude * np.exp(-1j * los_phase)
+        if self.config.reflectors:
+            departure_gains = [
+                self.antenna.relative_gain(r.image_array())
+                for r in self.config.reflectors
+            ]
+            response += multipath_components(
+                self.config.reflectors,
+                position,
+                self.config.wavelength_m,
+                los_distance_m=distance,
+                los_gain=gain,
+                departure_gains=departure_gains,
+            )
+        return complex(response)
+
+    def true_distance(self, tag_position: ArrayLike) -> float:
+        """Ground-truth distance from the phase center (simulation only)."""
+        return self.antenna.distance_to(tag_position, use_phase_center=True)
+
+    def observe_phase(
+        self, tag_position: ArrayLike, rng: np.random.Generator
+    ) -> float:
+        """One wrapped phase read at ``tag_position``, radians in ``[0, 2*pi)``.
+
+        Implements Eq. (1): distance phase (distorted by multipath) plus
+        ``theta_T + theta_R`` plus a noise draw, modulo 2*pi.
+        """
+        position = as_point_array(tag_position, dim=3)
+        response = self.complex_response(position)
+        distance_phase = -np.angle(response)
+        distance = self.antenna.distance_to(position, use_phase_center=True)
+        gain = self.antenna.relative_gain(position)
+        noise = self.config.noise.sample(rng, distance, gain)
+        phase = (
+            distance_phase
+            + self.tag.phase_offset_rad
+            + self.antenna.phase_offset_rad
+            + noise
+        )
+        return float(np.mod(phase, TWO_PI))
+
+    def observe_rssi(self, tag_position: ArrayLike) -> float:
+        """Synthetic RSSI in dBm derived from the channel magnitude."""
+        magnitude = abs(self.complex_response(tag_position))
+        if magnitude <= 0.0:
+            return -120.0
+        rssi = (
+            self.config.reference_rssi_dbm
+            + 10.0 * np.log10(magnitude)
+            - self.tag.backscatter_loss_db
+        )
+        return float(rssi)
+
+    def ideal_phase(self, tag_position: ArrayLike, wrapped: bool = True) -> float:
+        """Noise- and multipath-free phase at ``tag_position``.
+
+        Still measured from the true phase center and still including the
+        hardware offsets; this is the value Eq. (1) would report on a
+        perfect channel. Used by tests and the Fig. 2 study.
+        """
+        distance = self.antenna.distance_to(tag_position, use_phase_center=True)
+        phase = (
+            2.0 * TWO_PI * distance / self.config.wavelength_m
+            + self.tag.phase_offset_rad
+            + self.antenna.phase_offset_rad
+        )
+        if wrapped:
+            phase = np.mod(phase, TWO_PI)
+        return float(phase)

@@ -1,0 +1,154 @@
+"""Phase-noise models for the simulated channel.
+
+The paper's own simulations (Sec. III-A) perturb phase with Gaussian noise
+N(0, 0.1 rad). Its hardware experiments additionally show noise growing
+when the tag leaves the antenna's main beam (Sec. V-E) and when depth
+increases (Sec. V-C). :class:`SnrScaledPhaseNoise` captures both: the
+phase-noise standard deviation of a coherent receiver scales inversely
+with the root of the received SNR, which falls with path loss and beam
+gain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.constants import DEFAULT_PHASE_NOISE_STD_RAD
+
+
+class PhaseNoiseModel(Protocol):
+    """Anything that can draw a phase perturbation for a read."""
+
+    def sample(
+        self, rng: np.random.Generator, distance_m: float, relative_gain: float
+    ) -> float:
+        """Return one phase-noise draw in radians."""
+        ...
+
+
+@dataclass(frozen=True)
+class NoPhaseNoise:
+    """Ideal noiseless channel; useful for exactness tests."""
+
+    def sample(
+        self, rng: np.random.Generator, distance_m: float, relative_gain: float
+    ) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class GaussianPhaseNoise:
+    """Constant-variance Gaussian phase noise, the paper's simulation model.
+
+    Attributes:
+        std_rad: standard deviation in radians (paper default 0.1).
+    """
+
+    std_rad: float = DEFAULT_PHASE_NOISE_STD_RAD
+
+    def __post_init__(self) -> None:
+        if self.std_rad < 0.0:
+            raise ValueError(f"noise std must be non-negative, got {self.std_rad}")
+
+    def sample(
+        self, rng: np.random.Generator, distance_m: float, relative_gain: float
+    ) -> float:
+        if self.std_rad == 0.0:
+            return 0.0
+        return float(rng.normal(0.0, self.std_rad))
+
+
+@dataclass(frozen=True)
+class BurstyPhaseNoise:
+    """A base noise model plus occasional large outliers.
+
+    Real readers in busy RF environments occasionally report wildly wrong
+    phases (tag collisions, interfering readers, fading dips). Each read
+    independently suffers an extra uniform perturbation with probability
+    ``burst_probability``. Outlier magnitude is capped below pi so the
+    unwrapping stage survives; what the bursts stress is the *solver*,
+    which is exactly the paper's argument for residual-weighted least
+    squares (Fig. 15).
+
+    Attributes:
+        base: the underlying continuous noise model.
+        burst_probability: per-read probability of an outlier.
+        burst_magnitude_rad: outliers are uniform on
+            ``[-burst_magnitude_rad, +burst_magnitude_rad]``.
+    """
+
+    base: PhaseNoiseModel
+    burst_probability: float = 0.05
+    burst_magnitude_rad: float = 1.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.burst_probability <= 1.0:
+            raise ValueError(
+                f"burst probability must be in [0, 1], got {self.burst_probability}"
+            )
+        if not 0.0 < self.burst_magnitude_rad < np.pi:
+            raise ValueError(
+                "burst magnitude must be in (0, pi) to keep unwrapping sound, "
+                f"got {self.burst_magnitude_rad}"
+            )
+
+    def sample(
+        self, rng: np.random.Generator, distance_m: float, relative_gain: float
+    ) -> float:
+        value = self.base.sample(rng, distance_m, relative_gain)
+        if self.burst_probability > 0.0 and rng.random() < self.burst_probability:
+            value += float(
+                rng.uniform(-self.burst_magnitude_rad, self.burst_magnitude_rad)
+            )
+        return value
+
+
+@dataclass(frozen=True)
+class SnrScaledPhaseNoise:
+    """Gaussian phase noise whose sigma grows with path loss and off-beam gain.
+
+    The std at reference conditions (distance ``reference_distance_m`` on
+    boresight) is ``base_std_rad``; elsewhere it scales as::
+
+        sigma = base_std_rad * (d / d_ref) / sqrt(relative_gain)
+
+    which is the 1/sqrt(SNR) law with SNR proportional to
+    ``gain / d**2`` (one-way; the two-way exponent only changes constants
+    absorbed into ``base_std_rad``).
+
+    Attributes:
+        base_std_rad: sigma at the reference point, radians.
+        reference_distance_m: distance at which sigma equals the base.
+        max_std_rad: safety cap so far-off-beam reads stay usable.
+    """
+
+    base_std_rad: float = DEFAULT_PHASE_NOISE_STD_RAD
+    reference_distance_m: float = 0.8
+    max_std_rad: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.base_std_rad < 0.0:
+            raise ValueError(f"noise std must be non-negative, got {self.base_std_rad}")
+        if self.reference_distance_m <= 0.0:
+            raise ValueError("reference distance must be positive")
+        if self.max_std_rad < self.base_std_rad:
+            raise ValueError("max_std_rad must be at least base_std_rad")
+
+    def sigma(self, distance_m: float, relative_gain: float) -> float:
+        """Phase-noise sigma for given distance and relative beam gain."""
+        if distance_m <= 0.0:
+            return self.base_std_rad
+        gain = max(relative_gain, 1e-6)
+        scale = (distance_m / self.reference_distance_m) / np.sqrt(gain)
+        return float(min(self.base_std_rad * scale, self.max_std_rad))
+
+    def sample(
+        self, rng: np.random.Generator, distance_m: float, relative_gain: float
+    ) -> float:
+        sigma = self.sigma(distance_m, relative_gain)
+        if sigma == 0.0:
+            return 0.0
+        return float(rng.normal(0.0, sigma))

@@ -1,0 +1,68 @@
+"""Signal preprocessing for reported RFID phase (paper Sec. IV-A).
+
+The reader reports phase modulo 2*pi. Before any localization, LION:
+
+1. **unwraps** the phase profile of a continuous scan, exploiting the fact
+   that at >100 Hz sampling and ~10 cm/s tag speed the displacement between
+   consecutive reads is far below half a wavelength (~16 cm), and
+2. **smooths** the unwrapped profile with a moving-average filter to shave
+   off white phase noise.
+
+For multi-trajectory 3D scans (Fig. 11) the per-trajectory unwrapped
+profiles must additionally be **stitched** so that phase differences across
+trajectories remain consistent with distance differences (Sec. IV-B).
+"""
+
+from repro.signalproc.wrapping import (
+    wrap_phase,
+    wrap_to_pi,
+    phase_difference,
+    phase_from_distance,
+    distance_difference_from_phase,
+)
+from repro.signalproc.unwrap import (
+    unwrap_phase,
+    unwrap_segments,
+    stitch_profiles,
+    count_wraps,
+)
+from repro.signalproc.smoothing import (
+    moving_average,
+    smooth_phase_profile,
+    median_filter,
+    hampel_filter,
+)
+from repro.signalproc.alignment import (
+    AlignmentResult,
+    apply_clock_offset,
+    estimate_clock_offset,
+)
+from repro.signalproc.stats import (
+    circular_mean,
+    circular_std,
+    circular_difference,
+    mean_resultant_length,
+)
+
+__all__ = [
+    "wrap_phase",
+    "wrap_to_pi",
+    "phase_difference",
+    "phase_from_distance",
+    "distance_difference_from_phase",
+    "unwrap_phase",
+    "unwrap_segments",
+    "stitch_profiles",
+    "count_wraps",
+    "moving_average",
+    "smooth_phase_profile",
+    "median_filter",
+    "hampel_filter",
+    "AlignmentResult",
+    "apply_clock_offset",
+    "estimate_clock_offset",
+    "circular_mean",
+    "circular_std",
+    "circular_difference",
+    "mean_resultant_length",
+]

@@ -1,0 +1,149 @@
+"""Time alignment between phase streams and trajectory encoders.
+
+In a real deployment the reader's read timestamps and the slide/turntable
+encoder's position timestamps come from different clocks; an offset of
+tens of milliseconds misassigns positions to phases (at 10 cm/s, 50 ms is
+5 mm — already above LION's accuracy floor). This module estimates the
+clock offset by exploiting the model itself: the *correct* offset is the
+one under which the radical system is most self-consistent, so we grid
+a candidate offset range, localize at each candidate, and pick the offset
+minimizing the normalized residual scale. A parabolic refinement around
+the best grid point gives sub-grid resolution.
+
+**Observability caveat:** on a constant-velocity straight sweep, a clock
+offset is almost perfectly absorbed as a spatial shift of the whole scan
+(every assigned position moves by ``v * tau``), so the residual criterion
+is nearly flat and the offset is fundamentally weakly observable — the
+localization is biased by ``v * tau`` without noticing. Make the offset
+observable by including a velocity change in the scan; a direction
+reversal (back-and-forth pass) is ideal, because under a wrong offset the
+two passes disagree about where the tag was, producing a sharp residual
+minimum at the true offset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # avoid a circular import; the localizer imports signalproc
+    from repro.core.localizer import LionLocalizer
+
+
+@dataclass(frozen=True)
+class AlignmentResult:
+    """Output of the clock-offset search.
+
+    Attributes:
+        offset_s: estimated offset to *add* to phase timestamps so they
+            land on the trajectory clock.
+        score: the residual scale at the chosen offset (lower is better).
+        offsets_s: the candidate offsets evaluated.
+        scores: the residual scale per candidate.
+    """
+
+    offset_s: float
+    score: float
+    offsets_s: np.ndarray
+    scores: np.ndarray
+
+
+def _positions_at(
+    trajectory_times_s: np.ndarray,
+    trajectory_positions: np.ndarray,
+    query_times_s: np.ndarray,
+) -> np.ndarray:
+    """Linear interpolation of the trajectory at query times (clamped)."""
+    clamped = np.clip(
+        query_times_s, trajectory_times_s[0], trajectory_times_s[-1]
+    )
+    return np.stack(
+        [
+            np.interp(clamped, trajectory_times_s, trajectory_positions[:, axis])
+            for axis in range(trajectory_positions.shape[1])
+        ],
+        axis=1,
+    )
+
+
+def estimate_clock_offset(
+    localizer: "LionLocalizer",
+    trajectory_times_s: np.ndarray,
+    trajectory_positions: np.ndarray,
+    phase_times_s: np.ndarray,
+    wrapped_phase_rad: np.ndarray,
+    candidate_offsets_s: Sequence[float] | np.ndarray = np.linspace(-0.2, 0.2, 21),
+    refine: bool = True,
+) -> AlignmentResult:
+    """Estimate the phase-vs-encoder clock offset.
+
+    Args:
+        localizer: the model used to score candidates (its dimension and
+            interval apply).
+        trajectory_times_s / trajectory_positions: the encoder stream,
+            shape ``(m,)`` and ``(m, dim)``.
+        phase_times_s / wrapped_phase_rad: the reader stream, shape
+            ``(n,)`` each, time-ordered.
+        candidate_offsets_s: offsets to evaluate.
+        refine: parabolic interpolation around the best grid point.
+
+    Returns:
+        The estimated offset and the full score curve.
+
+    Raises:
+        ValueError: on shape mismatches or an empty candidate list.
+    """
+    times_t = np.asarray(trajectory_times_s, dtype=float)
+    points = np.asarray(trajectory_positions, dtype=float)
+    times_p = np.asarray(phase_times_s, dtype=float)
+    phases = np.asarray(wrapped_phase_rad, dtype=float)
+    if points.ndim != 2 or times_t.shape != (points.shape[0],):
+        raise ValueError("trajectory stream shapes do not align")
+    if phases.shape != times_p.shape or phases.ndim != 1:
+        raise ValueError("phase stream shapes do not align")
+    candidates = np.asarray(list(candidate_offsets_s), dtype=float)
+    if candidates.size == 0:
+        raise ValueError("need at least one candidate offset")
+
+    scores = np.full(candidates.shape, np.inf)
+    for index, offset in enumerate(candidates):
+        positions = _positions_at(times_t, points, times_p + offset)
+        try:
+            result = localizer.locate(positions, phases)
+        except ValueError:
+            continue
+        scores[index] = result.solution.mean_abs_residual
+    if not np.isfinite(scores).any():
+        raise ValueError("no candidate offset produced a valid localization")
+
+    best = int(np.nanargmin(scores))
+    offset = float(candidates[best])
+    score = float(scores[best])
+    if refine and 0 < best < candidates.size - 1 and np.isfinite(
+        scores[best - 1]
+    ) and np.isfinite(scores[best + 1]):
+        # Parabolic vertex through the three points around the minimum.
+        y0, y1, y2 = scores[best - 1], scores[best], scores[best + 1]
+        denominator = y0 - 2.0 * y1 + y2
+        if denominator > 0.0:
+            step = candidates[best + 1] - candidates[best]
+            offset = float(candidates[best] + 0.5 * step * (y0 - y2) / denominator)
+    return AlignmentResult(
+        offset_s=offset, score=score, offsets_s=candidates, scores=scores
+    )
+
+
+def apply_clock_offset(
+    trajectory_times_s: np.ndarray,
+    trajectory_positions: np.ndarray,
+    phase_times_s: np.ndarray,
+    offset_s: float,
+) -> np.ndarray:
+    """Positions for each phase read under a given clock offset."""
+    return _positions_at(
+        np.asarray(trajectory_times_s, dtype=float),
+        np.asarray(trajectory_positions, dtype=float),
+        np.asarray(phase_times_s, dtype=float) + offset_s,
+    )

@@ -1,0 +1,100 @@
+"""Phase wrapping and the phase <-> distance relation.
+
+The reported phase of an RFID read is (paper Eq. 1):
+
+``theta = (theta_d + theta_T + theta_R) mod 2*pi``
+
+with ``theta_d = (2*pi / lambda) * 2 * d`` the round-trip distance term,
+``theta_T`` the tag's reflection-characteristic offset and ``theta_R`` the
+reader circuitry offset. The factor 2 on ``d`` is the backscatter round
+trip, which is why a full 2*pi wrap corresponds to *half* a wavelength of
+tag displacement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import DEFAULT_WAVELENGTH_M, TWO_PI
+
+
+def wrap_phase(phase_rad: "np.ndarray | float") -> "np.ndarray | float":
+    """Wrap phase into ``[0, 2*pi)`` as RFID readers report it.
+
+    Guards the floating-point edge where ``np.mod(-epsilon, 2*pi)`` rounds
+    to exactly ``2*pi``, which would violate the half-open interval.
+    """
+    wrapped = np.mod(phase_rad, TWO_PI)
+    wrapped = np.where(wrapped >= TWO_PI, 0.0, wrapped)
+    if np.isscalar(phase_rad):
+        return float(wrapped)
+    return wrapped
+
+
+def wrap_to_pi(phase_rad: "np.ndarray | float") -> "np.ndarray | float":
+    """Wrap phase into ``(-pi, pi]`` (signed smallest representation)."""
+    wrapped = np.mod(np.asarray(phase_rad, dtype=float) + np.pi, TWO_PI) - np.pi
+    # Map -pi to +pi so the interval is half-open on the correct side.
+    wrapped = np.where(wrapped == -np.pi, np.pi, wrapped)
+    if np.isscalar(phase_rad):
+        return float(wrapped)
+    return wrapped
+
+
+def phase_difference(theta_a: "np.ndarray | float", theta_b: "np.ndarray | float") -> "np.ndarray | float":
+    """Signed smallest angular difference ``theta_a - theta_b`` in ``(-pi, pi]``."""
+    return wrap_to_pi(np.asarray(theta_a, dtype=float) - np.asarray(theta_b, dtype=float))
+
+
+def phase_from_distance(
+    distance_m: "np.ndarray | float",
+    wavelength_m: float = DEFAULT_WAVELENGTH_M,
+    wrapped: bool = True,
+) -> "np.ndarray | float":
+    """Distance-induced phase ``theta_d = (2*pi/lambda) * 2 * d``.
+
+    Args:
+        distance_m: one-way antenna-tag distance(s), meters.
+        wavelength_m: carrier wavelength, meters.
+        wrapped: when True (default) return the value modulo 2*pi, as a
+            reader would report it; when False return the unwrapped value.
+
+    Raises:
+        ValueError: if ``wavelength_m`` is not positive.
+    """
+    if wavelength_m <= 0.0:
+        raise ValueError(f"wavelength must be positive, got {wavelength_m!r}")
+    theta = (TWO_PI / wavelength_m) * 2.0 * np.asarray(distance_m, dtype=float)
+    if wrapped:
+        theta = wrap_phase(theta)
+    if np.isscalar(distance_m):
+        return float(theta)
+    return theta
+
+
+def distance_difference_from_phase(
+    theta_t: "np.ndarray | float",
+    theta_r: float,
+    wavelength_m: float = DEFAULT_WAVELENGTH_M,
+) -> "np.ndarray | float":
+    """Distance difference from *unwrapped* phase difference (paper Eq. 6).
+
+    ``delta_d_t = lambda / (4*pi) * (theta_t - theta_r)``
+
+    Both phases must come from the same unwrapped profile; feeding raw
+    wrapped phases in loses the integer-wavelength component.
+
+    Args:
+        theta_t: unwrapped phase(s) at the instantaneous tag position(s).
+        theta_r: unwrapped phase at the reference position.
+        wavelength_m: carrier wavelength, meters.
+
+    Raises:
+        ValueError: if ``wavelength_m`` is not positive.
+    """
+    if wavelength_m <= 0.0:
+        raise ValueError(f"wavelength must be positive, got {wavelength_m!r}")
+    delta = (wavelength_m / (2.0 * TWO_PI)) * (np.asarray(theta_t, dtype=float) - theta_r)
+    if np.isscalar(theta_t):
+        return float(delta)
+    return delta

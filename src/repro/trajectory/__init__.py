@@ -1,0 +1,29 @@
+"""Known scan trajectories for calibration and localization.
+
+LION requires a tag (or antenna) moving along a *known* trajectory. The
+paper uses a 2.5 m linear slide at 10 cm/s, a three-line 3D scan (Fig. 11)
+for full calibration, and a turntable (Fig. 21) for circular scanning.
+All trajectory types here produce ``(positions, timestamps)`` sample
+arrays for the reader simulator, plus segment metadata so the signal
+preprocessing can unwrap each continuous sweep independently and stitch
+across sweeps.
+"""
+
+from repro.trajectory.base import Trajectory, TrajectorySamples
+from repro.trajectory.linear import LinearTrajectory
+from repro.trajectory.circular import CircularTrajectory
+from repro.trajectory.multiline import MultiLineScan, ThreeLineScan, TwoLineScan
+from repro.trajectory.raster import RasterScan
+from repro.trajectory.waypoints import WaypointTrajectory
+
+__all__ = [
+    "Trajectory",
+    "TrajectorySamples",
+    "LinearTrajectory",
+    "CircularTrajectory",
+    "MultiLineScan",
+    "RasterScan",
+    "ThreeLineScan",
+    "TwoLineScan",
+    "WaypointTrajectory",
+]

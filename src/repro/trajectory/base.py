@@ -1,0 +1,124 @@
+"""Trajectory interface and the sample container.
+
+A trajectory is, for our purposes, a mapping from arc length to position
+plus a way to sample it at constant speed and read rate. Samples carry
+segment indices: each segment is one *continuous* sweep, inside which
+consecutive reads are close enough for phase unwrapping, while phase
+continuity *across* segments must be restored by stitching
+(:func:`repro.signalproc.unwrap.stitch_profiles`).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import DEFAULT_READ_RATE_HZ, DEFAULT_TAG_SPEED_MPS
+
+
+@dataclass(frozen=True)
+class TrajectorySamples:
+    """Sampled trajectory: positions, timestamps and segment structure.
+
+    Attributes:
+        positions: array of shape ``(n, 3)``, meters.
+        timestamps_s: array of shape ``(n,)``, seconds from scan start.
+        segment_ids: array of shape ``(n,)`` of ints; reads sharing an id
+            belong to one continuous sweep.
+    """
+
+    positions: np.ndarray
+    timestamps_s: np.ndarray
+    segment_ids: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.positions.ndim != 2 or self.positions.shape[1] != 3:
+            raise ValueError(f"positions must be (n, 3), got {self.positions.shape}")
+        n = self.positions.shape[0]
+        if self.timestamps_s.shape != (n,) or self.segment_ids.shape != (n,):
+            raise ValueError("timestamps and segment ids must match positions length")
+
+    def __len__(self) -> int:
+        return int(self.positions.shape[0])
+
+    @property
+    def segment_count(self) -> int:
+        """Number of distinct continuous sweeps."""
+        if len(self) == 0:
+            return 0
+        return int(np.unique(self.segment_ids).size)
+
+    def segment(self, segment_id: int) -> "TrajectorySamples":
+        """Extract one continuous sweep as its own sample set."""
+        mask = self.segment_ids == segment_id
+        if not np.any(mask):
+            raise KeyError(f"no samples with segment id {segment_id}")
+        return TrajectorySamples(
+            positions=self.positions[mask],
+            timestamps_s=self.timestamps_s[mask],
+            segment_ids=self.segment_ids[mask],
+        )
+
+    def restricted_to_range(self, axis: int, center: float, width: float) -> "TrajectorySamples":
+        """Keep samples whose ``axis`` coordinate lies within ``center +/- width/2``.
+
+        Implements the paper's *scanning range* knob (Sec. V-E): the tag
+        physically moves 2.5 m but only reads inside the selected window
+        feed the model.
+        """
+        if width <= 0.0:
+            raise ValueError("range width must be positive")
+        coordinate = self.positions[:, axis]
+        mask = np.abs(coordinate - center) <= width / 2.0
+        return TrajectorySamples(
+            positions=self.positions[mask],
+            timestamps_s=self.timestamps_s[mask],
+            segment_ids=self.segment_ids[mask],
+        )
+
+
+class Trajectory(abc.ABC):
+    """Abstract constant-speed scan path."""
+
+    @property
+    @abc.abstractmethod
+    def total_length_m(self) -> float:
+        """Total arc length of the scan, meters."""
+
+    @abc.abstractmethod
+    def position_at(self, arc_length_m: float) -> np.ndarray:
+        """Position (shape ``(3,)``) after traveling ``arc_length_m`` meters.
+
+        Raises:
+            ValueError: if ``arc_length_m`` is outside ``[0, total_length_m]``.
+        """
+
+    @abc.abstractmethod
+    def segment_id_at(self, arc_length_m: float) -> int:
+        """Continuous-sweep id at the given arc length."""
+
+    def sample(
+        self,
+        speed_mps: float = DEFAULT_TAG_SPEED_MPS,
+        read_rate_hz: float = DEFAULT_READ_RATE_HZ,
+    ) -> TrajectorySamples:
+        """Sample the trajectory at constant speed and fixed read rate.
+
+        Raises:
+            ValueError: on non-positive speed or rate.
+        """
+        if speed_mps <= 0.0:
+            raise ValueError(f"speed must be positive, got {speed_mps}")
+        if read_rate_hz <= 0.0:
+            raise ValueError(f"read rate must be positive, got {read_rate_hz}")
+        duration = self.total_length_m / speed_mps
+        count = max(int(np.floor(duration * read_rate_hz)) + 1, 2)
+        timestamps = np.linspace(0.0, duration, count)
+        arcs = timestamps * speed_mps
+        # Guard the final sample against floating-point overshoot.
+        arcs[-1] = min(arcs[-1], self.total_length_m)
+        positions = np.vstack([self.position_at(s) for s in arcs])
+        segments = np.array([self.segment_id_at(s) for s in arcs], dtype=int)
+        return TrajectorySamples(positions=positions, timestamps_s=timestamps, segment_ids=segments)

@@ -1,0 +1,73 @@
+"""Circular trajectory — the turntable scan of Fig. 21 and Sec. III-A."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.points import ArrayLike, as_point_array
+from repro.geometry.transforms import orthonormal_basis_for_plane
+from repro.trajectory.base import Trajectory
+
+
+class CircularTrajectory(Trajectory):
+    """Constant-speed motion around a circle.
+
+    Args:
+        center: circle center, meters.
+        radius: circle radius, meters (positive).
+        normal: normal of the circle's plane; defaults to +z (a turntable
+            lying in the xy-plane).
+        start_angle_rad: angular position of the first sample, measured in
+            the circle plane from the first basis vector.
+        turns: how many full revolutions the scan covers (fractions allowed).
+
+    Raises:
+        ValueError: on non-positive radius or turns.
+    """
+
+    def __init__(
+        self,
+        center: ArrayLike,
+        radius: float,
+        normal: ArrayLike = (0.0, 0.0, 1.0),
+        start_angle_rad: float = 0.0,
+        turns: float = 1.0,
+    ) -> None:
+        if radius <= 0.0:
+            raise ValueError(f"radius must be positive, got {radius}")
+        if turns <= 0.0:
+            raise ValueError(f"turns must be positive, got {turns}")
+        self._center = as_point_array(center, dim=3)
+        self._radius = float(radius)
+        self._u, self._v = orthonormal_basis_for_plane(normal)
+        self._start_angle = float(start_angle_rad)
+        self._turns = float(turns)
+
+    @property
+    def center(self) -> np.ndarray:
+        """Circle center, shape ``(3,)``."""
+        return self._center.copy()
+
+    @property
+    def radius(self) -> float:
+        """Circle radius, meters."""
+        return self._radius
+
+    @property
+    def total_length_m(self) -> float:
+        return 2.0 * np.pi * self._radius * self._turns
+
+    def position_at(self, arc_length_m: float) -> np.ndarray:
+        if not -1e-9 <= arc_length_m <= self.total_length_m + 1e-9:
+            raise ValueError(
+                f"arc length {arc_length_m} outside [0, {self.total_length_m}]"
+            )
+        angle = self._start_angle + arc_length_m / self._radius
+        return (
+            self._center
+            + self._radius * np.cos(angle) * self._u
+            + self._radius * np.sin(angle) * self._v
+        )
+
+    def segment_id_at(self, arc_length_m: float) -> int:
+        return 0

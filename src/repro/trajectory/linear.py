@@ -1,0 +1,56 @@
+"""Straight-line trajectory — the paper's 2.5 m sliding track."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.points import ArrayLike, as_point_array
+from repro.trajectory.base import Trajectory
+
+
+class LinearTrajectory(Trajectory):
+    """Constant-speed motion from ``start`` to ``end``.
+
+    The default evaluation geometry has the track along the x-axis at the
+    antenna's height; construct e.g.
+    ``LinearTrajectory((-1.25, 0, 0), (1.25, 0, 0))`` for the full slide.
+    """
+
+    def __init__(self, start: ArrayLike, end: ArrayLike) -> None:
+        self._start = as_point_array(start, dim=3)
+        self._end = as_point_array(end, dim=3)
+        self._vector = self._end - self._start
+        self._length = float(np.linalg.norm(self._vector))
+        if self._length == 0.0:
+            raise ValueError("start and end of a linear trajectory must differ")
+        self._direction = self._vector / self._length
+
+    @property
+    def start(self) -> np.ndarray:
+        """Start point, shape ``(3,)``."""
+        return self._start.copy()
+
+    @property
+    def end(self) -> np.ndarray:
+        """End point, shape ``(3,)``."""
+        return self._end.copy()
+
+    @property
+    def direction(self) -> np.ndarray:
+        """Unit direction of travel."""
+        return self._direction.copy()
+
+    @property
+    def total_length_m(self) -> float:
+        return self._length
+
+    def position_at(self, arc_length_m: float) -> np.ndarray:
+        if not -1e-9 <= arc_length_m <= self._length + 1e-9:
+            raise ValueError(
+                f"arc length {arc_length_m} outside [0, {self._length}]"
+            )
+        clamped = float(np.clip(arc_length_m, 0.0, self._length))
+        return self._start + clamped * self._direction
+
+    def segment_id_at(self, arc_length_m: float) -> int:
+        return 0

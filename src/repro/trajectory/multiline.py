@@ -1,0 +1,244 @@
+"""Multi-line scans: the Fig. 11 three-line 3D calibration geometry.
+
+The paper's full 3D calibration moves one tag along three parallel straight
+lines ``L1``, ``L2``, ``L3``:
+
+* all three run along the x-axis;
+* ``L1`` passes through the local origin;
+* ``L2`` sits ``z_o`` above ``L1`` (``L1``/``L2`` span the xz-plane);
+* ``L3`` sits ``y_o`` behind ``L1`` at ``y = -y_o`` (``L1``/``L3`` span the
+  xy-plane).
+
+For every x-coordinate ``x_i`` of the sweep there are three matched
+positions ``P_i1 = (x_i, 0, 0)``, ``P_i2 = (x_i, 0, z_o)``,
+``P_i3 = (x_i, -y_o, 0)``, which Sec. IV-B1 pairs up axis-by-axis to build
+a well-conditioned coefficient matrix.
+
+Separate sweeps break phase continuity; the paper's fix is to *move the tag
+from the end of one line to the start of the next* so the phase profile
+stays continuous and unwraps as one piece. Scans here therefore include
+**transit** sweeps between lines by default (traversed boustrophedon-style
+to keep transits short). Transit reads carry their own segment ids —
+:meth:`MultiLineScan.transit_mask` flags them so they feed unwrapping but
+not the equations.
+
+:class:`TwoLineScan` is the reduced two-line variant used in the Fig. 14(a)
+study (two x-lines in the z=0 plane), which observes ``(x, y)`` directly
+and recovers ``z`` from the reference distance (lower-dimension issue).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.geometry.points import ArrayLike, as_point_array
+from repro.trajectory.base import Trajectory, TrajectorySamples
+from repro.trajectory.linear import LinearTrajectory
+
+
+class MultiLineScan(Trajectory):
+    """Several straight sweeps traversed one after another.
+
+    Arc length runs through the sweeps in order; each sweep gets its own
+    segment id. Sweeps listed in ``transit_indices`` are connecting moves
+    whose reads exist only to keep the phase profile continuous.
+    """
+
+    def __init__(
+        self,
+        lines: Sequence[LinearTrajectory],
+        transit_indices: Sequence[int] = (),
+    ) -> None:
+        if not lines:
+            raise ValueError("need at least one line")
+        self._lines: List[LinearTrajectory] = list(lines)
+        self._transits = frozenset(int(i) for i in transit_indices)
+        if any(not 0 <= i < len(self._lines) for i in self._transits):
+            raise ValueError("transit index out of range")
+        self._lengths = np.array([line.total_length_m for line in self._lines])
+        self._offsets = np.concatenate(([0.0], np.cumsum(self._lengths)))
+
+    @property
+    def lines(self) -> List[LinearTrajectory]:
+        """The component sweeps, in traversal order."""
+        return list(self._lines)
+
+    @property
+    def transit_segment_ids(self) -> frozenset[int]:
+        """Segment ids of the connecting (non-data) sweeps."""
+        return self._transits
+
+    @property
+    def data_segment_ids(self) -> tuple[int, ...]:
+        """Segment ids of the data sweeps, in traversal order."""
+        return tuple(i for i in range(len(self._lines)) if i not in self._transits)
+
+    @property
+    def total_length_m(self) -> float:
+        return float(self._offsets[-1])
+
+    def _locate(self, arc_length_m: float) -> tuple[int, float]:
+        if not -1e-9 <= arc_length_m <= self.total_length_m + 1e-9:
+            raise ValueError(
+                f"arc length {arc_length_m} outside [0, {self.total_length_m}]"
+            )
+        clamped = float(np.clip(arc_length_m, 0.0, self.total_length_m))
+        index = int(np.searchsorted(self._offsets[1:], clamped, side="left"))
+        index = min(index, len(self._lines) - 1)
+        return index, clamped - float(self._offsets[index])
+
+    def position_at(self, arc_length_m: float) -> np.ndarray:
+        index, local = self._locate(arc_length_m)
+        return self._lines[index].position_at(local)
+
+    def segment_id_at(self, arc_length_m: float) -> int:
+        index, _ = self._locate(arc_length_m)
+        return index
+
+    def transit_mask(self, samples: TrajectorySamples) -> np.ndarray:
+        """Boolean mask over ``samples`` marking reads taken during transits."""
+        mask = np.zeros(len(samples), dtype=bool)
+        for transit in self._transits:
+            mask |= samples.segment_ids == transit
+        return mask
+
+
+def _chain_with_transits(
+    data_lines: Sequence[LinearTrajectory],
+) -> tuple[List[LinearTrajectory], List[int]]:
+    """Insert connecting sweeps between consecutive data lines."""
+    chained: List[LinearTrajectory] = []
+    transit_indices: List[int] = []
+    for index, line in enumerate(data_lines):
+        if index > 0:
+            previous_end = chained[-1].end
+            if not np.allclose(previous_end, line.start):
+                chained.append(LinearTrajectory(previous_end, line.start))
+                transit_indices.append(len(chained) - 1)
+        chained.append(line)
+    return chained, transit_indices
+
+
+class ThreeLineScan(MultiLineScan):
+    """The Fig. 11 calibration scan: lines L1, L2, L3 plus transits.
+
+    Traversal is boustrophedon: L1 forward, short hop up to L2, L2
+    backward, hop down-and-back to L3, L3 forward. Use
+    :attr:`data_segment_ids` (ordered L1, L2, L3) to address the lines
+    and :meth:`transit_mask` to drop transit reads from the equations.
+
+    Args:
+        x_start, x_end: sweep extent along the x-axis, meters.
+        y_offset: spacing ``y_o`` between L1 and L3 (L3 at ``y = -y_o``).
+        z_offset: spacing ``z_o`` between L1 and L2 (L2 at ``z = +z_o``).
+        origin: world position of L1's local origin.
+        include_transits: when False, omit connecting sweeps (the caller
+            must then stitch per-line phase profiles explicitly).
+
+    Raises:
+        ValueError: for a zero-length sweep or non-positive offsets.
+    """
+
+    def __init__(
+        self,
+        x_start: float = -0.5,
+        x_end: float = 0.5,
+        y_offset: float = 0.2,
+        z_offset: float = 0.2,
+        origin: ArrayLike = (0.0, 0.0, 0.0),
+        include_transits: bool = True,
+    ) -> None:
+        if x_end == x_start:
+            raise ValueError("sweep must have non-zero x extent")
+        if y_offset <= 0.0 or z_offset <= 0.0:
+            raise ValueError("line offsets must be positive")
+        base = as_point_array(origin, dim=3)
+        self.y_offset = float(y_offset)
+        self.z_offset = float(z_offset)
+        self.x_start = float(x_start)
+        self.x_end = float(x_end)
+        line1 = LinearTrajectory(base + [x_start, 0.0, 0.0], base + [x_end, 0.0, 0.0])
+        # L2 is traversed backward so the transit from L1's end is short.
+        line2 = LinearTrajectory(
+            base + [x_end, 0.0, z_offset], base + [x_start, 0.0, z_offset]
+        )
+        line3 = LinearTrajectory(
+            base + [x_start, -y_offset, 0.0], base + [x_end, -y_offset, 0.0]
+        )
+        if include_transits:
+            chained, transit_indices = _chain_with_transits([line1, line2, line3])
+            super().__init__(chained, transit_indices)
+        else:
+            super().__init__([line1, line2, line3])
+
+    @property
+    def line1(self) -> LinearTrajectory:
+        """The reference line L1 (through the local origin)."""
+        return self._lines[self.data_segment_ids[0]]
+
+    @property
+    def line2(self) -> LinearTrajectory:
+        """L2, displaced by ``z_offset`` along +z."""
+        return self._lines[self.data_segment_ids[1]]
+
+    @property
+    def line3(self) -> LinearTrajectory:
+        """L3, displaced by ``y_offset`` along -y."""
+        return self._lines[self.data_segment_ids[2]]
+
+    def line_ids_for_pairing(self) -> tuple[int, int, int]:
+        """Segment ids in the (L1, L2, L3) order expected by
+        :func:`repro.core.pairing.three_line_pairs`."""
+        ids = self.data_segment_ids
+        return ids[0], ids[1], ids[2]
+
+
+class TwoLineScan(MultiLineScan):
+    """Two parallel x-lines in the z=0 plane (Fig. 14(a) geometry).
+
+    Args:
+        x_start, x_end: sweep extent along the x-axis, meters.
+        y_offset: spacing between the two lines; the second line runs at
+            ``y = -y_offset``.
+        origin: world position of the first line's local origin.
+        include_transits: include the connecting sweep (default True).
+    """
+
+    def __init__(
+        self,
+        x_start: float = -0.5,
+        x_end: float = 0.5,
+        y_offset: float = 0.2,
+        origin: ArrayLike = (0.0, 0.0, 0.0),
+        include_transits: bool = True,
+    ) -> None:
+        if x_end == x_start:
+            raise ValueError("sweep must have non-zero x extent")
+        if y_offset <= 0.0:
+            raise ValueError("line offset must be positive")
+        base = as_point_array(origin, dim=3)
+        self.y_offset = float(y_offset)
+        self.x_start = float(x_start)
+        self.x_end = float(x_end)
+        line1 = LinearTrajectory(base + [x_start, 0.0, 0.0], base + [x_end, 0.0, 0.0])
+        # Traversed backward after a short hop to -y_offset.
+        line2 = LinearTrajectory(
+            base + [x_end, -y_offset, 0.0], base + [x_start, -y_offset, 0.0]
+        )
+        if include_transits:
+            chained, transit_indices = _chain_with_transits([line1, line2])
+            super().__init__(chained, transit_indices)
+        else:
+            super().__init__([line1, line2])
+
+    @property
+    def line1(self) -> LinearTrajectory:
+        """The reference line at y = 0."""
+        return self._lines[self.data_segment_ids[0]]
+
+    @property
+    def line2(self) -> LinearTrajectory:
+        """The displaced line at ``y = -y_offset``."""
+        return self._lines[self.data_segment_ids[1]]

@@ -1,0 +1,97 @@
+"""Raster (serpentine) plane scan.
+
+The Fig. 11 three-line scan is the *minimum* geometry for 3D calibration;
+when scan time is cheap, sweeping a whole plane in a serpentine pattern
+buys much better conditioning: every y/z combination in the plane
+contributes pairs, instead of three discrete lines. The raster is
+continuous (rows connected by short turns), so it unwraps as one profile
+with a single phase datum — no stitching, no transit bookkeeping beyond
+the built-in segment ids.
+
+Rows run along the x-axis; consecutive rows step by ``row_spacing`` along
+the plane's second axis (y by default, matching the paper's frame where
+the scan plane is z = 0).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.geometry.points import ArrayLike, as_point_array
+from repro.trajectory.linear import LinearTrajectory
+from repro.trajectory.multiline import MultiLineScan
+
+
+class RasterScan(MultiLineScan):
+    """Serpentine coverage of a rectangle in a plane.
+
+    Args:
+        x_start, x_end: row extent along the x-axis, meters.
+        row_axis: which axis the rows step along: ``"y"`` or ``"z"``.
+        row_start: coordinate of the first row on ``row_axis``.
+        row_count: number of rows (at least 2).
+        row_spacing: distance between consecutive rows, meters.
+        origin: world offset applied to the whole pattern.
+
+    The connecting turns between rows are transit segments (flagged by
+    :meth:`MultiLineScan.transit_mask`), although for a raster they are
+    real in-plane motion and perfectly usable as data; excluding them
+    merely keeps pairing row-structured.
+
+    Raises:
+        ValueError: on a degenerate extent, fewer than two rows, or a
+            non-positive spacing.
+    """
+
+    def __init__(
+        self,
+        x_start: float = -0.5,
+        x_end: float = 0.5,
+        row_axis: str = "y",
+        row_start: float = 0.0,
+        row_count: int = 5,
+        row_spacing: float = 0.1,
+        origin: ArrayLike = (0.0, 0.0, 0.0),
+    ) -> None:
+        if x_end == x_start:
+            raise ValueError("rows must have non-zero x extent")
+        if row_count < 2:
+            raise ValueError(f"need at least two rows, got {row_count}")
+        if row_spacing <= 0.0:
+            raise ValueError(f"row spacing must be positive, got {row_spacing}")
+        if row_axis not in ("y", "z"):
+            raise ValueError(f"row_axis must be 'y' or 'z', got {row_axis!r}")
+        base = as_point_array(origin, dim=3)
+        axis_index = 1 if row_axis == "y" else 2
+        self.row_axis = row_axis
+        self.row_count = int(row_count)
+        self.row_spacing = float(row_spacing)
+        self.x_start = float(x_start)
+        self.x_end = float(x_end)
+
+        rows: List[LinearTrajectory] = []
+        for row in range(row_count):
+            offset = np.zeros(3)
+            offset[axis_index] = row_start + row * row_spacing
+            left = base + offset + [x_start, 0.0, 0.0]
+            right = base + offset + [x_end, 0.0, 0.0]
+            # Serpentine: odd rows run right-to-left.
+            rows.append(
+                LinearTrajectory(left, right) if row % 2 == 0 else LinearTrajectory(right, left)
+            )
+        chained: List[LinearTrajectory] = []
+        transit_indices: List[int] = []
+        for index, row_line in enumerate(rows):
+            if index > 0:
+                previous_end = chained[-1].end
+                chained.append(LinearTrajectory(previous_end, row_line.start))
+                transit_indices.append(len(chained) - 1)
+            chained.append(row_line)
+        super().__init__(chained, transit_indices)
+
+    @property
+    def rows(self) -> List[LinearTrajectory]:
+        """The data rows, in traversal order."""
+        return [self._lines[i] for i in self.data_segment_ids]

@@ -1,0 +1,64 @@
+"""Arbitrary piecewise-linear trajectory through waypoints.
+
+LION works with *any* known trajectory (Sec. V-F2); this type lets
+applications express free-form scan paths — robot arms, handheld sweeps —
+as a polyline.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.points import ArrayLike, as_point_matrix
+from repro.trajectory.base import Trajectory
+
+
+class WaypointTrajectory(Trajectory):
+    """Constant-speed motion along a polyline of waypoints.
+
+    Consecutive duplicate waypoints are rejected. The whole polyline is one
+    continuous sweep (segment id 0); insert explicit breaks by building
+    several trajectories if the scan pauses.
+
+    Raises:
+        ValueError: if fewer than two waypoints are given or any two
+            consecutive waypoints coincide.
+    """
+
+    def __init__(self, waypoints: Sequence[ArrayLike]) -> None:
+        matrix = as_point_matrix(waypoints, dim=3)
+        if matrix.shape[0] < 2:
+            raise ValueError("need at least two waypoints")
+        steps = np.diff(matrix, axis=0)
+        lengths = np.linalg.norm(steps, axis=1)
+        if np.any(lengths == 0.0):
+            raise ValueError("consecutive waypoints must differ")
+        self._waypoints = matrix
+        self._lengths = lengths
+        self._offsets = np.concatenate(([0.0], np.cumsum(lengths)))
+
+    @property
+    def waypoints(self) -> np.ndarray:
+        """Waypoint matrix of shape ``(k, 3)``."""
+        return self._waypoints.copy()
+
+    @property
+    def total_length_m(self) -> float:
+        return float(self._offsets[-1])
+
+    def position_at(self, arc_length_m: float) -> np.ndarray:
+        if not -1e-9 <= arc_length_m <= self.total_length_m + 1e-9:
+            raise ValueError(
+                f"arc length {arc_length_m} outside [0, {self.total_length_m}]"
+            )
+        clamped = float(np.clip(arc_length_m, 0.0, self.total_length_m))
+        index = int(np.searchsorted(self._offsets[1:], clamped, side="left"))
+        index = min(index, self._lengths.shape[0] - 1)
+        local = clamped - float(self._offsets[index])
+        fraction = local / float(self._lengths[index])
+        return (1.0 - fraction) * self._waypoints[index] + fraction * self._waypoints[index + 1]
+
+    def segment_id_at(self, arc_length_m: float) -> int:
+        return 0

@@ -1,0 +1,202 @@
+"""Terminal visualization: ASCII plots for figures and holograms.
+
+The reproduction environment is a terminal; rather than depend on a
+plotting stack, these helpers render the evaluation's curves, holograms
+and scatter clouds as compact ASCII art — enough to *see* the U-shape of
+Fig. 17 or the hyperbola ridge of Fig. 4 next to the numbers. Used by the
+CLI's ``--plot`` flag and freely available to notebooks and scripts.
+
+All functions return strings (no printing) so they compose and test
+cleanly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+#: Shade ramp from empty to full, used by the heatmap renderer.
+_SHADES = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int | None = None) -> str:
+    """One-line sparkline of a series, e.g. ``▂▃▅▇█▆▃``.
+
+    Args:
+        values: the series; NaNs render as spaces.
+        width: optional resampling width (default: one cell per value).
+
+    Raises:
+        ValueError: for an empty series.
+    """
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot render an empty series")
+    if width is not None and width > 0 and array.size != width:
+        indices = np.linspace(0, array.size - 1, width)
+        array = np.interp(indices, np.arange(array.size), array)
+    blocks = "▁▂▃▄▅▆▇█"
+    finite = array[np.isfinite(array)]
+    if finite.size == 0:
+        return " " * array.size
+    low, high = float(finite.min()), float(finite.max())
+    span = high - low
+    cells = []
+    for value in array:
+        if not np.isfinite(value):
+            cells.append(" ")
+            continue
+        level = 0 if span == 0.0 else int((value - low) / span * (len(blocks) - 1))
+        cells.append(blocks[level])
+    return "".join(cells)
+
+
+def line_plot(
+    x: Sequence[float],
+    y: Sequence[float],
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+    marker: str = "*",
+) -> str:
+    """A rectangular ASCII line/scatter plot with axis annotations.
+
+    Args:
+        x / y: the series (equal length, at least one finite point).
+        width / height: canvas size in characters.
+        title: optional heading line.
+        marker: character to place at data points.
+
+    Raises:
+        ValueError: on mismatched or empty input, or a degenerate canvas.
+    """
+    xs = np.asarray(list(x), dtype=float)
+    ys = np.asarray(list(y), dtype=float)
+    if xs.shape != ys.shape or xs.size == 0:
+        raise ValueError("x and y must be equal-length, non-empty series")
+    if width < 8 or height < 3:
+        raise ValueError("canvas too small")
+    mask = np.isfinite(xs) & np.isfinite(ys)
+    if not mask.any():
+        raise ValueError("no finite points to plot")
+    xs, ys = xs[mask], ys[mask]
+
+    x_low, x_high = float(xs.min()), float(xs.max())
+    y_low, y_high = float(ys.min()), float(ys.max())
+    x_span = x_high - x_low or 1.0
+    y_span = y_high - y_low or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for px, py in zip(xs, ys):
+        column = int((px - x_low) / x_span * (width - 1))
+        row = height - 1 - int((py - y_low) / y_span * (height - 1))
+        canvas[row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    label_high = f"{y_high:.4g}"
+    label_low = f"{y_low:.4g}"
+    gutter = max(len(label_high), len(label_low))
+    for index, row in enumerate(canvas):
+        if index == 0:
+            prefix = label_high.rjust(gutter)
+        elif index == height - 1:
+            prefix = label_low.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix} |{''.join(row)}|")
+    footer = f"{' ' * gutter} +{'-' * width}+"
+    lines.append(footer)
+    lines.append(
+        f"{' ' * gutter}  {f'{x_low:.4g}'.ljust(width // 2)}"
+        f"{f'{x_high:.4g}'.rjust(width - width // 2)}"
+    )
+    return "\n".join(lines)
+
+
+def heatmap(
+    grid: np.ndarray,
+    width: int = 60,
+    height: int = 24,
+    title: str = "",
+) -> str:
+    """Render a 2-D array (e.g. a hologram) as shaded ASCII.
+
+    The array's first axis maps to plot columns (x) and the second to
+    rows (y, increasing upward), matching the hologram convention.
+
+    Raises:
+        ValueError: for a non-2D or empty array.
+    """
+    array = np.asarray(grid, dtype=float)
+    if array.ndim != 2 or array.size == 0:
+        raise ValueError(f"expected a non-empty 2-D array, got shape {array.shape}")
+    # Downsample by block-averaging onto the target canvas.
+    x_cells = min(width, array.shape[0])
+    y_cells = min(height, array.shape[1])
+    x_edges = np.linspace(0, array.shape[0], x_cells + 1).astype(int)
+    y_edges = np.linspace(0, array.shape[1], y_cells + 1).astype(int)
+    image = np.empty((x_cells, y_cells))
+    for i in range(x_cells):
+        for j in range(y_cells):
+            block = array[x_edges[i]:max(x_edges[i + 1], x_edges[i] + 1),
+                          y_edges[j]:max(y_edges[j + 1], y_edges[j] + 1)]
+            image[i, j] = float(np.nanmax(block))
+    finite = image[np.isfinite(image)]
+    low = float(finite.min()) if finite.size else 0.0
+    high = float(finite.max()) if finite.size else 1.0
+    span = high - low or 1.0
+    lines = [title] if title else []
+    for j in reversed(range(y_cells)):  # top row = largest y
+        row = []
+        for i in range(x_cells):
+            value = image[i, j]
+            if not np.isfinite(value):
+                row.append(" ")
+            else:
+                level = int((value - low) / span * (len(_SHADES) - 1))
+                row.append(_SHADES[level])
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def scatter_2d(
+    points: np.ndarray,
+    truth: "np.ndarray | None" = None,
+    width: int = 50,
+    height: int = 20,
+    title: str = "",
+) -> str:
+    """Scatter plot of 2-D estimates with an optional truth marker ``X``.
+
+    Raises:
+        ValueError: for an empty or non-2-column point set.
+    """
+    array = np.asarray(points, dtype=float)
+    if array.ndim != 2 or array.shape[1] != 2 or array.shape[0] == 0:
+        raise ValueError(f"expected (n, 2) points, got shape {array.shape}")
+    xs, ys = array[:, 0], array[:, 1]
+    all_x = xs if truth is None else np.append(xs, truth[0])
+    all_y = ys if truth is None else np.append(ys, truth[1])
+    x_low, x_high = float(all_x.min()), float(all_x.max())
+    y_low, y_high = float(all_y.min()), float(all_y.max())
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    for px, py in zip(xs, ys):
+        column = int((px - x_low) / x_span * (width - 1))
+        row = height - 1 - int((py - y_low) / y_span * (height - 1))
+        if canvas[row][column] == " ":
+            canvas[row][column] = "o"
+        elif canvas[row][column] == "o":
+            canvas[row][column] = "O"
+    if truth is not None:
+        column = int((truth[0] - x_low) / x_span * (width - 1))
+        row = height - 1 - int((truth[1] - y_low) / y_span * (height - 1))
+        canvas[row][column] = "X"
+    lines = [title] if title else []
+    lines += ["|" + "".join(row) + "|" for row in canvas]
+    lines.append("+" + "-" * width + "+")
+    return "\n".join(lines)

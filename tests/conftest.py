@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rf.antenna import Antenna
+from repro.rf.tag import Tag
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator, fresh per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def ideal_antenna() -> Antenna:
+    """An antenna with no hidden displacement or offset, facing -y."""
+    return Antenna(
+        physical_center=(0.0, 0.8, 0.0),
+        boresight=(0.0, -1.0, 0.0),
+        name="ideal",
+    )
+
+
+@pytest.fixture
+def displaced_antenna() -> Antenna:
+    """An antenna with a known center displacement and phase offset."""
+    return Antenna(
+        physical_center=(0.1, 0.9, 0.0),
+        center_displacement=(0.02, -0.015, 0.025),
+        phase_offset_rad=1.2,
+        boresight=(0.0, -1.0, 0.0),
+        name="displaced",
+    )
+
+
+@pytest.fixture
+def ideal_tag() -> Tag:
+    """A tag with zero hardware phase offset."""
+    return Tag(epc="TEST-0001", phase_offset_rad=0.0)

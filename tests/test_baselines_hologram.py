@@ -1,0 +1,150 @@
+"""Tests for repro.baselines.hologram (Tagoram DAH)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import DEFAULT_WAVELENGTH_M, TWO_PI
+from repro.baselines.hologram import DifferentialHologram, hologram_likelihood
+
+
+def _phases(positions, target, offset=0.7, noise=None, rng=None):
+    distances = np.linalg.norm(positions - target[np.newaxis, :], axis=1)
+    phases = 2.0 * TWO_PI / DEFAULT_WAVELENGTH_M * distances + offset
+    if noise:
+        phases = phases + rng.normal(0.0, noise, size=len(distances))
+    return np.mod(phases, TWO_PI)
+
+
+class TestHologramLikelihood:
+    def test_unity_at_target(self):
+        positions = np.array([[0.0, 0.0], [0.3, 0.0], [0.0, 0.3], [-0.2, 0.1]])
+        target = np.array([0.5, 0.8])
+        phases = _phases(positions, target)
+        likelihood = hologram_likelihood(positions, phases, target[np.newaxis, :])
+        assert likelihood[0] == pytest.approx(1.0)
+
+    def test_lower_away_from_target(self):
+        positions = np.array([[x, 0.0] for x in np.linspace(-0.4, 0.4, 15)])
+        target = np.array([0.1, 0.9])
+        phases = _phases(positions, target)
+        cells = np.array([target, target + [0.05, 0.05]])
+        likelihood = hologram_likelihood(positions, phases, cells)
+        assert likelihood[0] > likelihood[1]
+
+    def test_offset_invariance(self):
+        """Differencing against the reference cancels hardware offsets."""
+        positions = np.array([[x, 0.0] for x in np.linspace(-0.4, 0.4, 15)])
+        target = np.array([0.1, 0.9])
+        cells = np.array([target, target + [0.03, 0.0]])
+        base = hologram_likelihood(positions, _phases(positions, target, 0.0), cells)
+        shifted = hologram_likelihood(positions, _phases(positions, target, 2.8), cells)
+        assert shifted == pytest.approx(base, abs=1e-9)
+
+    def test_weights_change_scores(self):
+        positions = np.array([[x, 0.0] for x in np.linspace(-0.4, 0.4, 9)])
+        target = np.array([0.0, 0.8])
+        phases = _phases(positions, target)
+        phases[0] += 1.0  # corrupt one read
+        cells = target[np.newaxis, :]
+        uniform = hologram_likelihood(positions, phases, cells)
+        weights = np.ones(9)
+        weights[0] = 1e-6
+        weighted = hologram_likelihood(positions, phases, cells, weights=weights)
+        assert weighted[0] > uniform[0]
+
+    def test_chunking_consistent(self):
+        positions = np.array([[x, 0.0] for x in np.linspace(-0.4, 0.4, 9)])
+        target = np.array([0.0, 0.8])
+        phases = _phases(positions, target)
+        cells = np.stack(
+            np.meshgrid(np.linspace(-0.2, 0.2, 21), np.linspace(0.6, 1.0, 21),
+                        indexing="ij"),
+            axis=-1,
+        ).reshape(-1, 2)
+        full = hologram_likelihood(positions, phases, cells, chunk_cells=10**6)
+        chunked = hologram_likelihood(positions, phases, cells, chunk_cells=37)
+        assert chunked == pytest.approx(full)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hologram_likelihood(np.zeros((1, 2)), np.zeros(1), np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            hologram_likelihood(np.zeros((3, 2)), np.zeros(3), np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            hologram_likelihood(
+                np.zeros((3, 2)), np.zeros(3), np.zeros((2, 2)), weights=np.zeros(3)
+            )
+
+
+class TestDifferentialHologram:
+    def test_locates_2d_target(self, rng):
+        positions = np.array([[x, 0.0] for x in np.linspace(-0.4, 0.4, 30)])
+        target = np.array([0.1, 0.9])
+        phases = _phases(positions, target, noise=0.05, rng=rng)
+        hologram = DifferentialHologram(grid_size_m=0.005)
+        result = hologram.locate(
+            positions, phases, [(-0.1, 0.3), (0.7, 1.1)]
+        )
+        assert np.linalg.norm(result.position - target) < 0.02
+
+    def test_locates_3d_target(self, rng):
+        positions = rng.uniform(-0.4, 0.4, size=(40, 3))
+        target = np.array([0.05, 0.75, 0.1])
+        phases = _phases(positions, target, noise=0.03, rng=rng)
+        hologram = DifferentialHologram(grid_size_m=0.02)
+        result = hologram.locate(
+            positions, phases, [(t - 0.1, t + 0.1) for t in target]
+        )
+        assert np.linalg.norm(result.position - target) < 0.04
+
+    def test_keep_hologram_shape(self, rng):
+        positions = np.array([[x, 0.0] for x in np.linspace(-0.3, 0.3, 10)])
+        target = np.array([0.0, 0.8])
+        phases = _phases(positions, target)
+        hologram = DifferentialHologram(grid_size_m=0.01, augmentation_rounds=0)
+        result = hologram.locate(
+            positions, phases, [(-0.1, 0.1), (0.7, 0.9)], keep_hologram=True
+        )
+        assert result.hologram is not None
+        assert result.hologram.shape == result.grid_shape
+        assert result.cell_count == np.prod(result.grid_shape)
+
+    def test_augmentation_downweights_corrupted_reads(self, rng):
+        positions = np.array([[x, 0.0] for x in np.linspace(-0.4, 0.4, 40)])
+        target = np.array([0.0, 0.8])
+        phases = _phases(positions, target, noise=0.02, rng=rng)
+        phases[:8] += 1.5  # heavy corruption on one flank
+        plain = DifferentialHologram(grid_size_m=0.004, augmentation_rounds=0)
+        augmented = DifferentialHologram(grid_size_m=0.004, augmentation_rounds=2)
+        bounds = [(-0.15, 0.15), (0.65, 0.95)]
+        error_plain = np.linalg.norm(plain.locate(positions, phases, bounds).position - target)
+        error_aug = np.linalg.norm(augmented.locate(positions, phases, bounds).position - target)
+        assert error_aug <= error_plain + 0.002
+
+    def test_cell_count_scales_with_grid(self, rng):
+        positions = np.array([[x, 0.0] for x in np.linspace(-0.3, 0.3, 10)])
+        phases = _phases(positions, np.array([0.0, 0.8]))
+        coarse = DifferentialHologram(grid_size_m=0.02).locate(
+            positions, phases, [(-0.1, 0.1), (0.7, 0.9)]
+        )
+        fine = DifferentialHologram(grid_size_m=0.005).locate(
+            positions, phases, [(-0.1, 0.1), (0.7, 0.9)]
+        )
+        assert fine.cell_count > 10 * coarse.cell_count
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DifferentialHologram(grid_size_m=0.0)
+        with pytest.raises(ValueError):
+            DifferentialHologram(augmentation_rounds=-1)
+        with pytest.raises(ValueError):
+            DifferentialHologram(wavelength_m=-1.0)
+
+    def test_bounds_validation(self, rng):
+        positions = np.array([[x, 0.0] for x in np.linspace(-0.3, 0.3, 10)])
+        phases = _phases(positions, np.array([0.0, 0.8]))
+        hologram = DifferentialHologram(grid_size_m=0.01)
+        with pytest.raises(ValueError):
+            hologram.locate(positions, phases, [(-0.1, 0.1)])
+        with pytest.raises(ValueError):
+            hologram.locate(positions, phases, [(0.1, -0.1), (0.7, 0.9)])

@@ -1,0 +1,72 @@
+"""Tests for the CLI (python -m repro / lion)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_figures(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig13a" in out
+        assert "fig21" in out
+
+
+class TestRun:
+    def test_runs_single_figure(self, capsys):
+        assert main(["run", "fig02", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "fig02" in out
+        assert "valley_offset_cm" in out
+
+    def test_seed_flag(self, capsys):
+        assert main(["run", "fig02", "--fast", "--seed", "3"]) == 0
+
+    def test_unknown_figure_errors(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "fig99" in err
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestDataTooling:
+    def test_simulate_then_locate(self, tmp_path, capsys):
+        csv_path = str(tmp_path / "scan.csv")
+        assert main(["simulate", "--scenario", "conveyor", "--out", csv_path,
+                     "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert main(["locate", csv_path, "--dim", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "estimated position" in out
+        assert "lower-dimension" in out
+
+    def test_locate_ls_method(self, tmp_path, capsys):
+        csv_path = str(tmp_path / "scan.csv")
+        main(["simulate", "--out", csv_path, "--seed", "1"])
+        capsys.readouterr()
+        assert main(["locate", csv_path, "--method", "ls"]) == 0
+
+    def test_simulate_turntable(self, tmp_path, capsys):
+        csv_path = str(tmp_path / "turn.csv")
+        assert main(["simulate", "--scenario", "turntable", "--out", csv_path]) == 0
+
+    def test_calibrate_three_line(self, tmp_path, capsys):
+        csv_path = str(tmp_path / "cal.csv")
+        main(["simulate", "--scenario", "three-line", "--out", csv_path,
+              "--seed", "6", "--noise", "0.05"])
+        capsys.readouterr()
+        assert main(["calibrate", csv_path, "--physical-center", "0,0.8,0"]) == 0
+        out = capsys.readouterr().out
+        assert "estimated phase center" in out
+        assert "phase offset" in out
+
+    def test_calibrate_bad_center_format(self, tmp_path):
+        csv_path = str(tmp_path / "cal.csv")
+        main(["simulate", "--scenario", "three-line", "--out", csv_path])
+        with pytest.raises(SystemExit):
+            main(["calibrate", csv_path, "--physical-center", "nonsense"])

@@ -1,0 +1,53 @@
+"""Tests for repro.constants."""
+
+import math
+
+import pytest
+
+from repro import constants
+
+
+class TestWavelength:
+    def test_default_wavelength_matches_speed_of_light(self):
+        assert constants.DEFAULT_WAVELENGTH_M == pytest.approx(
+            constants.SPEED_OF_LIGHT / constants.DEFAULT_FREQUENCY_HZ
+        )
+
+    def test_default_wavelength_about_32_cm(self):
+        # 920.625 MHz -> ~0.3256 m; half wavelength ~16 cm as the paper says.
+        assert 0.32 < constants.DEFAULT_WAVELENGTH_M < 0.33
+
+    def test_wavelength_for_frequency(self):
+        assert constants.wavelength_for_frequency(300e6) == pytest.approx(
+            constants.SPEED_OF_LIGHT / 300e6
+        )
+
+    def test_wavelength_rejects_zero(self):
+        with pytest.raises(ValueError):
+            constants.wavelength_for_frequency(0.0)
+
+    def test_wavelength_rejects_negative(self):
+        with pytest.raises(ValueError):
+            constants.wavelength_for_frequency(-1.0)
+
+
+class TestFccChannels:
+    def test_first_channel(self):
+        assert constants.fcc_channel_frequency(0) == pytest.approx(902.75e6)
+
+    def test_last_channel_within_band(self):
+        frequency = constants.fcc_channel_frequency(constants.FCC_CHANNEL_COUNT - 1)
+        assert frequency < 928e6
+
+    def test_channel_spacing(self):
+        delta = constants.fcc_channel_frequency(7) - constants.fcc_channel_frequency(6)
+        assert delta == pytest.approx(500e3)
+
+    @pytest.mark.parametrize("index", [-1, 50, 1000])
+    def test_out_of_range_channel_rejected(self, index):
+        with pytest.raises(ValueError):
+            constants.fcc_channel_frequency(index)
+
+
+def test_two_pi():
+    assert constants.TWO_PI == pytest.approx(2.0 * math.pi)

@@ -1,0 +1,97 @@
+"""Tests for repro.core.lowerdim (Observation 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.lowerdim import (
+    detect_missing_axis,
+    recover_coordinate_from_reference,
+)
+
+
+class TestRecoverCoordinate:
+    def test_recovers_exact_y_2d(self):
+        """y = y_r + sqrt(d_r^2 - (x - x_r)^2), the Sec. III-C formula."""
+        target = np.array([0.2, 1.0])
+        reference = np.array([-0.1, 0.0])
+        d_r = float(np.linalg.norm(target - reference))
+        partial = np.array([0.2, 0.0])
+        result = recover_coordinate_from_reference(partial, 1, d_r, reference)
+        assert result.position == pytest.approx(target, abs=1e-12)
+
+    def test_recovers_exact_z_3d(self):
+        target = np.array([0.1, 0.8, 0.3])
+        reference = np.array([0.0, 0.0, 0.0])
+        d_r = float(np.linalg.norm(target - reference))
+        partial = np.array([0.1, 0.8, 0.0])
+        result = recover_coordinate_from_reference(partial, 2, d_r, reference)
+        assert result.position == pytest.approx(target, abs=1e-12)
+
+    def test_negative_side(self):
+        target = np.array([0.0, -1.0])
+        reference = np.zeros(2)
+        result = recover_coordinate_from_reference(
+            np.array([0.0, 0.0]), 1, 1.0, reference, positive_side=False
+        )
+        assert result.position == pytest.approx(target)
+
+    def test_both_candidates_returned(self):
+        result = recover_coordinate_from_reference(
+            np.array([0.0, 0.0]), 1, 1.0, np.zeros(2)
+        )
+        assert result.candidates.shape == (2, 2)
+        assert result.candidates[0, 1] == pytest.approx(1.0)
+        assert result.candidates[1, 1] == pytest.approx(-1.0)
+
+    def test_negative_radicand_clipped(self):
+        """Inconsistent (noisy) d_r: position placed at the reference level."""
+        result = recover_coordinate_from_reference(
+            np.array([10.0, 0.0]), 1, 0.5, np.zeros(2)
+        )
+        assert result.radicand < 0.0
+        assert result.position[1] == pytest.approx(0.0)
+
+    def test_middle_axis_3d(self):
+        target = np.array([0.3, 0.7, -0.2])
+        reference = np.array([0.1, 0.0, 0.1])
+        d_r = float(np.linalg.norm(target - reference))
+        partial = np.array([0.3, 0.0, -0.2])
+        result = recover_coordinate_from_reference(partial, 1, d_r, reference)
+        assert result.position == pytest.approx(target, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recover_coordinate_from_reference(np.zeros(2), 5, 1.0, np.zeros(2))
+        with pytest.raises(ValueError):
+            recover_coordinate_from_reference(np.zeros(2), 0, -1.0, np.zeros(2))
+        with pytest.raises(ValueError):
+            recover_coordinate_from_reference(np.zeros(2), 0, 1.0, np.zeros(3))
+        with pytest.raises(ValueError):
+            recover_coordinate_from_reference(np.zeros(4), 0, 1.0, np.zeros(4))
+
+
+class TestDetectMissingAxis:
+    def test_full_rank_scan(self, rng):
+        positions = rng.uniform(-1, 1, size=(20, 3))
+        assert detect_missing_axis(positions) is None
+
+    def test_planar_scan_flags_z(self):
+        positions = np.zeros((10, 3))
+        positions[:, 0] = np.linspace(0, 1, 10)
+        positions[:, 1] = np.linspace(0, 0.5, 10) ** 2
+        assert detect_missing_axis(positions) == 2
+
+    def test_axis_line_2d_flags_y(self):
+        positions = np.stack([np.linspace(0, 1, 10), np.zeros(10)], axis=1)
+        assert detect_missing_axis(positions) == 1
+
+    def test_line_in_3d_rejected(self):
+        """Sec. III-C: a single linear trajectory cannot fix a 3D position."""
+        positions = np.zeros((10, 3))
+        positions[:, 0] = np.linspace(0, 1, 10)
+        with pytest.raises(ValueError):
+            detect_missing_axis(positions)
+
+    def test_non_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            detect_missing_axis(np.zeros(5))

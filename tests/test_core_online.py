@@ -1,0 +1,133 @@
+"""Tests for repro.core.online — the streaming RLS localizer."""
+
+import numpy as np
+import pytest
+
+from repro.constants import DEFAULT_WAVELENGTH_M, TWO_PI
+from repro.core.online import OnlineLionLocalizer
+
+
+def _stream(target, n=1000, noise=0.0, rng=None, offset=0.7):
+    x = np.linspace(-0.5, 0.5, n)
+    positions = np.stack([x, np.zeros_like(x)], axis=1)
+    distances = np.linalg.norm(positions - target, axis=1)
+    phases = 2.0 * TWO_PI / DEFAULT_WAVELENGTH_M * distances + offset
+    if noise > 0:
+        phases = phases + rng.normal(0.0, noise, n)
+    return positions, np.mod(phases, TWO_PI)
+
+
+class TestConvergence:
+    def test_exact_stream_recovers_target(self):
+        target = np.array([0.15, 0.9])
+        positions, phases = _stream(target)
+        online = OnlineLionLocalizer(dim=2, pair_lag=250)
+        for position, phase in zip(positions, phases):
+            online.add_read(position, phase)
+        estimate = online.estimate()
+        assert estimate.position == pytest.approx(target, abs=1e-6)
+        assert estimate.recovered_axis == 1
+
+    def test_noisy_stream_subcentimeter(self, rng):
+        target = np.array([0.0, 0.8])
+        positions, phases = _stream(target, noise=0.08, rng=rng)
+        online = OnlineLionLocalizer(dim=2, pair_lag=250)
+        for position, phase in zip(positions, phases):
+            online.add_read(position, phase)
+        estimate = online.estimate()
+        assert np.linalg.norm(estimate.position - target) < 0.01
+
+    def test_error_shrinks_with_reads(self, rng):
+        target = np.array([0.1, 0.9])
+        positions, phases = _stream(target, n=1500, noise=0.08, rng=rng)
+        online = OnlineLionLocalizer(dim=2, pair_lag=300)
+        checkpoints = []
+        for index, (position, phase) in enumerate(zip(positions, phases)):
+            online.add_read(position, phase)
+            if index in (700, 1499) and online.ready():
+                checkpoints.append(
+                    np.linalg.norm(online.estimate().position - target)
+                )
+        assert len(checkpoints) == 2
+        assert checkpoints[1] < checkpoints[0] + 0.005
+
+    def test_matches_wrap_count(self):
+        """The incremental unwrap survives many 2*pi wraps."""
+        target = np.array([0.0, 0.6])
+        positions, phases = _stream(target, n=2000)
+        online = OnlineLionLocalizer(dim=2, pair_lag=400)
+        for position, phase in zip(positions, phases):
+            online.add_read(position, phase)
+        assert np.linalg.norm(online.estimate().position - target) < 1e-5
+
+
+class TestRobustGate:
+    def test_gate_suppresses_bursts(self, rng):
+        target = np.array([0.0, 0.8])
+        positions, phases = _stream(target, n=1200, noise=0.05, rng=rng)
+        corrupt = rng.choice(1200, size=50, replace=False)
+        phases = phases.copy()
+        phases[corrupt] = np.mod(
+            phases[corrupt] + rng.uniform(-1.5, 1.5, 50), TWO_PI
+        )
+        gated = OnlineLionLocalizer(dim=2, pair_lag=250, gate_threshold=4.0)
+        ungated = OnlineLionLocalizer(dim=2, pair_lag=250, gate_threshold=0.0)
+        for position, phase in zip(positions, phases):
+            gated.add_read(position, phase)
+            ungated.add_read(position, phase)
+        error_gated = np.linalg.norm(gated.estimate().position - target)
+        error_ungated = np.linalg.norm(ungated.estimate().position - target)
+        assert error_gated <= error_ungated * 1.5 + 0.002
+
+
+class TestLifecycle:
+    def test_not_ready_initially(self):
+        online = OnlineLionLocalizer(dim=2, pair_lag=10)
+        assert not online.ready()
+        with pytest.raises(ValueError):
+            online.estimate()
+
+    def test_reads_and_rows_counters(self):
+        target = np.array([0.0, 0.8])
+        positions, phases = _stream(target, n=100)
+        online = OnlineLionLocalizer(dim=2, pair_lag=20)
+        for position, phase in zip(positions, phases):
+            online.add_read(position, phase)
+        assert online.reads == 100
+        assert online.rows == 80
+
+    def test_reset_clears_state(self):
+        target = np.array([0.0, 0.8])
+        positions, phases = _stream(target, n=200)
+        online = OnlineLionLocalizer(dim=2, pair_lag=20)
+        for position, phase in zip(positions, phases):
+            online.add_read(position, phase)
+        online.reset()
+        assert online.reads == 0
+        assert not online.ready()
+
+    def test_reuse_after_reset(self):
+        online = OnlineLionLocalizer(dim=2, pair_lag=100)
+        for target in (np.array([0.1, 0.8]), np.array([-0.2, 1.1])):
+            online.reset()
+            positions, phases = _stream(target, n=600)
+            for position, phase in zip(positions, phases):
+                online.add_read(position, phase)
+            assert np.linalg.norm(online.estimate().position - target) < 1e-4
+
+
+class TestValidation:
+    def test_config_validated(self):
+        with pytest.raises(ValueError):
+            OnlineLionLocalizer(dim=4)
+        with pytest.raises(ValueError):
+            OnlineLionLocalizer(pair_lag=0)
+        with pytest.raises(ValueError):
+            OnlineLionLocalizer(forgetting=0.0)
+        with pytest.raises(ValueError):
+            OnlineLionLocalizer(wavelength_m=-1.0)
+
+    def test_position_dim_checked(self):
+        online = OnlineLionLocalizer(dim=3)
+        with pytest.raises(ValueError):
+            online.add_read(np.array([1.0, 2.0]), 0.5)

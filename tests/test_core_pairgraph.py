@@ -1,0 +1,86 @@
+"""Tests for repro.core.pairgraph — pairing observability diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.pairgraph import analyze_pairing, component_runs
+from repro.core.pairing import lag_pairs, three_line_pairs
+from repro.trajectory.multiline import ThreeLineScan
+
+
+class TestAnalyzePairing:
+    def test_chain_pairing_single_component(self):
+        positions = np.stack([np.linspace(0, 1, 10), np.zeros(10)], axis=1)
+        diagnostics = analyze_pairing(positions, lag_pairs(10, 1))
+        assert diagnostics.is_single_component
+        assert diagnostics.pair_count == 9
+        assert diagnostics.unused_reads == ()
+
+    def test_chain_is_all_bridges(self):
+        positions = np.stack([np.linspace(0, 1, 8), np.zeros(8)], axis=1)
+        diagnostics = analyze_pairing(positions, lag_pairs(8, 1))
+        assert diagnostics.bridge_count == 7
+        assert diagnostics.edge_connectivity == 1
+
+    def test_overlapping_lags_are_meshed(self):
+        positions = np.stack([np.linspace(0, 1, 20), np.zeros(20)], axis=1)
+        pairs = lag_pairs(20, 1) + lag_pairs(20, 3)
+        diagnostics = analyze_pairing(positions, pairs)
+        assert diagnostics.bridge_count < 19
+        assert diagnostics.edge_connectivity >= 2
+
+    def test_axis_excitation_flags_unobservable_axis(self):
+        positions = np.stack([np.linspace(0, 1, 10), np.zeros(10)], axis=1)
+        diagnostics = analyze_pairing(positions, lag_pairs(10, 2))
+        observable = diagnostics.observable_axes()
+        assert observable[0]
+        assert not observable[1]
+
+    def test_three_line_pairing_excites_all_axes(self):
+        scan = ThreeLineScan(-0.5, 0.5, include_transits=False)
+        samples = scan.sample(speed_mps=0.1, read_rate_hz=30.0)
+        pairs = three_line_pairs(
+            samples.positions, samples.segment_ids, 0.25
+        )
+        diagnostics = analyze_pairing(samples.positions, pairs)
+        assert diagnostics.observable_axes().all()
+        # Lag pairing splits the reads into parallel chains (one per index
+        # residue class), so the graph is legitimately multi-component;
+        # the single shared d_r column couples them in the actual system.
+        assert diagnostics.component_count > 1
+        assert diagnostics.unused_reads == ()
+
+    def test_disconnected_pairing_detected(self):
+        positions = np.stack([np.linspace(0, 1, 10), np.zeros(10)], axis=1)
+        pairs = [(0, 1), (1, 2), (5, 6), (6, 7)]
+        diagnostics = analyze_pairing(positions, pairs)
+        assert diagnostics.component_count == 2
+        assert diagnostics.edge_connectivity == 0
+        assert 3 in diagnostics.unused_reads
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            analyze_pairing(np.zeros((5, 2)), [])
+        with pytest.raises(ValueError):
+            analyze_pairing(np.zeros((5, 2)), [(0, 9)])
+
+
+class TestComponentRuns:
+    def test_splits_into_runs(self):
+        pairs = [(0, 1), (1, 2), (4, 5)]
+        runs = component_runs(6, pairs)
+        as_sets = sorted(tuple(run) for run in runs)
+        assert (0, 1, 2) in as_sets
+        assert (4, 5) in as_sets
+        assert (3,) in as_sets  # isolated read is its own run
+
+    def test_single_run(self):
+        runs = component_runs(4, [(0, 1), (1, 2), (2, 3)])
+        assert len(runs) == 1
+        assert np.array_equal(runs[0], [0, 1, 2, 3])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            component_runs(3, [])
+        with pytest.raises(ValueError):
+            component_runs(3, [(0, 7)])

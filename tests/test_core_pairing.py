@@ -1,0 +1,152 @@
+"""Tests for repro.core.pairing."""
+
+import numpy as np
+import pytest
+
+from repro.core.pairing import (
+    all_pairs,
+    cross_segment_pairs,
+    lag_pairs,
+    random_pairs,
+    spacing_pairs,
+    three_line_pairs,
+)
+from repro.trajectory.multiline import ThreeLineScan
+
+
+class TestLagPairs:
+    def test_count_and_structure(self):
+        pairs = lag_pairs(10, 3)
+        assert len(pairs) == 7
+        assert all(j - i == 3 for i, j in pairs)
+
+    def test_bad_lag_rejected(self):
+        with pytest.raises(ValueError):
+            lag_pairs(10, 0)
+
+    def test_lag_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            lag_pairs(3, 5)
+
+
+class TestSpacingPairs:
+    def test_pairs_have_requested_spacing(self):
+        x = np.linspace(0.0, 1.0, 101)
+        positions = np.stack([x, np.zeros_like(x)], axis=1)
+        pairs = spacing_pairs(positions, 0.25)
+        for i, j in pairs:
+            displacement = np.linalg.norm(positions[j] - positions[i])
+            assert displacement == pytest.approx(0.25, abs=0.02)
+
+    def test_works_on_circle(self):
+        angles = np.linspace(0, 2 * np.pi, 200, endpoint=False)
+        positions = 0.3 * np.stack([np.cos(angles), np.sin(angles)], axis=1)
+        pairs = spacing_pairs(positions, 0.2)
+        assert len(pairs) > 50
+        for i, j in pairs[:20]:
+            chord = np.linalg.norm(positions[j] - positions[i])
+            assert chord == pytest.approx(0.2, abs=0.02)
+
+    def test_too_large_spacing_rejected(self):
+        positions = np.stack([np.linspace(0, 0.1, 10), np.zeros(10)], axis=1)
+        with pytest.raises(ValueError):
+            spacing_pairs(positions, 5.0)
+
+    def test_non_positive_spacing_rejected(self):
+        with pytest.raises(ValueError):
+            spacing_pairs(np.zeros((5, 2)), 0.0)
+
+
+class TestAllPairs:
+    def test_full_count(self):
+        assert len(all_pairs(6)) == 15
+
+    def test_thinning(self):
+        pairs = all_pairs(20, max_pairs=10)
+        assert len(pairs) == 10
+        assert len(set(pairs)) == 10
+
+    def test_too_few_rejected(self):
+        with pytest.raises(ValueError):
+            all_pairs(1)
+
+
+class TestRandomPairs:
+    def test_count_and_validity(self, rng):
+        pairs = random_pairs(10, 12, rng)
+        assert len(pairs) == 12
+        for i, j in pairs:
+            assert 0 <= i < j < 10
+
+    def test_distinct(self, rng):
+        pairs = random_pairs(8, 20, rng)
+        assert len(set(pairs)) == 20
+
+    def test_too_many_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_pairs(4, 100, rng)
+
+
+class TestCrossSegmentPairs:
+    def test_matches_by_axis(self):
+        x = np.linspace(-0.5, 0.5, 11)
+        line1 = np.stack([x, np.zeros_like(x), np.zeros_like(x)], axis=1)
+        line2 = np.stack([x, np.full_like(x, -0.2), np.zeros_like(x)], axis=1)
+        positions = np.vstack([line1, line2])
+        segments = np.array([0] * 11 + [1] * 11)
+        pairs = cross_segment_pairs(positions, segments, 0, 1)
+        assert len(pairs) == 11
+        for i, j in pairs:
+            assert positions[i, 0] == pytest.approx(positions[j, 0])
+            assert segments[i] == 0
+            assert segments[j] == 1
+
+    def test_mismatch_tolerance(self):
+        positions = np.array([[0.0, 0.0, 0.0], [0.5, -0.2, 0.0]])
+        segments = np.array([0, 1])
+        pairs = cross_segment_pairs(
+            positions, segments, 0, 1, max_mismatch_m=0.01
+        )
+        assert pairs == []
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(ValueError):
+            cross_segment_pairs(np.zeros((2, 3)), np.zeros(2, dtype=int), 0, 1)
+
+
+class TestThreeLinePairs:
+    def _scan_arrays(self):
+        scan = ThreeLineScan(-0.5, 0.5, include_transits=False)
+        samples = scan.sample(speed_mps=0.1, read_rate_hz=40.0)
+        return samples.positions, samples.segment_ids
+
+    def test_pair_families_cover_all_axes(self):
+        positions, segments = self._scan_arrays()
+        pairs = three_line_pairs(positions, segments, interval_m=0.25)
+        displacements = positions[[j for _, j in pairs]] - positions[[i for i, _ in pairs]]
+        spans = np.abs(displacements).max(axis=0)
+        assert spans[0] > 0.2  # x pairs
+        assert spans[1] > 0.1  # y pairs (L1-L3)
+        assert spans[2] > 0.1  # z pairs (L1-L2)
+
+    def test_x_pairs_respect_interval(self):
+        positions, segments = self._scan_arrays()
+        pairs = three_line_pairs(positions, segments, interval_m=0.3)
+        x_pairs = [
+            (i, j) for i, j in pairs if segments[i] == 0 and segments[j] == 0
+        ]
+        assert x_pairs, "expected within-L1 pairs"
+        for i, j in x_pairs:
+            assert abs(positions[j, 0] - positions[i, 0]) == pytest.approx(0.3, abs=0.02)
+
+    def test_interval_too_large_rejected(self):
+        positions, segments = self._scan_arrays()
+        with pytest.raises(ValueError):
+            three_line_pairs(positions, segments, interval_m=5.0)
+
+    def test_missing_line_rejected(self):
+        positions = np.zeros((4, 3))
+        positions[:, 0] = [0, 1, 0, 1]
+        segments = np.array([0, 0, 1, 1])
+        with pytest.raises(ValueError):
+            three_line_pairs(positions, segments, 0.5, line_ids=(0, 1, 2))

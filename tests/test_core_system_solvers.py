@@ -1,0 +1,188 @@
+"""Tests for repro.core.system and repro.core.solvers."""
+
+import numpy as np
+import pytest
+
+from repro.constants import DEFAULT_WAVELENGTH_M, TWO_PI
+from repro.core.pairing import lag_pairs
+from repro.core.solvers import solve_least_squares, solve_weighted_least_squares
+from repro.core.system import LinearSystem, build_system, delta_distances
+from repro.core.weights import huber_weights
+
+
+def _exact_scan(target, positions, reference_index=0):
+    """Exact delta distances for a target seen from scan positions."""
+    distances = np.linalg.norm(positions - target[np.newaxis, :], axis=1)
+    return distances - distances[reference_index]
+
+
+class TestDeltaDistances:
+    def test_matches_eq6(self):
+        profile = np.array([0.0, TWO_PI, 2 * TWO_PI])
+        deltas = delta_distances(profile, 0)
+        assert deltas == pytest.approx(
+            [0.0, DEFAULT_WAVELENGTH_M / 2.0, DEFAULT_WAVELENGTH_M]
+        )
+
+    def test_reference_index(self):
+        profile = np.array([1.0, 2.0, 3.0])
+        deltas = delta_distances(profile, 1)
+        assert deltas[1] == 0.0
+        assert deltas[0] < 0.0 < deltas[2]
+
+    def test_bad_reference_rejected(self):
+        with pytest.raises(ValueError):
+            delta_distances(np.zeros(3), 5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            delta_distances(np.array([]), 0)
+
+
+class TestBuildSystem:
+    def test_shapes_2d(self, rng):
+        positions = rng.uniform(-1, 1, size=(20, 2))
+        deltas = np.zeros(20)
+        system = build_system(positions, deltas, lag_pairs(20, 5))
+        assert system.matrix.shape == (15, 3)
+        assert system.dim == 2
+
+    def test_shapes_3d(self, rng):
+        positions = rng.uniform(-1, 1, size=(10, 3))
+        system = build_system(positions, np.zeros(10), lag_pairs(10, 2), dim=3)
+        assert system.matrix.shape == (8, 4)
+
+    def test_3d_positions_projected_for_2d(self, rng):
+        positions = rng.uniform(-1, 1, size=(10, 3))
+        system = build_system(positions, np.zeros(10), lag_pairs(10, 3), dim=2)
+        assert system.matrix.shape[1] == 3
+
+    def test_2d_positions_promoted_for_3d(self, rng):
+        positions = rng.uniform(-1, 1, size=(10, 2))
+        system = build_system(positions, np.zeros(10), lag_pairs(10, 3), dim=3)
+        assert system.matrix.shape[1] == 4
+
+    def test_column_excitation_flags_missing_axis(self):
+        x = np.linspace(-0.5, 0.5, 30)
+        positions = np.stack([x, np.zeros_like(x)], axis=1)
+        target = np.array([0.2, 1.0])
+        deltas = _exact_scan(target, positions)
+        system = build_system(positions, deltas, lag_pairs(30, 10))
+        observable = system.observable_coordinates()
+        assert observable[0]
+        assert not observable[1]
+
+    def test_invalid_dim_rejected(self, rng):
+        with pytest.raises(ValueError):
+            build_system(rng.uniform(size=(5, 2)), np.zeros(5), [(0, 1)], dim=4)
+
+
+class TestLinearSystemValidation:
+    def test_matrix_width_checked(self):
+        with pytest.raises(ValueError):
+            LinearSystem(matrix=np.zeros((3, 2)), rhs=np.zeros(3), dim=2)
+
+    def test_rhs_length_checked(self):
+        with pytest.raises(ValueError):
+            LinearSystem(matrix=np.zeros((3, 3)), rhs=np.zeros(4), dim=2)
+
+    def test_dim_checked(self):
+        with pytest.raises(ValueError):
+            LinearSystem(matrix=np.zeros((3, 5)), rhs=np.zeros(3), dim=4)
+
+
+class TestSolveLeastSquares:
+    def test_exact_recovery_2d(self, rng):
+        """Noiseless radical systems recover target and d_r exactly."""
+        for _ in range(10):
+            target = rng.uniform(-1, 1, size=2)
+            angles = rng.uniform(0, 2 * np.pi, size=30)
+            positions = 0.4 * np.stack([np.cos(angles), np.sin(angles)], axis=1)
+            deltas = _exact_scan(target, positions)
+            system = build_system(positions, deltas, lag_pairs(30, 7))
+            solution = solve_least_squares(system)
+            assert solution.position == pytest.approx(target, abs=1e-8)
+            d_r = float(np.linalg.norm(target - positions[0]))
+            assert solution.reference_distance == pytest.approx(d_r, abs=1e-8)
+
+    def test_exact_recovery_3d(self, rng):
+        target = np.array([0.1, 0.9, 0.4])
+        positions = rng.uniform(-0.5, 0.5, size=(40, 3))
+        deltas = _exact_scan(target, positions)
+        system = build_system(positions, deltas, lag_pairs(40, 9), dim=3)
+        solution = solve_least_squares(system)
+        assert solution.position == pytest.approx(target, abs=1e-8)
+
+    def test_residuals_zero_for_exact_data(self, rng):
+        target = np.array([0.5, 0.8])
+        positions = rng.uniform(-0.5, 0.5, size=(20, 2))
+        deltas = _exact_scan(target, positions)
+        system = build_system(positions, deltas, lag_pairs(20, 4))
+        solution = solve_least_squares(system)
+        assert solution.rms_residual == pytest.approx(0.0, abs=1e-10)
+
+    def test_empty_system_rejected(self):
+        system = LinearSystem(matrix=np.zeros((0, 3)), rhs=np.zeros(0), dim=2)
+        with pytest.raises(ValueError):
+            solve_least_squares(system)
+
+
+class TestSolveWeightedLeastSquares:
+    def _noisy_system_with_outliers(self, rng, outlier_count=6):
+        target = np.array([0.2, 1.0])
+        angles = np.linspace(0, 2 * np.pi, 80, endpoint=False)
+        positions = 0.4 * np.stack([np.cos(angles), np.sin(angles)], axis=1)
+        deltas = _exact_scan(target, positions)
+        deltas += rng.normal(0.0, 0.0005, size=deltas.shape)
+        corrupt = rng.choice(80, size=outlier_count, replace=False)
+        deltas[corrupt] += rng.uniform(0.03, 0.06, size=outlier_count)
+        system = build_system(positions, deltas, lag_pairs(80, 20))
+        return system, target
+
+    def test_wls_beats_ls_with_outliers(self, rng):
+        wins = 0
+        for _ in range(10):
+            system, target = self._noisy_system_with_outliers(rng)
+            ls_error = np.linalg.norm(solve_least_squares(system).position - target)
+            wls_error = np.linalg.norm(
+                solve_weighted_least_squares(system).position - target
+            )
+            wins += wls_error <= ls_error
+        assert wins >= 7
+
+    def test_outlier_rows_downweighted(self, rng):
+        system, _ = self._noisy_system_with_outliers(rng)
+        solution = solve_weighted_least_squares(system)
+        worst = np.argsort(np.abs(solution.residuals))[-3:]
+        cleanest = np.argsort(np.abs(solution.residuals))[:3]
+        assert solution.weights[worst].mean() < solution.weights[cleanest].mean()
+
+    def test_converges_on_clean_data(self, rng):
+        target = np.array([0.5, 0.5])
+        positions = rng.uniform(-0.5, 0.5, size=(30, 2))
+        deltas = _exact_scan(target, positions)
+        system = build_system(positions, deltas, lag_pairs(30, 6))
+        solution = solve_weighted_least_squares(system)
+        assert solution.converged
+        assert solution.position == pytest.approx(target, abs=1e-6)
+
+    def test_custom_weight_function(self, rng):
+        system, target = self._noisy_system_with_outliers(rng)
+        solution = solve_weighted_least_squares(system, weight_function=huber_weights)
+        assert np.linalg.norm(solution.position - target) < 0.05
+
+    def test_iteration_parameters_validated(self, rng):
+        system, _ = self._noisy_system_with_outliers(rng)
+        with pytest.raises(ValueError):
+            solve_weighted_least_squares(system, max_iterations=0)
+        with pytest.raises(ValueError):
+            solve_weighted_least_squares(system, tolerance_m=0.0)
+
+    def test_mean_residual_is_normalized(self, rng):
+        system, _ = self._noisy_system_with_outliers(rng)
+        solution = solve_weighted_least_squares(system)
+        assert solution.normalized_residuals.shape == solution.residuals.shape
+        norms = np.linalg.norm(system.matrix, axis=1)
+        assert solution.normalized_residuals == pytest.approx(
+            solution.residuals / norms
+        )

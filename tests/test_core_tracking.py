@@ -1,0 +1,62 @@
+"""Tests for repro.core.tracking."""
+
+import numpy as np
+import pytest
+
+from repro.constants import DEFAULT_WAVELENGTH_M, TWO_PI
+from repro.core.localizer import LionLocalizer, PreprocessConfig
+from repro.core.tracking import track_tag_start
+
+
+def _scan_phases(world_positions, antenna, offset=0.5):
+    distances = np.linalg.norm(world_positions - antenna[np.newaxis, :], axis=1)
+    return np.mod(2.0 * TWO_PI / DEFAULT_WAVELENGTH_M * distances + offset, TWO_PI)
+
+
+class TestTrackTagStart:
+    def test_exact_recovery_2d(self):
+        antenna = np.array([0.3, 0.9])
+        start = np.array([-0.15, 0.0])
+        displacements = np.stack(
+            [np.linspace(0.0, 0.8, 300), np.zeros(300)], axis=1
+        )
+        world = start[np.newaxis, :] + displacements
+        phases = _scan_phases(world, antenna)
+        localizer = LionLocalizer(dim=2, preprocess=PreprocessConfig(smoothing_window=1))
+        result = track_tag_start(localizer, displacements, phases, antenna)
+        assert result.initial_position == pytest.approx(start, abs=1e-5)
+
+    def test_wrong_antenna_assumption_biases_start(self):
+        """The Fig. 13(a) mechanism: error = assumed-vs-true antenna offset."""
+        antenna_true = np.array([0.3, 0.9])
+        antenna_assumed = antenna_true + [0.02, -0.03]
+        start = np.array([0.1, 0.0])
+        displacements = np.stack(
+            [np.linspace(0.0, 0.8, 300), np.zeros(300)], axis=1
+        )
+        world = start[np.newaxis, :] + displacements
+        phases = _scan_phases(world, antenna_true)
+        localizer = LionLocalizer(dim=2, preprocess=PreprocessConfig(smoothing_window=1))
+        result = track_tag_start(localizer, displacements, phases, antenna_assumed)
+        bias = result.initial_position - start
+        assert bias == pytest.approx([0.02, -0.03], abs=1e-4)
+
+    def test_3d_antenna_position_sliced_for_2d(self):
+        antenna3 = np.array([0.3, 0.9, 0.5])
+        start = np.array([0.0, 0.0])
+        displacements = np.stack(
+            [np.linspace(0.0, 0.6, 200), np.zeros(200)], axis=1
+        )
+        world = start[np.newaxis, :] + displacements
+        phases = _scan_phases(world, antenna3[:2])
+        localizer = LionLocalizer(dim=2, preprocess=PreprocessConfig(smoothing_window=1))
+        result = track_tag_start(localizer, displacements, phases, antenna3)
+        assert result.initial_position.shape == (2,)
+        assert result.initial_position == pytest.approx(start, abs=1e-5)
+
+    def test_antenna_dim_checked(self):
+        localizer = LionLocalizer(dim=3)
+        with pytest.raises(ValueError):
+            track_tag_start(
+                localizer, np.zeros((10, 3)), np.zeros(10), np.zeros(2)
+            )

@@ -1,0 +1,148 @@
+"""Tests for repro.core.uncertainty — covariance of LION solutions."""
+
+import numpy as np
+import pytest
+
+from repro.constants import DEFAULT_WAVELENGTH_M, TWO_PI
+from repro.core.localizer import LionLocalizer, PreprocessConfig
+from repro.core.pairing import lag_pairs
+from repro.core.solvers import solve_least_squares
+from repro.core.system import build_system
+from repro.core.uncertainty import estimate_uncertainty, uncertainty_of
+
+
+def _circle_positions(radius, n):
+    angles = np.linspace(0, 2 * np.pi, n, endpoint=False)
+    return radius * np.stack([np.cos(angles), np.sin(angles)], axis=1)
+
+
+def _noisy_system(target, positions, sigma_d, rng):
+    distances = np.linalg.norm(positions - target, axis=1)
+    deltas = distances - distances[0] + rng.normal(0.0, sigma_d, len(distances))
+    return build_system(positions, deltas, lag_pairs(len(positions), len(positions) // 4))
+
+
+class TestEstimateUncertainty:
+    def test_covariance_shape(self, rng):
+        target = np.array([0.2, 0.9])
+        system = _noisy_system(target, _circle_positions(0.3, 60), 0.001, rng)
+        solution = solve_least_squares(system)
+        uncertainty = estimate_uncertainty(system, solution)
+        assert uncertainty.covariance.shape == (3, 3)
+        assert uncertainty.position_std_m.shape == (2,)
+        assert uncertainty.dof > 0
+
+    def test_std_tracks_monte_carlo(self, rng):
+        """The predicted std matches the empirical scatter within ~2x."""
+        target = np.array([0.2, 0.9])
+        positions = _circle_positions(0.3, 80)
+        estimates, predicted = [], []
+        for _ in range(60):
+            system = _noisy_system(target, positions, 0.002, rng)
+            solution = solve_least_squares(system)
+            estimates.append(solution.position)
+            predicted.append(
+                estimate_uncertainty(system, solution).total_std_m()
+            )
+        empirical = float(
+            np.sqrt(np.mean(np.sum((np.vstack(estimates) - target) ** 2, axis=1)))
+        )
+        mean_predicted = float(np.mean(predicted))
+        assert mean_predicted == pytest.approx(empirical, rel=1.0)
+        assert 0.3 * empirical < mean_predicted < 3.0 * empirical
+
+    def test_scales_with_noise(self, rng):
+        target = np.array([0.0, 0.8])
+        positions = _circle_positions(0.3, 60)
+        lows, highs = [], []
+        for _ in range(10):
+            low = estimate_uncertainty(
+                *(lambda s: (s, solve_least_squares(s)))(
+                    _noisy_system(target, positions, 0.001, rng)
+                )
+            ).total_std_m()
+            high = estimate_uncertainty(
+                *(lambda s: (s, solve_least_squares(s)))(
+                    _noisy_system(target, positions, 0.004, rng)
+                )
+            ).total_std_m()
+            lows.append(low)
+            highs.append(high)
+        assert np.mean(highs) > 2.0 * np.mean(lows)
+
+    def test_rejects_underdetermined(self, rng):
+        positions = _circle_positions(0.3, 4)
+        system = _noisy_system(np.array([0.0, 0.8]), positions, 0.001, rng)
+        solution = solve_least_squares(system)
+        # 4 reads with lag 1 -> 3 rows for 3 unknowns: no redundancy.
+        with pytest.raises(ValueError):
+            estimate_uncertainty(system, solution)
+
+
+class TestConfidenceEllipse:
+    def _uncertainty(self, rng):
+        # A gently curved sweep: depth (y) is observable but much weaker
+        # than the along-track axis, so the ellipse elongates along y.
+        # (An exactly straight sweep makes y unobservable by the direct
+        # system — that case raises, see test_straight_scan_rejected.)
+        target = np.array([0.0, 0.9])
+        x = np.linspace(-0.4, 0.4, 80)
+        positions = np.stack([x, 0.05 * x**2], axis=1)
+        system = _noisy_system(target, positions, 0.002, rng)
+        return estimate_uncertainty(system, solve_least_squares(system))
+
+    def test_straight_scan_rejected(self, rng):
+        """A perfectly straight sweep cannot quantify depth directly."""
+        target = np.array([0.0, 0.9])
+        x = np.linspace(-0.4, 0.4, 80)
+        positions = np.stack([x, np.zeros_like(x)], axis=1)
+        system = _noisy_system(target, positions, 0.002, rng)
+        with pytest.raises(ValueError):
+            estimate_uncertainty(system, solve_least_squares(system))
+
+    def test_axes_ordered(self, rng):
+        major, minor, _ = self._uncertainty(rng).confidence_ellipse()
+        assert major >= minor >= 0.0
+
+    def test_probability_scales_size(self, rng):
+        uncertainty = self._uncertainty(rng)
+        major_50, _, _ = uncertainty.confidence_ellipse(probability=0.5)
+        major_99, _, _ = uncertainty.confidence_ellipse(probability=0.99)
+        assert major_99 > major_50
+
+    def test_linear_scan_major_axis_is_depth(self, rng):
+        """For an x-line scan, uncertainty is dominated by y (depth)."""
+        uncertainty = self._uncertainty(rng)
+        major, minor, angle = uncertainty.confidence_ellipse()
+        assert abs(np.sin(angle)) > 0.9  # major axis nearly along y
+        assert uncertainty.position_std_m[1] > uncertainty.position_std_m[0]
+
+    def test_validation(self, rng):
+        uncertainty = self._uncertainty(rng)
+        with pytest.raises(ValueError):
+            uncertainty.confidence_ellipse(0, 0)
+        with pytest.raises(ValueError):
+            uncertainty.confidence_ellipse(0, 5)
+        with pytest.raises(ValueError):
+            uncertainty.confidence_ellipse(probability=1.5)
+
+
+class TestUncertaintyOf:
+    def test_from_localization_result(self, rng):
+        target = np.array([0.1, 0.9])
+        angles = np.linspace(0, 2 * np.pi, 200, endpoint=False)
+        positions = 0.3 * np.stack([np.cos(angles), np.sin(angles)], axis=1)
+        distances = np.linalg.norm(positions - target, axis=1)
+        phases = np.mod(
+            2.0 * TWO_PI / DEFAULT_WAVELENGTH_M * distances
+            + rng.normal(0, 0.08, 200),
+            TWO_PI,
+        )
+        localizer = LionLocalizer(
+            dim=2, interval_m=0.3, preprocess=PreprocessConfig(smoothing_window=1)
+        )
+        result = localizer.locate(positions, phases)
+        uncertainty = uncertainty_of(result)
+        error = np.linalg.norm(result.position - target)
+        # The actual error should be within a few predicted sigmas.
+        assert error < 5.0 * uncertainty.total_std_m() + 1e-4

@@ -1,0 +1,69 @@
+"""Tests for repro.core.weights (Eq. 15 and ablation variants)."""
+
+import numpy as np
+import pytest
+
+from repro.core.weights import gaussian_residual_weights, huber_weights, uniform_weights
+
+
+class TestGaussianResidualWeights:
+    def test_matches_eq15(self, rng):
+        residuals = rng.normal(0.0, 1.0, size=50)
+        weights = gaussian_residual_weights(residuals)
+        mu, sigma = np.mean(residuals), np.std(residuals)
+        expected = np.exp(-((residuals - mu) ** 2) / (2 * sigma**2))
+        assert weights == pytest.approx(expected)
+
+    def test_range(self, rng):
+        weights = gaussian_residual_weights(rng.normal(size=100))
+        assert np.all(weights > 0.0)
+        assert np.all(weights <= 1.0)
+
+    def test_outlier_gets_smallest_weight(self, rng):
+        residuals = rng.normal(0.0, 0.01, size=50)
+        residuals[13] = 5.0
+        weights = gaussian_residual_weights(residuals)
+        assert np.argmin(weights) == 13
+
+    def test_identical_residuals_uniform(self):
+        weights = gaussian_residual_weights(np.full(10, 0.3))
+        assert weights == pytest.approx(np.ones(10))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            gaussian_residual_weights(np.array([]))
+
+
+class TestUniformWeights:
+    def test_all_ones(self, rng):
+        weights = uniform_weights(rng.normal(size=20))
+        assert np.array_equal(weights, np.ones(20))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_weights(np.array([]))
+
+
+class TestHuberWeights:
+    def test_inliers_get_unit_weight(self, rng):
+        residuals = rng.normal(0.0, 1.0, size=200)
+        weights = huber_weights(residuals)
+        inliers = np.abs(residuals - np.median(residuals)) < 0.5
+        assert np.all(weights[inliers] == 1.0)
+
+    def test_outliers_downweighted(self, rng):
+        residuals = rng.normal(0.0, 0.1, size=100)
+        residuals[7] = 10.0
+        weights = huber_weights(residuals)
+        assert weights[7] < 0.05
+
+    def test_constant_residuals_uniform(self):
+        assert huber_weights(np.full(5, 2.0)) == pytest.approx(np.ones(5))
+
+    def test_bad_delta_scale_rejected(self):
+        with pytest.raises(ValueError):
+            huber_weights(np.ones(5), delta_scale=0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            huber_weights(np.array([]))

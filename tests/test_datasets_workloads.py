@@ -1,0 +1,88 @@
+"""Tests for repro.datasets.workloads."""
+
+import numpy as np
+import pytest
+
+from repro.core.localizer import LionLocalizer
+from repro.datasets.workloads import (
+    Workload,
+    get_workload,
+    list_workloads,
+    register_workload,
+)
+from repro.rf.antenna import Antenna
+from repro.rf.noise import NoPhaseNoise
+from repro.trajectory.linear import LinearTrajectory
+
+
+class TestRegistry:
+    def test_canned_workloads_present(self):
+        names = set(list_workloads())
+        assert {
+            "paper-2d-conveyor",
+            "paper-3d-calibration",
+            "paper-two-line-3d",
+            "paper-turntable",
+            "harsh-bursty",
+            "clean-sim",
+        } <= names
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="paper-2d-conveyor"):
+            get_workload("nope")
+
+    def test_duplicate_registration_rejected(self):
+        workload = get_workload("clean-sim")
+        with pytest.raises(ValueError):
+            register_workload(workload)
+
+    def test_descriptions_nonempty(self):
+        assert all(description for description in list_workloads().values())
+
+
+class TestBuild:
+    @pytest.mark.parametrize("name", sorted(list_workloads()))
+    def test_every_workload_builds(self, name, rng):
+        scan, antenna = get_workload(name).build(rng)
+        assert len(scan) > 50
+        assert np.all(np.isfinite(scan.phases))
+        assert isinstance(antenna.phase_center, np.ndarray)
+
+    def test_seed_stability(self):
+        workload = get_workload("paper-2d-conveyor")
+        first, antenna_a = workload.build(np.random.default_rng(3))
+        second, antenna_b = workload.build(np.random.default_rng(3))
+        assert first.phases == pytest.approx(second.phases)
+        assert antenna_a.phase_center == pytest.approx(antenna_b.phase_center)
+
+    def test_conveyor_workload_localizes(self, rng):
+        scan, antenna = get_workload("paper-2d-conveyor").build(rng)
+        result = LionLocalizer(dim=2, interval_m=0.25).locate(
+            scan.positions, scan.phases
+        )
+        error = np.linalg.norm(result.position - antenna.phase_center[:2])
+        assert error < 0.02
+
+    def test_calibration_workload_localizes_3d(self, rng):
+        scan, antenna = get_workload("paper-3d-calibration").build(rng)
+        result = LionLocalizer(dim=3, interval_m=0.25).locate(
+            scan.positions, scan.phases,
+            segment_ids=scan.segment_ids, exclude_mask=scan.exclude_mask,
+        )
+        error = np.linalg.norm(result.position - antenna.phase_center)
+        assert error < 0.01
+
+    def test_custom_workload(self, rng):
+        workload = Workload(
+            name="custom-test",
+            description="unit-test workload",
+            trajectory_factory=lambda: LinearTrajectory((-0.2, 0, 0), (0.2, 0, 0)),
+            antenna_factory=lambda r: Antenna(
+                physical_center=(0.0, 0.5, 0.0), boresight=(0, -1, 0)
+            ),
+            noise_factory=NoPhaseNoise,
+            read_rate_hz=30.0,
+        )
+        scan, antenna = workload.build(rng)
+        assert len(scan) > 30
+        assert antenna.phase_offset_rad == 0.0

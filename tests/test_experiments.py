@@ -1,0 +1,164 @@
+"""Tests for the experiment harness (metrics, scenarios, figure registry)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import FIGURE_RUNNERS, run_figure
+from repro.experiments.metrics import (
+    ExperimentResult,
+    axis_errors,
+    distance_error,
+    error_cdf,
+    summarize_errors,
+)
+from repro.experiments.scenarios import (
+    make_clutter_scatterers,
+    make_room_reflectors,
+    standard_antenna,
+)
+
+
+class TestMetrics:
+    def test_distance_error(self):
+        assert distance_error(np.array([3.0, 4.0]), np.zeros(2)) == pytest.approx(5.0)
+
+    def test_distance_error_shape_checked(self):
+        with pytest.raises(ValueError):
+            distance_error(np.zeros(2), np.zeros(3))
+
+    def test_axis_errors(self):
+        errors = axis_errors(np.array([1.0, -2.0]), np.array([0.5, 1.0]))
+        assert errors == pytest.approx([0.5, 3.0])
+
+    def test_summarize(self):
+        stats = summarize_errors([1.0, 2.0, 3.0, 4.0])
+        assert stats["mean"] == pytest.approx(2.5)
+        assert stats["median"] == pytest.approx(2.5)
+        assert stats["max"] == pytest.approx(4.0)
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_errors([])
+
+    def test_error_cdf(self):
+        cdf = error_cdf(list(range(1, 101)), levels=(0.5, 0.9))
+        assert cdf[0.5] == pytest.approx(50.5)
+        assert cdf[0.9] == pytest.approx(90.1)
+
+
+class TestExperimentResult:
+    def test_add_row_and_column(self):
+        result = ExperimentResult("figX", "test", columns=["a", "b"])
+        result.add_row(a=1, b=2.0)
+        result.add_row(a=3, b=4.0)
+        assert result.column("b") == [2.0, 4.0]
+
+    def test_unknown_column_rejected(self):
+        result = ExperimentResult("figX", "test", columns=["a"])
+        with pytest.raises(KeyError):
+            result.add_row(z=1)
+
+    def test_unknown_column_lookup_rejected(self):
+        result = ExperimentResult("figX", "test", columns=["a"])
+        with pytest.raises(KeyError):
+            result.column("z")
+
+    def test_format_table_contains_data(self):
+        result = ExperimentResult(
+            "figX", "demo", columns=["name", "value"], paper_expectation="exp", notes="n"
+        )
+        result.add_row(name="alpha", value=1.2345)
+        text = result.format_table()
+        assert "figX" in text
+        assert "alpha" in text
+        assert "1.234" in text
+        assert "paper:" in text
+        assert "notes:" in text
+
+
+class TestScenarios:
+    def test_standard_antenna_geometry(self, rng):
+        antenna = standard_antenna(rng, depth_m=0.9, x_m=0.1, height_m=0.2)
+        assert antenna.physical_center_array == pytest.approx([0.1, 0.9, 0.2])
+        assert 0.02 <= np.linalg.norm(antenna.center_displacement) <= 0.03
+
+    def test_room_reflectors(self, rng):
+        antenna = standard_antenna(rng)
+        reflectors = make_room_reflectors(antenna, strength=0.3)
+        assert len(reflectors) == 3  # side wall, back wall, floor
+
+    def test_room_reflectors_with_scatterer(self, rng):
+        antenna = standard_antenna(rng)
+        reflectors = make_room_reflectors(antenna, scatterer_strength=0.1)
+        assert len(reflectors) == 4
+
+    def test_clutter_scatterers(self, rng):
+        scatterers = make_clutter_scatterers(rng, count=5)
+        assert len(scatterers) == 5
+        with pytest.raises(ValueError):
+            make_clutter_scatterers(rng, count=0)
+
+    def test_make_conveyor_scan(self, rng):
+        from repro.experiments.scenarios import EvaluationGeometry, make_conveyor_scan
+
+        geometry = EvaluationGeometry()
+        assert geometry.track_length_m == pytest.approx(2.5)
+        antenna = standard_antenna(rng, depth_m=geometry.default_depth_m)
+        scan = make_conveyor_scan(antenna, rng, track_half_length_m=0.5,
+                                  read_rate_hz=30.0)
+        assert len(scan) > 100
+        assert scan.positions[:, 1] == pytest.approx(np.zeros(len(scan)))
+        # Off-beam reads get noisier by default (SNR-scaled model).
+        assert not scan.exclude_mask.any()
+
+
+class TestFigureRegistry:
+    def test_all_paper_figures_present(self):
+        from repro.experiments.figures import EXTENSION_RUNNERS, PAPER_RUNNERS
+
+        expected = {
+            "fig02", "fig03", "fig04", "fig06", "fig09", "fig13a", "fig13b",
+            "fig14a", "fig14b", "fig15", "fig16_17", "fig18", "fig19_20", "fig21",
+        }
+        assert set(PAPER_RUNNERS) == expected
+        assert set(EXTENSION_RUNNERS) == {"ext_online", "ext_multiref", "ext_wander"}
+        assert set(FIGURE_RUNNERS) == expected | set(EXTENSION_RUNNERS)
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(KeyError):
+            run_figure("fig99")
+
+
+@pytest.mark.slow
+class TestFigureRunnersFast:
+    """Smoke-run every figure in fast mode; check structure, not values."""
+
+    @pytest.mark.parametrize("figure_id", sorted(FIGURE_RUNNERS))
+    def test_runner_produces_rows(self, figure_id):
+        result = run_figure(figure_id, seed=1, fast=True)
+        assert result.figure_id == figure_id
+        assert result.rows, f"{figure_id} produced no rows"
+        assert result.columns
+        for row in result.rows:
+            assert set(row) <= set(result.columns)
+
+    def test_fig02_valley_within_centimeters(self):
+        result = run_figure("fig02", seed=0, fast=True)
+        for row in result.rows:
+            assert abs(row["valley_offset_cm"] - row["true_displacement_cm"]) < 2.0
+
+    def test_fig13b_lion_faster_than_dah(self):
+        result = run_figure("fig13b", seed=0, fast=True)
+        seconds = {row["method"]: row["seconds"] for row in result.rows}
+        assert seconds["LION 2D"] < seconds["DAH 2D"]
+        assert seconds["LION 3D"] < seconds["DAH 3D"]
+
+    def test_fig15_wls_beats_ls(self):
+        result = run_figure("fig15", seed=0, fast=True)
+        means = {row["method"]: row["mean_error_cm"] for row in result.rows}
+        assert means["WLS"] < means["LS"]
+
+    def test_fig21_error_decreases_with_radius(self):
+        result = run_figure("fig21", seed=0, fast=True)
+        totals = result.column("err_total_cm")
+        assert totals[-1] < totals[0]

@@ -1,0 +1,111 @@
+"""Tests for repro.experiments.crlb."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.crlb import efficiency, phase_localization_crlb
+
+
+def _line_scan(n=200, half=0.4):
+    x = np.linspace(-half, half, n)
+    return np.stack([x, np.zeros_like(x)], axis=1)
+
+
+def _circle_scan(radius, n=200):
+    angles = np.linspace(0, 2 * np.pi, n, endpoint=False)
+    return radius * np.stack([np.cos(angles), np.sin(angles)], axis=1)
+
+
+class TestCrlbGeometryEffects:
+    def test_linear_scan_depth_worse_than_along_track(self):
+        """The Fig. 14 pattern: y (depth) is harder than x for a line scan."""
+        bound = phase_localization_crlb(
+            _line_scan(), np.array([0.0, 0.8]), phase_noise_std_rad=0.1
+        )
+        assert bound.axis_std_m[1] > bound.axis_std_m[0]
+
+    def test_bound_grows_with_depth(self):
+        near = phase_localization_crlb(
+            _line_scan(), np.array([0.0, 0.6]), 0.1
+        ).position_std_m
+        far = phase_localization_crlb(
+            _line_scan(), np.array([0.0, 1.6]), 0.1
+        ).position_std_m
+        assert far > near
+
+    def test_bound_shrinks_with_radius(self):
+        """The Fig. 21 pattern: larger turntable radius helps."""
+        target = np.array([0.0, 0.7])
+        small = phase_localization_crlb(_circle_scan(0.10), target, 0.1).position_std_m
+        large = phase_localization_crlb(_circle_scan(0.25), target, 0.1).position_std_m
+        assert large < small
+
+    def test_bound_scales_linearly_with_noise(self):
+        target = np.array([0.2, 0.9])
+        low = phase_localization_crlb(_circle_scan(0.3), target, 0.05).position_std_m
+        high = phase_localization_crlb(_circle_scan(0.3), target, 0.10).position_std_m
+        assert high == pytest.approx(2.0 * low, rel=1e-6)
+
+    def test_more_reads_tighten_the_bound(self):
+        target = np.array([0.1, 0.8])
+        few = phase_localization_crlb(_circle_scan(0.3, 50), target, 0.1).position_std_m
+        many = phase_localization_crlb(_circle_scan(0.3, 500), target, 0.1).position_std_m
+        assert many == pytest.approx(few / np.sqrt(10.0), rel=0.05)
+
+    def test_offset_nuisance_loosens_bound(self):
+        target = np.array([0.0, 0.8])
+        with_offset = phase_localization_crlb(
+            _line_scan(), target, 0.1, estimate_offset=True
+        ).position_std_m
+        without = phase_localization_crlb(
+            _line_scan(), target, 0.1, estimate_offset=False
+        ).position_std_m
+        assert with_offset > without
+
+
+class TestCrlbSanity:
+    def test_lion_respects_the_bound(self, rng):
+        """Monte-Carlo LION errors sit above (but near) the CRLB."""
+        from repro.constants import DEFAULT_WAVELENGTH_M, TWO_PI
+        from repro.core.localizer import LionLocalizer, PreprocessConfig
+
+        target = np.array([0.2, 0.9])
+        positions = _circle_scan(0.3, 300)
+        sigma = 0.1
+        bound = phase_localization_crlb(positions, target, sigma)
+        localizer = LionLocalizer(
+            dim=2, preprocess=PreprocessConfig(smoothing_window=1), interval_m=0.3
+        )
+        errors = []
+        for _ in range(30):
+            distances = np.linalg.norm(positions - target, axis=1)
+            phases = np.mod(
+                2.0 * TWO_PI / DEFAULT_WAVELENGTH_M * distances
+                + rng.normal(0, sigma, len(distances)),
+                TWO_PI,
+            )
+            result = localizer.locate(positions, phases)
+            errors.append(np.linalg.norm(result.position - target))
+        rmse = float(np.sqrt(np.mean(np.square(errors))))
+        # Above the bound (estimator cannot beat it)...
+        assert rmse > bound.position_std_m * 0.8  # 0.8: finite-sample slack
+        # ...but within a small factor (LION is near-efficient here).
+        assert efficiency(rmse, bound) > 0.3
+
+    def test_3d_line_scan_is_singular(self):
+        x = np.linspace(-0.5, 0.5, 100)
+        positions = np.stack([x, np.zeros_like(x), np.zeros_like(x)], axis=1)
+        with pytest.raises(ValueError):
+            phase_localization_crlb(positions, np.array([0.0, 0.8, 0.0]), 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            phase_localization_crlb(_line_scan(), np.array([0.0, 0.8]), 0.0)
+        with pytest.raises(ValueError):
+            phase_localization_crlb(_line_scan(), np.zeros(3), 0.1)
+        with pytest.raises(ValueError):
+            phase_localization_crlb(
+                np.array([[0.0, 0.0]]), np.array([0.0, 0.0]), 0.1
+            )
+        with pytest.raises(ValueError):
+            efficiency(0.0, phase_localization_crlb(_line_scan(), np.array([0.0, 0.8]), 0.1))

@@ -1,0 +1,149 @@
+"""Tests for repro.experiments.montecarlo."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.montecarlo import compare_methods, run_monte_carlo
+
+
+class TestRunMonteCarlo:
+    def test_aggregates_gaussian_metric(self):
+        def trial(rng):
+            return {"error": float(rng.normal(5.0, 1.0))}
+
+        result = run_monte_carlo(trial, trials=200, seed=1)
+        summary = result["error"]
+        assert summary.mean == pytest.approx(5.0, abs=0.3)
+        assert summary.std == pytest.approx(1.0, abs=0.3)
+        assert summary.ci_low < 5.0 < summary.ci_high
+        assert summary.samples.size == 200
+
+    def test_deterministic_given_seed(self):
+        def trial(rng):
+            return {"v": float(rng.random())}
+
+        first = run_monte_carlo(trial, trials=20, seed=7)
+        second = run_monte_carlo(trial, trials=20, seed=7)
+        assert first["v"].samples == pytest.approx(second["v"].samples)
+
+    def test_multiple_metrics(self):
+        def trial(rng):
+            x = float(rng.random())
+            return {"a": x, "b": 2.0 * x}
+
+        result = run_monte_carlo(trial, trials=50)
+        assert result["b"].mean == pytest.approx(2.0 * result["a"].mean)
+
+    def test_failures_tolerated(self):
+        def trial(rng):
+            if rng.random() < 0.3:
+                raise RuntimeError("flaky")
+            return {"v": 1.0}
+
+        result = run_monte_carlo(trial, trials=100, seed=2)
+        assert 0 < result["v"].samples.size < 100
+        assert result["v"].failures > 0
+
+    def test_failures_propagate_when_strict(self):
+        def trial(rng):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            run_monte_carlo(trial, trials=5, tolerate_failures=False)
+
+    def test_all_failed_rejected(self):
+        def trial(rng):
+            raise RuntimeError("boom")
+
+        with pytest.raises(ValueError):
+            run_monte_carlo(trial, trials=5)
+
+    def test_nan_counts_as_metric_failure(self):
+        def trial(rng):
+            return {"v": float("nan") if rng.random() < 0.5 else 1.0}
+
+        result = run_monte_carlo(trial, trials=60, seed=3)
+        assert result["v"].failures > 0
+        assert np.all(np.isfinite(result["v"].samples))
+
+    def test_parameter_validation(self):
+        def trial(rng):
+            return {"v": 1.0}
+
+        with pytest.raises(ValueError):
+            run_monte_carlo(trial, trials=0)
+        with pytest.raises(ValueError):
+            run_monte_carlo(trial, trials=5, confidence=1.5)
+
+    def test_format_table(self):
+        def trial(rng):
+            return {"err_cm": float(rng.normal(1.0, 0.1))}
+
+        text = run_monte_carlo(trial, trials=30).format_table()
+        assert "err_cm" in text
+        assert "mean" in text
+
+
+class TestCompareMethods:
+    def test_paired_win_rate(self):
+        def trial(rng):
+            base = float(rng.random())
+            return {"good": base, "bad": base + 0.5}
+
+        result = run_monte_carlo(trial, trials=40)
+        assert compare_methods(result, "good", "bad") == 1.0
+        assert compare_methods(result, "bad", "good") == 0.0
+
+    def test_unpaired_rejected(self):
+        def trial(rng):
+            out = {"a": float(rng.random())}
+            if rng.random() < 0.5:
+                out["b"] = 1.0
+            else:
+                out["b"] = float("nan")  # drops some b samples
+            return out
+
+        result = run_monte_carlo(trial, trials=50, seed=5)
+        with pytest.raises(ValueError):
+            compare_methods(result, "a", "b")
+
+    def test_unknown_metric(self):
+        def trial(rng):
+            return {"a": 1.0}
+
+        result = run_monte_carlo(trial, trials=5)
+        with pytest.raises(KeyError):
+            compare_methods(result, "a", "zzz")
+
+
+class TestEndToEndWithLion:
+    def test_lion_vs_ls_study(self):
+        """The montecarlo harness reproduces a mini Fig. 15 in a few lines."""
+        from repro.constants import DEFAULT_WAVELENGTH_M, TWO_PI
+        from repro.core.localizer import LionLocalizer, PreprocessConfig
+
+        target = np.array([0.1, 0.9])
+        angles = np.linspace(0, 2 * np.pi, 150, endpoint=False)
+        positions = 0.35 * np.stack([np.cos(angles), np.sin(angles)], axis=1)
+        distances = np.linalg.norm(positions - target, axis=1)
+
+        def trial(rng):
+            phases = 2.0 * TWO_PI / DEFAULT_WAVELENGTH_M * distances + rng.normal(
+                0, 0.05, 150
+            )
+            corrupt = rng.choice(150, size=8, replace=False)
+            phases[corrupt] += rng.uniform(-1.2, 1.2, 8)
+            phases = np.mod(phases, TWO_PI)
+            outcome = {}
+            for method in ("wls", "ls"):
+                localizer = LionLocalizer(
+                    dim=2, method=method, interval_m=0.3,
+                    preprocess=PreprocessConfig(smoothing_window=1),
+                )
+                estimate = localizer.locate(positions, phases)
+                outcome[method] = float(np.linalg.norm(estimate.position - target))
+            return outcome
+
+        result = run_monte_carlo(trial, trials=15, seed=11)
+        assert result["wls"].mean < result["ls"].mean
+        assert compare_methods(result, "wls", "ls") > 0.6

@@ -1,0 +1,83 @@
+"""Tests for repro.experiments.reporting."""
+
+import pytest
+
+from repro.experiments.metrics import ExperimentResult
+from repro.experiments.reporting import (
+    result_to_markdown,
+    results_to_markdown,
+    write_report,
+)
+
+
+@pytest.fixture
+def sample_result():
+    result = ExperimentResult(
+        "figX",
+        "a demo figure",
+        columns=["depth_m", "error_cm"],
+        paper_expectation="errors grow with depth",
+        notes="fast mode",
+    )
+    result.add_row(depth_m=0.6, error_cm=0.51234)
+    result.add_row(depth_m=1.6, error_cm=2.0)
+    return result
+
+
+class TestResultToMarkdown:
+    def test_structure(self, sample_result):
+        text = result_to_markdown(sample_result)
+        lines = text.splitlines()
+        assert lines[0].startswith("### figX")
+        assert "| depth_m | error_cm |" in text
+        assert "| 0.6 | 0.5123 |" in text
+        assert "**Paper:**" in text
+        assert "**Notes:**" in text
+
+    def test_heading_level(self, sample_result):
+        text = result_to_markdown(sample_result, heading_level=2)
+        assert text.startswith("## ")
+
+    def test_table_is_valid_markdown(self, sample_result):
+        text = result_to_markdown(sample_result)
+        table_lines = [l for l in text.splitlines() if l.startswith("|")]
+        widths = {line.count("|") for line in table_lines}
+        assert len(widths) == 1  # consistent column count
+
+    def test_empty_result_rejected(self):
+        with pytest.raises(ValueError):
+            result_to_markdown(ExperimentResult("x", "t", columns=["a"]))
+
+    def test_bad_heading_rejected(self, sample_result):
+        with pytest.raises(ValueError):
+            result_to_markdown(sample_result, heading_level=0)
+
+
+class TestResultsToMarkdown:
+    def test_combines_sections(self, sample_result):
+        other = ExperimentResult("figY", "other", columns=["v"])
+        other.add_row(v=1)
+        text = results_to_markdown([sample_result, other], title="Report")
+        assert text.startswith("# Report")
+        assert "figX" in text and "figY" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            results_to_markdown([])
+
+
+class TestWriteReport:
+    def test_writes_file(self, sample_result, tmp_path):
+        path = tmp_path / "report.md"
+        write_report([sample_result], str(path))
+        content = path.read_text()
+        assert "figX" in content
+        assert content.endswith("\n")
+
+    def test_end_to_end_with_runner(self, tmp_path):
+        from repro.experiments.figures import run_figure
+
+        result = run_figure("fig02", seed=0, fast=True)
+        path = tmp_path / "fig02.md"
+        write_report([result], str(path), title="Fig 2 regeneration")
+        assert "valley_offset_cm" in path.read_text()

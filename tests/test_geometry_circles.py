@@ -1,0 +1,117 @@
+"""Tests for repro.geometry.circles."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.circles import (
+    Circle,
+    Sphere,
+    circle_circle_intersection,
+    sphere_sphere_intersection_circle,
+)
+
+
+class TestCircle:
+    def test_contains_point_on_circle(self):
+        assert Circle((0.0, 0.0), 5.0).contains([3.0, 4.0])
+
+    def test_does_not_contain_interior_point(self):
+        assert not Circle((0.0, 0.0), 5.0).contains([1.0, 1.0])
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Circle((0.0, 0.0), -1.0)
+
+
+class TestSphere:
+    def test_contains(self):
+        assert Sphere((0.0, 0.0, 0.0), 3.0).contains([2.0, 2.0, 1.0])
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Sphere((0.0, 0.0, 0.0), -0.1)
+
+
+class TestCircleCircleIntersection:
+    def test_two_intersections(self):
+        points = circle_circle_intersection(
+            Circle((0.0, 0.0), 1.0), Circle((1.0, 0.0), 1.0)
+        )
+        assert points.shape == (2, 2)
+        for point in points:
+            assert np.linalg.norm(point) == pytest.approx(1.0)
+            assert np.linalg.norm(point - [1.0, 0.0]) == pytest.approx(1.0)
+
+    def test_tangent_circles_single_point(self):
+        points = circle_circle_intersection(
+            Circle((0.0, 0.0), 1.0), Circle((2.0, 0.0), 1.0)
+        )
+        assert points.shape == (1, 2)
+        assert points[0] == pytest.approx([1.0, 0.0])
+
+    def test_disjoint_circles_empty(self):
+        points = circle_circle_intersection(
+            Circle((0.0, 0.0), 1.0), Circle((5.0, 0.0), 1.0)
+        )
+        assert points.shape == (0, 2)
+
+    def test_nested_circles_empty(self):
+        points = circle_circle_intersection(
+            Circle((0.0, 0.0), 5.0), Circle((0.5, 0.0), 1.0)
+        )
+        assert points.shape == (0, 2)
+
+    def test_concentric_rejected(self):
+        with pytest.raises(ValueError):
+            circle_circle_intersection(
+                Circle((1.0, 1.0), 1.0), Circle((1.0, 1.0), 2.0)
+            )
+
+
+class TestSphereSphereIntersection:
+    def test_intersection_circle_geometry(self):
+        result = sphere_sphere_intersection_circle(
+            Sphere((0.0, 0.0, 0.0), 1.0), Sphere((1.0, 0.0, 0.0), 1.0)
+        )
+        assert result is not None
+        center, normal, radius = result
+        assert center == pytest.approx([0.5, 0.0, 0.0])
+        assert abs(normal[0]) == pytest.approx(1.0)
+        assert radius == pytest.approx(np.sqrt(3.0) / 2.0)
+
+    def test_points_on_intersection_circle_lie_on_both_spheres(self):
+        s1 = Sphere((0.0, 0.0, 0.0), 1.3)
+        s2 = Sphere((0.7, 0.4, 0.1), 1.1)
+        result = sphere_sphere_intersection_circle(s1, s2)
+        assert result is not None
+        center, normal, radius = result
+        seed = np.array([0.0, 0.0, 1.0])
+        u = np.cross(normal, seed)
+        u /= np.linalg.norm(u)
+        v = np.cross(normal, u)
+        for angle in np.linspace(0, 2 * np.pi, 7):
+            point = center + radius * (np.cos(angle) * u + np.sin(angle) * v)
+            assert s1.contains(point, tol=1e-9)
+            assert s2.contains(point, tol=1e-9)
+
+    def test_disjoint_returns_none(self):
+        assert (
+            sphere_sphere_intersection_circle(
+                Sphere((0.0, 0.0, 0.0), 1.0), Sphere((5.0, 0.0, 0.0), 1.0)
+            )
+            is None
+        )
+
+    def test_tangent_zero_radius(self):
+        result = sphere_sphere_intersection_circle(
+            Sphere((0.0, 0.0, 0.0), 1.0), Sphere((2.0, 0.0, 0.0), 1.0)
+        )
+        assert result is not None
+        _, _, radius = result
+        assert radius == pytest.approx(0.0)
+
+    def test_concentric_rejected(self):
+        with pytest.raises(ValueError):
+            sphere_sphere_intersection_circle(
+                Sphere((0.0, 0.0, 0.0), 1.0), Sphere((0.0, 0.0, 0.0), 2.0)
+            )

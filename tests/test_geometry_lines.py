@@ -1,0 +1,157 @@
+"""Tests for repro.geometry.lines — radical lines are the heart of LION."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.circles import Circle, circle_circle_intersection
+from repro.geometry.lines import (
+    Line2D,
+    Plane3D,
+    intersect_lines,
+    intersect_planes,
+    radical_line,
+    radical_plane,
+)
+
+
+class TestLine2D:
+    def test_contains_point_on_line(self):
+        line = Line2D(1.0, -1.0, 0.0)  # y = x
+        assert line.contains([2.0, 2.0])
+
+    def test_distance_to_point(self):
+        line = Line2D(0.0, 1.0, 0.0)  # the x-axis
+        assert line.distance_to([5.0, 3.0]) == pytest.approx(3.0)
+
+    def test_direction_perpendicular_to_normal(self):
+        line = Line2D(2.0, 3.0, 1.0)
+        assert np.dot(line.direction, line.normal) == pytest.approx(0.0)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Line2D(0.0, 0.0, 1.0)
+
+
+class TestPlane3D:
+    def test_contains(self):
+        plane = Plane3D(0.0, 0.0, 1.0, 2.0)  # z = 2
+        assert plane.contains([7.0, -3.0, 2.0])
+
+    def test_distance(self):
+        plane = Plane3D(0.0, 0.0, 2.0, 4.0)  # z = 2 scaled
+        assert plane.distance_to([0.0, 0.0, 5.0]) == pytest.approx(3.0)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Plane3D(0.0, 0.0, 0.0, 1.0)
+
+
+class TestRadicalLine:
+    def test_passes_through_circle_intersections(self):
+        """Observation 1: the radical line contains both intersection points."""
+        target = np.array([0.5, 1.2])
+        c1 = np.array([0.0, 0.0])
+        c2 = np.array([1.0, 0.3])
+        r1 = float(np.linalg.norm(target - c1))
+        r2 = float(np.linalg.norm(target - c2))
+        line = radical_line(c1, r1, c2, r2)
+        points = circle_circle_intersection(Circle(tuple(c1), r1), Circle(tuple(c2), r2))
+        assert points.shape[0] == 2
+        for point in points:
+            assert line.contains(point, tol=1e-9)
+
+    def test_passes_through_target(self):
+        target = np.array([-0.3, 0.9])
+        for center in ([0.0, 0.0], [0.4, -0.2], [-1.0, 0.5]):
+            c = np.asarray(center)
+            line = radical_line(c, float(np.linalg.norm(target - c)), [1.0, 1.0],
+                                float(np.linalg.norm(target - [1.0, 1.0])))
+            assert line.contains(target, tol=1e-9)
+
+    def test_concentric_rejected(self):
+        with pytest.raises(ValueError):
+            radical_line([1.0, 1.0], 2.0, [1.0, 1.0], 3.0)
+
+    def test_perpendicular_to_center_line(self):
+        line = radical_line([0.0, 0.0], 1.0, [2.0, 0.0], 1.0)
+        # Centers along x -> radical line is vertical: direction has no x.
+        assert abs(line.direction[0]) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestRadicalPlane:
+    def test_contains_target_on_both_spheres(self):
+        target = np.array([0.2, 0.8, 0.5])
+        c1 = np.array([0.0, 0.0, 0.0])
+        c2 = np.array([1.0, 0.0, 0.4])
+        plane = radical_plane(
+            c1, float(np.linalg.norm(target - c1)), c2, float(np.linalg.norm(target - c2))
+        )
+        assert plane.contains(target, tol=1e-9)
+
+    def test_concentric_rejected(self):
+        with pytest.raises(ValueError):
+            radical_plane([0, 0, 0], 1.0, [0, 0, 0], 2.0)
+
+
+class TestIntersectLines:
+    def test_two_lines(self):
+        a = Line2D(1.0, 0.0, 2.0)  # x = 2
+        b = Line2D(0.0, 1.0, 3.0)  # y = 3
+        assert intersect_lines([a, b]) == pytest.approx([2.0, 3.0])
+
+    def test_three_radical_lines_meet_at_target(self):
+        """All pairwise radical lines intersect at the common point (Fig. 5)."""
+        target = np.array([0.7, 1.1])
+        centers = [np.array(c) for c in ([0.0, 0.0], [1.0, 0.0], [0.5, -0.8])]
+        radii = [float(np.linalg.norm(target - c)) for c in centers]
+        lines = [
+            radical_line(centers[i], radii[i], centers[j], radii[j])
+            for i, j in ((0, 1), (0, 2), (1, 2))
+        ]
+        assert intersect_lines(lines) == pytest.approx(target)
+
+    def test_parallel_rejected(self):
+        a = Line2D(1.0, 0.0, 0.0)
+        b = Line2D(2.0, 0.0, 5.0)
+        with pytest.raises(ValueError):
+            intersect_lines([a, b])
+
+    def test_single_line_rejected(self):
+        with pytest.raises(ValueError):
+            intersect_lines([Line2D(1.0, 0.0, 0.0)])
+
+
+class TestIntersectPlanes:
+    def test_three_planes(self):
+        planes = [
+            Plane3D(1.0, 0.0, 0.0, 1.0),
+            Plane3D(0.0, 1.0, 0.0, 2.0),
+            Plane3D(0.0, 0.0, 1.0, 3.0),
+        ]
+        assert intersect_planes(planes) == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_radical_planes_meet_at_target(self):
+        target = np.array([0.1, 0.9, 0.4])
+        centers = [
+            np.array(c)
+            for c in ([0, 0, 0], [1, 0, 0], [0, 1, 0], [0.3, 0.2, 0.9])
+        ]
+        radii = [float(np.linalg.norm(target - c)) for c in centers]
+        planes = [
+            radical_plane(centers[0], radii[0], centers[k], radii[k])
+            for k in (1, 2, 3)
+        ]
+        assert intersect_planes(planes) == pytest.approx(target)
+
+    def test_degenerate_normals_rejected(self):
+        planes = [
+            Plane3D(1.0, 0.0, 0.0, 0.0),
+            Plane3D(2.0, 0.0, 0.0, 1.0),
+            Plane3D(0.0, 1.0, 0.0, 0.0),
+        ]
+        with pytest.raises(ValueError):
+            intersect_planes(planes)
+
+    def test_too_few_planes_rejected(self):
+        with pytest.raises(ValueError):
+            intersect_planes([Plane3D(1, 0, 0, 0), Plane3D(0, 1, 0, 0)])

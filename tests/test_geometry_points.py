@@ -1,0 +1,91 @@
+"""Tests for repro.geometry.points."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.points import (
+    Point2D,
+    Point3D,
+    as_point_array,
+    as_point_matrix,
+    distance,
+    midpoint,
+    pairwise_distances,
+)
+
+
+class TestPointTypes:
+    def test_point2d_as_array(self):
+        assert np.array_equal(Point2D(1.0, 2.0).as_array(), [1.0, 2.0])
+
+    def test_point3d_as_array(self):
+        assert np.array_equal(Point3D(1.0, 2.0, 3.0).as_array(), [1.0, 2.0, 3.0])
+
+    def test_point2d_distance_to(self):
+        assert Point2D(0.0, 0.0).distance_to(Point2D(3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_point3d_distance_to(self):
+        assert Point3D(0.0, 0.0, 0.0).distance_to((1.0, 2.0, 2.0)) == pytest.approx(3.0)
+
+
+class TestAsPointArray:
+    def test_accepts_list(self):
+        assert np.array_equal(as_point_array([1, 2]), [1.0, 2.0])
+
+    def test_accepts_tuple_3d(self):
+        assert np.array_equal(as_point_array((1, 2, 3)), [1.0, 2.0, 3.0])
+
+    def test_promotes_2d_to_3d(self):
+        assert np.array_equal(as_point_array([1, 2], dim=3), [1.0, 2.0, 0.0])
+
+    def test_rejects_wrong_dim(self):
+        with pytest.raises(ValueError):
+            as_point_array([1, 2, 3], dim=2)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            as_point_array(np.zeros((2, 2)))
+
+    def test_rejects_scalar_like(self):
+        with pytest.raises(ValueError):
+            as_point_array([1.0])
+
+    def test_rejects_4d(self):
+        with pytest.raises(ValueError):
+            as_point_array([1, 2, 3, 4])
+
+
+class TestAsPointMatrix:
+    def test_stacks_mixed_inputs(self):
+        matrix = as_point_matrix([Point2D(0, 1), [2, 3]], dim=2)
+        assert matrix.shape == (2, 2)
+        assert np.array_equal(matrix, [[0, 1], [2, 3]])
+
+    def test_empty_input(self):
+        assert as_point_matrix([], dim=3).shape == (0, 3)
+
+
+class TestDistance:
+    def test_zero_distance(self):
+        assert distance([1, 1], [1, 1]) == 0.0
+
+    def test_known_distance(self):
+        assert distance([0, 0, 0], [2, 3, 6]) == pytest.approx(7.0)
+
+    def test_symmetric(self):
+        assert distance([1, 5], [4, 1]) == distance([4, 1], [1, 5])
+
+
+class TestPairwiseDistances:
+    def test_matches_individual_distances(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 2.0]])
+        result = pairwise_distances(points, [0.0, 0.0])
+        assert result == pytest.approx([0.0, 1.0, 2.0])
+
+    def test_rejects_vector_input(self):
+        with pytest.raises(ValueError):
+            pairwise_distances(np.array([1.0, 2.0]), [0.0, 0.0])
+
+
+def test_midpoint():
+    assert np.array_equal(midpoint([0, 0], [2, 4]), [1.0, 2.0])

@@ -1,0 +1,89 @@
+"""Tests for repro.geometry.transforms."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.transforms import (
+    from_line_frame_2d,
+    orthonormal_basis_for_plane,
+    rotation_matrix_2d,
+    rotation_matrix_3d,
+    to_line_frame_2d,
+)
+
+
+class TestRotation2D:
+    def test_quarter_turn(self):
+        rotated = rotation_matrix_2d(np.pi / 2.0) @ np.array([1.0, 0.0])
+        assert rotated == pytest.approx([0.0, 1.0], abs=1e-12)
+
+    def test_orthogonal(self):
+        matrix = rotation_matrix_2d(0.7)
+        assert matrix @ matrix.T == pytest.approx(np.eye(2))
+
+    def test_determinant_one(self):
+        assert np.linalg.det(rotation_matrix_2d(-1.3)) == pytest.approx(1.0)
+
+
+class TestRotation3D:
+    def test_rotation_about_z(self):
+        matrix = rotation_matrix_3d([0, 0, 1], np.pi / 2.0)
+        assert matrix @ np.array([1.0, 0.0, 0.0]) == pytest.approx(
+            [0.0, 1.0, 0.0], abs=1e-12
+        )
+
+    def test_axis_invariant(self):
+        axis = np.array([1.0, 2.0, 3.0])
+        matrix = rotation_matrix_3d(axis, 1.1)
+        assert matrix @ axis == pytest.approx(axis)
+
+    def test_preserves_norm(self):
+        matrix = rotation_matrix_3d([1, 1, 0], 2.2)
+        vector = np.array([0.3, -0.7, 0.2])
+        assert np.linalg.norm(matrix @ vector) == pytest.approx(np.linalg.norm(vector))
+
+    def test_zero_axis_rejected(self):
+        with pytest.raises(ValueError):
+            rotation_matrix_3d([0, 0, 0], 1.0)
+
+
+class TestLineFrame:
+    def test_points_on_line_have_zero_second_coordinate(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        transformed, _ = to_line_frame_2d(points, [0.0, 0.0], [1.0, 1.0])
+        assert transformed[:, 1] == pytest.approx([0.0, 0.0, 0.0], abs=1e-12)
+
+    def test_roundtrip(self):
+        points = np.array([[0.3, 1.2], [-0.5, 0.7], [2.0, -1.0]])
+        origin = [0.1, 0.2]
+        transformed, rotation = to_line_frame_2d(points, origin, [2.0, 1.0])
+        restored = from_line_frame_2d(transformed, origin, rotation)
+        assert restored == pytest.approx(points)
+
+    def test_preserves_distances(self):
+        points = np.array([[0.0, 0.0], [3.0, 4.0]])
+        transformed, _ = to_line_frame_2d(points, [1.0, 1.0], [0.6, 0.8])
+        original = np.linalg.norm(points[1] - points[0])
+        mapped = np.linalg.norm(transformed[1] - transformed[0])
+        assert mapped == pytest.approx(original)
+
+    def test_zero_direction_rejected(self):
+        with pytest.raises(ValueError):
+            to_line_frame_2d(np.zeros((1, 2)), [0.0, 0.0], [0.0, 0.0])
+
+
+class TestPlaneBasis:
+    @pytest.mark.parametrize("normal", [[0, 0, 1], [1, 0, 0], [1, 1, 1], [0.2, -0.7, 0.4]])
+    def test_basis_orthonormal_and_in_plane(self, normal):
+        u, v = orthonormal_basis_for_plane(normal)
+        n = np.asarray(normal, dtype=float)
+        n /= np.linalg.norm(n)
+        assert np.dot(u, v) == pytest.approx(0.0, abs=1e-12)
+        assert np.linalg.norm(u) == pytest.approx(1.0)
+        assert np.linalg.norm(v) == pytest.approx(1.0)
+        assert np.dot(u, n) == pytest.approx(0.0, abs=1e-12)
+        assert np.dot(v, n) == pytest.approx(0.0, abs=1e-12)
+
+    def test_zero_normal_rejected(self):
+        with pytest.raises(ValueError):
+            orthonormal_basis_for_plane([0, 0, 0])

@@ -1,0 +1,176 @@
+"""Property-based tests (hypothesis) for the LION core model.
+
+The central invariant: for *any* geometry with exact (noise-free) phase
+data, the radical-equation system is satisfied exactly by the true target
+and reference distance — regardless of trajectory shape, pair selection or
+dimension. These tests drive that invariant over randomized geometry.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.constants import DEFAULT_WAVELENGTH_M, TWO_PI
+from repro.core.lowerdim import recover_coordinate_from_reference
+from repro.core.pairing import lag_pairs
+from repro.core.radical import radical_row
+from repro.core.solvers import solve_least_squares, solve_weighted_least_squares
+from repro.core.system import build_system
+from repro.core.weights import gaussian_residual_weights, huber_weights
+
+coordinates = st.floats(min_value=-2.0, max_value=2.0, allow_nan=False)
+
+
+@st.composite
+def target_and_scan_2d(draw):
+    """A random 2D target plus a random non-degenerate scan."""
+    target = np.array([draw(coordinates), draw(coordinates)])
+    n = draw(st.integers(min_value=8, max_value=40))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    positions = rng.uniform(-1.0, 1.0, size=(n, 2))
+    # Reject scans containing the target or near-duplicate positions.
+    assume(np.min(np.linalg.norm(positions - target, axis=1)) > 0.05)
+    diffs = positions[:, np.newaxis, :] - positions[np.newaxis, :, :]
+    distances = np.linalg.norm(diffs, axis=2) + np.eye(n)
+    assume(np.min(distances) > 1e-3)
+    return target, positions
+
+
+class TestRadicalInvariant:
+    @given(target_and_scan_2d())
+    @settings(max_examples=50, deadline=None)
+    def test_true_target_satisfies_every_row(self, data):
+        target, positions = data
+        reference = positions[0]
+        d_r = float(np.linalg.norm(target - reference))
+        distances = np.linalg.norm(positions - target, axis=1)
+        deltas = distances - d_r
+        unknowns = np.concatenate([target, [d_r]])
+        for i in range(1, len(positions)):
+            coefficients, kappa = radical_row(
+                positions[0], deltas[0], positions[i], deltas[i]
+            )
+            assert abs(coefficients @ unknowns - kappa) < 1e-8
+
+    @given(target_and_scan_2d())
+    @settings(max_examples=30, deadline=None)
+    def test_ls_solution_recovers_target(self, data):
+        target, positions = data
+        distances = np.linalg.norm(positions - target, axis=1)
+        deltas = distances - distances[0]
+        system = build_system(positions, deltas, lag_pairs(len(positions), 1))
+        # Require a well-conditioned system (random scans can be nearly
+        # collinear, where recovery degrades legitimately).
+        singular_values = np.linalg.svd(system.matrix, compute_uv=False)
+        assume(singular_values[-1] > 1e-3 * singular_values[0])
+        solution = solve_least_squares(system)
+        assert np.linalg.norm(solution.position - target) < 1e-5
+
+
+class TestSolverProperties:
+    @given(target_and_scan_2d(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_wls_never_catastrophically_worse_than_ls(self, data, noise_seed):
+        target, positions = data
+        rng = np.random.default_rng(noise_seed)
+        distances = np.linalg.norm(positions - target, axis=1)
+        deltas = distances - distances[0] + rng.normal(0.0, 0.002, len(positions))
+        system = build_system(positions, deltas, lag_pairs(len(positions), 1))
+        singular_values = np.linalg.svd(system.matrix, compute_uv=False)
+        assume(singular_values[-1] > 1e-3 * singular_values[0])
+        ls = solve_least_squares(system)
+        wls = solve_weighted_least_squares(system)
+        error_ls = np.linalg.norm(ls.position - target)
+        error_wls = np.linalg.norm(wls.position - target)
+        assert error_wls < 10.0 * error_ls + 0.01
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_gaussian_weights_bounded(self, residuals):
+        weights = gaussian_residual_weights(np.array(residuals))
+        assert np.all(weights > 0.0)
+        assert np.all(weights <= 1.0 + 1e-12)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_huber_weights_bounded(self, residuals):
+        weights = huber_weights(np.array(residuals))
+        assert np.all(weights > 0.0)
+        assert np.all(weights <= 1.0 + 1e-12)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+            min_size=2,
+            max_size=50,
+        ),
+        st.floats(min_value=0.1, max_value=100.0),
+        st.floats(min_value=-5.0, max_value=5.0),
+    )
+    def test_gaussian_weights_affine_invariant(self, residuals, scale, shift):
+        """Scaling/shifting all residuals must not change the weights."""
+        base = np.array(residuals)
+        assume(np.std(base) > 1e-6)
+        original = gaussian_residual_weights(base)
+        transformed = gaussian_residual_weights(base * scale + shift)
+        assert np.allclose(original, transformed, atol=1e-9)
+
+
+class TestLowerDimensionProperties:
+    @given(
+        st.floats(min_value=-1.0, max_value=1.0),
+        st.floats(min_value=0.05, max_value=2.0),
+        st.floats(min_value=-1.0, max_value=1.0),
+        st.floats(min_value=-1.0, max_value=1.0),
+    )
+    def test_recovery_exact_for_consistent_inputs(self, x, y_height, ref_x, ref_y):
+        """If d_r is geometrically consistent, recovery is exact."""
+        target = np.array([x, ref_y + y_height])
+        reference = np.array([ref_x, ref_y])
+        d_r = float(np.linalg.norm(target - reference))
+        partial = np.array([x, 0.0])
+        result = recover_coordinate_from_reference(partial, 1, d_r, reference)
+        assert abs(result.position[1] - target[1]) < 1e-9
+
+    @given(
+        st.floats(min_value=-1.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=3.0),
+        st.floats(min_value=-1.0, max_value=1.0),
+    )
+    def test_candidates_symmetric_about_reference(self, x, d_r, ref_y):
+        reference = np.array([x, ref_y])
+        result = recover_coordinate_from_reference(
+            np.array([x, 0.0]), 1, d_r, reference
+        )
+        high, low = result.candidates[0, 1], result.candidates[1, 1]
+        assert high + low == pytest.approx(2.0 * ref_y, abs=1e-9)
+
+
+class TestPhaseToSystemRoundTrip:
+    @given(target_and_scan_2d(), st.floats(min_value=0.0, max_value=TWO_PI))
+    @settings(max_examples=25, deadline=None)
+    def test_hardware_offset_cancels(self, data, offset):
+        """Any constant phase offset leaves the recovered position unchanged
+        (delta distances difference it away)."""
+        target, positions = data
+        distances = np.linalg.norm(positions - target, axis=1)
+        k = 2.0 * TWO_PI / DEFAULT_WAVELENGTH_M
+        unwrapped = k * distances + offset
+        deltas = (unwrapped - unwrapped[0]) / k
+        system = build_system(positions, deltas, lag_pairs(len(positions), 1))
+        singular_values = np.linalg.svd(system.matrix, compute_uv=False)
+        assume(singular_values[-1] > 1e-3 * singular_values[0])
+        solution = solve_least_squares(system)
+        assert np.linalg.norm(solution.position - target) < 1e-5

@@ -1,0 +1,116 @@
+"""Property-based tests (hypothesis) for the geometry substrate."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.circles import Circle, circle_circle_intersection
+from repro.geometry.lines import radical_line
+from repro.geometry.transforms import (
+    from_line_frame_2d,
+    rotation_matrix_2d,
+    rotation_matrix_3d,
+    to_line_frame_2d,
+)
+
+coordinate = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False)
+angle = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+
+
+class TestRadicalLineProperties:
+    @given(
+        coordinate, coordinate, coordinate, coordinate, coordinate, coordinate
+    )
+    @settings(max_examples=100)
+    def test_radical_line_contains_common_point(self, tx, ty, c1x, c1y, c2x, c2y):
+        """For any target and two distinct centers, the radical line built
+        from exact distances passes through the target."""
+        target = np.array([tx, ty])
+        c1 = np.array([c1x, c1y])
+        c2 = np.array([c2x, c2y])
+        assume(np.linalg.norm(c1 - c2) > 1e-3)
+        line = radical_line(
+            c1, float(np.linalg.norm(target - c1)),
+            c2, float(np.linalg.norm(target - c2)),
+        )
+        assert line.distance_to(target) < 1e-6
+
+    @given(coordinate, coordinate, coordinate, coordinate,
+           st.floats(min_value=0.1, max_value=3.0),
+           st.floats(min_value=0.1, max_value=3.0))
+    @settings(max_examples=100)
+    def test_intersections_lie_on_radical_line(self, c1x, c1y, c2x, c2y, r1, r2):
+        c1, c2 = np.array([c1x, c1y]), np.array([c2x, c2y])
+        assume(np.linalg.norm(c1 - c2) > 1e-3)
+        line = radical_line(c1, r1, c2, r2)
+        points = circle_circle_intersection(
+            Circle((c1x, c1y), r1), Circle((c2x, c2y), r2)
+        )
+        for point in points:
+            assert line.distance_to(point) < 1e-6
+
+
+class TestCircleIntersectionProperties:
+    @given(coordinate, coordinate, coordinate, coordinate,
+           st.floats(min_value=0.05, max_value=3.0),
+           st.floats(min_value=0.05, max_value=3.0))
+    @settings(max_examples=100)
+    def test_intersections_on_both_circles(self, c1x, c1y, c2x, c2y, r1, r2):
+        c1, c2 = Circle((c1x, c1y), r1), Circle((c2x, c2y), r2)
+        assume(np.linalg.norm(np.array([c1x, c1y]) - [c2x, c2y]) > 1e-3)
+        for point in circle_circle_intersection(c1, c2):
+            assert c1.contains(point, tol=1e-6)
+            assert c2.contains(point, tol=1e-6)
+
+
+class TestRotationProperties:
+    @given(angle)
+    def test_2d_rotation_orthogonal(self, theta):
+        matrix = rotation_matrix_2d(theta)
+        assert np.allclose(matrix @ matrix.T, np.eye(2), atol=1e-12)
+
+    @given(angle, angle)
+    def test_2d_rotations_compose(self, a, b):
+        composed = rotation_matrix_2d(a) @ rotation_matrix_2d(b)
+        assert np.allclose(composed, rotation_matrix_2d(a + b), atol=1e-9)
+
+    @given(coordinate, coordinate, coordinate, angle)
+    def test_3d_rotation_preserves_norm(self, x, y, z, theta):
+        axis = np.array([x, y, z])
+        assume(np.linalg.norm(axis) > 1e-3)
+        matrix = rotation_matrix_3d(axis, theta)
+        vector = np.array([1.0, -2.0, 0.5])
+        assert abs(
+            np.linalg.norm(matrix @ vector) - np.linalg.norm(vector)
+        ) < 1e-9
+
+
+class TestLineFrameProperties:
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        coordinate, coordinate, coordinate, coordinate,
+    )
+    @settings(max_examples=60)
+    def test_roundtrip_identity(self, seed, ox, oy, dx, dy):
+        direction = np.array([dx, dy])
+        assume(np.linalg.norm(direction) > 1e-3)
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(-3, 3, size=(7, 2))
+        transformed, rotation = to_line_frame_2d(points, [ox, oy], direction)
+        restored = from_line_frame_2d(transformed, [ox, oy], rotation)
+        assert np.allclose(restored, points, atol=1e-9)
+
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        coordinate, coordinate, coordinate, coordinate,
+    )
+    @settings(max_examples=60)
+    def test_isometry(self, seed, ox, oy, dx, dy):
+        direction = np.array([dx, dy])
+        assume(np.linalg.norm(direction) > 1e-3)
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(-3, 3, size=(5, 2))
+        transformed, _ = to_line_frame_2d(points, [ox, oy], direction)
+        original = np.linalg.norm(points[0] - points[1:], axis=1)
+        mapped = np.linalg.norm(transformed[0] - transformed[1:], axis=1)
+        assert np.allclose(original, mapped, atol=1e-9)

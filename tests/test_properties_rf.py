@@ -1,0 +1,122 @@
+"""Property-based tests (hypothesis) for the RF substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.constants import DEFAULT_WAVELENGTH_M, TWO_PI
+from repro.rf.antenna import Antenna
+from repro.rf.channel import Channel, ChannelConfig
+from repro.rf.noise import NoPhaseNoise
+from repro.rf.tag import Tag
+
+coordinate = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False)
+offset = st.floats(min_value=0.0, max_value=TWO_PI - 1e-9)
+
+
+def _clean_channel(antenna_offset=0.0, tag_offset=0.0, displacement=(0, 0, 0)):
+    antenna = Antenna(
+        physical_center=(0.0, 0.0, 0.0),
+        center_displacement=tuple(displacement),
+        phase_offset_rad=antenna_offset,
+        boresight=(0.0, 1.0, 0.0),
+    )
+    return Channel(
+        antenna=antenna,
+        tag=Tag(phase_offset_rad=tag_offset),
+        config=ChannelConfig(noise=NoPhaseNoise()),
+    )
+
+
+class TestChannelProperties:
+    @given(coordinate, coordinate, coordinate, offset, offset)
+    @settings(max_examples=80)
+    def test_ideal_phase_matches_eq1_everywhere(self, x, y, z, a_off, t_off):
+        point = np.array([x, y, z])
+        assume(np.linalg.norm(point) > 0.05)
+        channel = _clean_channel(a_off, t_off)
+        expected = np.mod(
+            2.0 * TWO_PI / DEFAULT_WAVELENGTH_M * np.linalg.norm(point)
+            + a_off
+            + t_off,
+            TWO_PI,
+        )
+        got = channel.ideal_phase(tuple(point))
+        delta = np.mod(got - expected + np.pi, TWO_PI) - np.pi
+        assert abs(delta) < 1e-9
+
+    @given(coordinate, coordinate, offset)
+    @settings(max_examples=50)
+    def test_observed_equals_ideal_without_noise(self, x, y, a_off):
+        point = np.array([x, y, 0.3])
+        assume(np.linalg.norm(point) > 0.05)
+        channel = _clean_channel(a_off)
+        rng = np.random.default_rng(0)
+        assert channel.observe_phase(tuple(point), rng) == pytest.approx(
+            channel.ideal_phase(tuple(point))
+        )
+
+    @given(
+        st.floats(min_value=0.1, max_value=3.0),
+        st.floats(min_value=-0.04, max_value=0.04),
+        st.floats(min_value=-0.04, max_value=0.04),
+    )
+    @settings(max_examples=50)
+    def test_phase_anchored_to_displaced_center(self, distance, dx, dy):
+        """The reported phase always reflects the *displaced* center."""
+        channel = _clean_channel(displacement=(dx, dy, 0.0))
+        point = np.array([0.0, distance, 0.0])
+        true_distance = np.linalg.norm(point - np.array([dx, dy, 0.0]))
+        expected = np.mod(
+            2.0 * TWO_PI / DEFAULT_WAVELENGTH_M * true_distance, TWO_PI
+        )
+        assert channel.ideal_phase(tuple(point)) == pytest.approx(expected, abs=1e-9)
+
+    @given(st.floats(min_value=0.2, max_value=2.0), st.floats(min_value=1.05, max_value=3.0))
+    @settings(max_examples=50)
+    def test_rssi_monotone_in_distance_on_boresight(self, d, factor):
+        channel = _clean_channel()
+        near = channel.observe_rssi((0.0, d, 0.0))
+        far = channel.observe_rssi((0.0, d * factor, 0.0))
+        assert near > far
+
+
+class TestAntennaGainProperties:
+    @given(coordinate, coordinate, coordinate)
+    @settings(max_examples=80)
+    def test_gain_in_unit_range(self, x, y, z):
+        antenna = Antenna(physical_center=(0, 0, 0), boresight=(0, 1, 0))
+        point = np.array([x, y, z])
+        assume(np.linalg.norm(point) > 1e-3)
+        gain = antenna.relative_gain(tuple(point))
+        assert 0.0 < gain <= 1.0
+
+    @given(st.floats(min_value=0.0, max_value=np.pi / 2 - 0.01))
+    @settings(max_examples=50)
+    def test_gain_depends_only_on_angle(self, angle):
+        antenna = Antenna(physical_center=(0, 0, 0), boresight=(0, 1, 0))
+        near = (np.sin(angle) * 0.5, np.cos(angle) * 0.5, 0.0)
+        far = (np.sin(angle) * 4.0, np.cos(angle) * 4.0, 0.0)
+        assert antenna.relative_gain(near) == pytest.approx(
+            antenna.relative_gain(far)
+        )
+
+    @given(st.floats(min_value=0.001, max_value=0.03))
+    @settings(max_examples=30)
+    def test_wander_never_moves_center_forward(self, wander):
+        antenna = Antenna(
+            physical_center=(0, 0, 0), boresight=(0, 1, 0), center_wander_m=wander
+        )
+        for angle in np.linspace(0.0, np.pi / 2, 7):
+            point = (np.sin(angle) * 2.0, np.cos(angle) * 2.0, 0.0)
+            center = antenna.effective_phase_center(point)
+            # Shift strictly backward along the boresight (y <= 0).
+            assert center[1] <= 1e-12
+
+
+class TestTagProperties:
+    @given(st.floats(min_value=-100.0, max_value=100.0, allow_nan=False))
+    def test_offset_always_normalised(self, raw):
+        tag = Tag(phase_offset_rad=raw)
+        assert 0.0 <= tag.phase_offset_rad < TWO_PI

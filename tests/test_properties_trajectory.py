@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis) for the trajectory substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.trajectory.circular import CircularTrajectory
+from repro.trajectory.linear import LinearTrajectory
+from repro.trajectory.multiline import ThreeLineScan
+from repro.trajectory.raster import RasterScan
+
+coordinate = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False)
+
+
+class TestLinearProperties:
+    @given(coordinate, coordinate, coordinate, coordinate,
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=80)
+    def test_position_interpolates(self, ax, ay, bx, by, fraction):
+        start = np.array([ax, ay, 0.0])
+        end = np.array([bx, by, 0.0])
+        assume(np.linalg.norm(end - start) > 1e-6)
+        line = LinearTrajectory(start, end)
+        arc = fraction * line.total_length_m
+        expected = start + fraction * (end - start)
+        assert line.position_at(arc) == pytest.approx(expected, abs=1e-9)
+
+    @given(coordinate, coordinate,
+           st.floats(min_value=0.02, max_value=0.5),
+           st.floats(min_value=20.0, max_value=200.0))
+    @settings(max_examples=40)
+    def test_sample_step_equals_speed_over_rate(self, ax, ay, speed, rate):
+        line = LinearTrajectory((ax, ay, 0.0), (ax + 1.0, ay, 0.0))
+        samples = line.sample(speed_mps=speed, read_rate_hz=rate)
+        steps = np.linalg.norm(np.diff(samples.positions, axis=0), axis=1)
+        # Sampling spreads count = floor(duration*rate)+1 reads uniformly
+        # over the path, so steps are constant and within one part in
+        # count of the nominal speed/rate spacing.
+        if steps.size > 1:
+            assert np.ptp(steps) < 1e-9
+            assert steps[0] == pytest.approx(speed / rate, rel=2.0 / steps.size + 0.02)
+
+    @given(coordinate, coordinate, coordinate, coordinate)
+    @settings(max_examples=60)
+    def test_timestamps_consistent_with_arc(self, ax, ay, bx, by):
+        start = np.array([ax, ay, 0.0])
+        end = np.array([bx, by, 0.0])
+        assume(np.linalg.norm(end - start) > 0.05)
+        line = LinearTrajectory(start, end)
+        samples = line.sample(speed_mps=0.1, read_rate_hz=50.0)
+        traveled = np.linalg.norm(samples.positions - start, axis=1)
+        assert traveled == pytest.approx(0.1 * samples.timestamps_s, abs=1e-9)
+
+
+class TestCircularProperties:
+    @given(st.floats(min_value=0.05, max_value=1.0),
+           st.floats(min_value=0.1, max_value=3.0),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60)
+    def test_constant_radius_along_arc(self, radius, turns, fraction):
+        circle = CircularTrajectory((0.5, -0.2, 0.1), radius=radius, turns=turns)
+        point = circle.position_at(fraction * circle.total_length_m)
+        distance = np.linalg.norm(point - circle.center)
+        assert distance == pytest.approx(radius, abs=1e-9)
+
+    @given(st.floats(min_value=0.05, max_value=1.0),
+           st.floats(min_value=0.0, max_value=0.9))
+    @settings(max_examples=40)
+    def test_arc_length_matches_swept_angle(self, radius, fraction):
+        """The angle swept from the start point equals arc / radius
+        (the in-plane basis orientation is an implementation detail)."""
+        circle = CircularTrajectory((0, 0, 0), radius=radius)
+        arc = fraction * circle.total_length_m
+        start = circle.position_at(0.0)
+        point = circle.position_at(arc)
+        start_angle = np.arctan2(start[1], start[0])
+        point_angle = np.arctan2(point[1], point[0])
+        swept = (point_angle - start_angle) % (2 * np.pi)
+        expected = (arc / radius) % (2 * np.pi)
+        delta = (swept - expected + np.pi) % (2 * np.pi) - np.pi
+        assert abs(delta) < 1e-6
+
+
+class TestCompositeScanProperties:
+    @given(st.floats(min_value=0.05, max_value=0.4),
+           st.floats(min_value=0.05, max_value=0.4))
+    @settings(max_examples=25, deadline=None)
+    def test_three_line_scan_is_continuous(self, y_offset, z_offset):
+        scan = ThreeLineScan(-0.3, 0.3, y_offset=y_offset, z_offset=z_offset)
+        samples = scan.sample(speed_mps=0.1, read_rate_hz=40.0)
+        steps = np.linalg.norm(np.diff(samples.positions, axis=0), axis=1)
+        assert np.max(steps) < 0.08  # below lambda/4: always unwrappable
+
+    @given(st.integers(min_value=2, max_value=6),
+           st.floats(min_value=0.05, max_value=0.2))
+    @settings(max_examples=25, deadline=None)
+    def test_raster_covers_expected_extent(self, rows, spacing):
+        scan = RasterScan(-0.3, 0.3, row_count=rows, row_spacing=spacing)
+        samples = scan.sample(speed_mps=0.1, read_rate_hz=30.0)
+        y_span = samples.positions[:, 1].max() - samples.positions[:, 1].min()
+        assert y_span == pytest.approx((rows - 1) * spacing, abs=1e-6)
+
+    @given(st.integers(min_value=2, max_value=5))
+    @settings(max_examples=15, deadline=None)
+    def test_raster_data_rows_on_grid(self, rows):
+        scan = RasterScan(-0.3, 0.3, row_count=rows, row_spacing=0.1)
+        samples = scan.sample(speed_mps=0.1, read_rate_hz=30.0)
+        data = samples.positions[~scan.transit_mask(samples)]
+        residues = np.abs(data[:, 1] / 0.1 - np.round(data[:, 1] / 0.1))
+        assert np.max(residues) < 1e-6

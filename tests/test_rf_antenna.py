@@ -1,0 +1,85 @@
+"""Tests for repro.rf.antenna."""
+
+import numpy as np
+import pytest
+
+from repro.rf.antenna import Antenna
+
+
+class TestPhaseCenter:
+    def test_defaults_to_physical_center(self):
+        antenna = Antenna(physical_center=(1.0, 2.0, 3.0))
+        assert antenna.phase_center == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_displacement_applied(self):
+        antenna = Antenna(
+            physical_center=(0.0, 0.0, 0.0), center_displacement=(0.02, -0.01, 0.03)
+        )
+        assert antenna.phase_center == pytest.approx([0.02, -0.01, 0.03])
+
+    def test_physical_center_array_is_copy(self):
+        antenna = Antenna(physical_center=(1.0, 0.0, 0.0))
+        array = antenna.physical_center_array
+        array[0] = 99.0
+        assert antenna.physical_center_array[0] == pytest.approx(1.0)
+
+
+class TestDistances:
+    def test_distance_from_phase_center(self):
+        antenna = Antenna(
+            physical_center=(0.0, 0.0, 0.0), center_displacement=(0.0, 0.1, 0.0)
+        )
+        assert antenna.distance_to((0.0, 1.1, 0.0)) == pytest.approx(1.0)
+
+    def test_distance_from_physical_center(self):
+        antenna = Antenna(
+            physical_center=(0.0, 0.0, 0.0), center_displacement=(0.0, 0.1, 0.0)
+        )
+        assert antenna.distance_to((0.0, 1.1, 0.0), use_phase_center=False) == pytest.approx(1.1)
+
+
+class TestBeamPattern:
+    def test_boresight_peak_gain(self):
+        antenna = Antenna(physical_center=(0.0, 0.0, 0.0), boresight=(0.0, 1.0, 0.0))
+        assert antenna.relative_gain((0.0, 2.0, 0.0)) == pytest.approx(1.0)
+
+    def test_half_power_at_half_beamwidth(self):
+        antenna = Antenna(
+            physical_center=(0.0, 0.0, 0.0),
+            boresight=(0.0, 1.0, 0.0),
+            beamwidth_deg=70.0,
+        )
+        angle = np.radians(35.0)
+        point = (np.sin(angle), np.cos(angle), 0.0)
+        assert antenna.relative_gain(point) == pytest.approx(0.5, rel=1e-6)
+
+    def test_gain_monotone_within_front_hemisphere(self):
+        antenna = Antenna(physical_center=(0.0, 0.0, 0.0), boresight=(0.0, 1.0, 0.0))
+        gains = [
+            antenna.relative_gain((np.sin(a), np.cos(a), 0.0))
+            for a in np.radians([0, 15, 30, 45, 60, 75])
+        ]
+        assert all(g1 >= g2 for g1, g2 in zip(gains, gains[1:]))
+
+    def test_back_hemisphere_at_floor(self):
+        antenna = Antenna(physical_center=(0.0, 0.0, 0.0), boresight=(0.0, 1.0, 0.0))
+        assert antenna.relative_gain((0.0, -1.0, 0.0)) == pytest.approx(0.01)
+
+    def test_off_boresight_angle(self):
+        antenna = Antenna(physical_center=(0.0, 0.0, 0.0), boresight=(0.0, 1.0, 0.0))
+        assert antenna.off_boresight_angle((1.0, 0.0, 0.0)) == pytest.approx(np.pi / 2)
+
+    def test_angle_at_phase_center_is_zero(self):
+        antenna = Antenna(physical_center=(0.0, 0.0, 0.0))
+        assert antenna.off_boresight_angle((0.0, 0.0, 0.0)) == 0.0
+
+
+class TestValidation:
+    def test_zero_boresight_rejected(self):
+        with pytest.raises(ValueError):
+            Antenna(physical_center=(0, 0, 0), boresight=(0.0, 0.0, 0.0))
+
+    @pytest.mark.parametrize("beamwidth", [0.0, -10.0, 400.0])
+    def test_bad_beamwidth_rejected(self, beamwidth):
+        with pytest.raises(ValueError):
+            Antenna(physical_center=(0, 0, 0), beamwidth_deg=beamwidth)

@@ -1,0 +1,124 @@
+"""Tests for repro.rf.channel — the end-to-end Eq. (1) phase model."""
+
+import numpy as np
+import pytest
+
+from repro.constants import DEFAULT_WAVELENGTH_M, TWO_PI
+from repro.rf.antenna import Antenna
+from repro.rf.channel import Channel, ChannelConfig
+from repro.rf.multipath import Reflector
+from repro.rf.noise import GaussianPhaseNoise, NoPhaseNoise
+from repro.rf.tag import Tag
+
+
+def _clean_channel(antenna: Antenna, tag: Tag) -> Channel:
+    return Channel(antenna=antenna, tag=tag, config=ChannelConfig(noise=NoPhaseNoise()))
+
+
+class TestIdealPhase:
+    def test_matches_eq1(self, ideal_antenna, ideal_tag):
+        channel = _clean_channel(ideal_antenna, ideal_tag)
+        position = (0.3, 0.0, 0.0)
+        d = ideal_antenna.distance_to(position)
+        expected = np.mod(2.0 * TWO_PI * d / DEFAULT_WAVELENGTH_M, TWO_PI)
+        assert channel.ideal_phase(position) == pytest.approx(expected)
+
+    def test_includes_hardware_offsets(self):
+        antenna = Antenna(physical_center=(0, 1, 0), phase_offset_rad=0.7)
+        tag = Tag(phase_offset_rad=0.5)
+        channel = _clean_channel(antenna, tag)
+        base = Channel(
+            antenna=Antenna(physical_center=(0, 1, 0)),
+            tag=Tag(),
+            config=ChannelConfig(noise=NoPhaseNoise()),
+        )
+        position = (0.0, 0.0, 0.0)
+        delta = np.mod(
+            channel.ideal_phase(position) - base.ideal_phase(position), TWO_PI
+        )
+        assert delta == pytest.approx(1.2)
+
+
+class TestObservePhase:
+    def test_noiseless_equals_ideal(self, ideal_antenna, ideal_tag, rng):
+        channel = _clean_channel(ideal_antenna, ideal_tag)
+        position = (0.2, 0.1, 0.0)
+        assert channel.observe_phase(position, rng) == pytest.approx(
+            channel.ideal_phase(position)
+        )
+
+    def test_phase_uses_true_phase_center(self, rng):
+        """The crux of the paper: signals emanate from the displaced center."""
+        displaced = Antenna(
+            physical_center=(0.0, 1.0, 0.0), center_displacement=(0.0, -0.05, 0.0)
+        )
+        channel = _clean_channel(displaced, Tag())
+        position = (0.0, 0.0, 0.0)
+        d_true = 0.95
+        expected = np.mod(2.0 * TWO_PI * d_true / DEFAULT_WAVELENGTH_M, TWO_PI)
+        assert channel.observe_phase(position, rng) == pytest.approx(expected)
+
+    def test_noise_perturbs(self, ideal_antenna, ideal_tag, rng):
+        channel = Channel(
+            antenna=ideal_antenna,
+            tag=ideal_tag,
+            config=ChannelConfig(noise=GaussianPhaseNoise(0.1)),
+        )
+        position = (0.0, 0.0, 0.0)
+        draws = [channel.observe_phase(position, rng) for _ in range(100)]
+        assert np.std(draws) > 0.01
+
+    def test_output_in_range(self, ideal_antenna, ideal_tag, rng):
+        channel = Channel(
+            antenna=ideal_antenna,
+            tag=ideal_tag,
+            config=ChannelConfig(noise=GaussianPhaseNoise(0.5)),
+        )
+        for x in np.linspace(-1, 1, 20):
+            phase = channel.observe_phase((x, 0.0, 0.0), rng)
+            assert 0.0 <= phase < TWO_PI
+
+    def test_tag_at_phase_center_rejected(self, ideal_tag, rng):
+        antenna = Antenna(physical_center=(0.0, 0.0, 0.0))
+        channel = _clean_channel(antenna, ideal_tag)
+        with pytest.raises(ValueError):
+            channel.observe_phase((0.0, 0.0, 0.0), rng)
+
+
+class TestMultipathDistortion:
+    def test_multipath_shifts_phase(self, ideal_antenna, ideal_tag, rng):
+        clean = _clean_channel(ideal_antenna, ideal_tag)
+        dirty = Channel(
+            antenna=ideal_antenna,
+            tag=ideal_tag,
+            config=ChannelConfig(
+                noise=NoPhaseNoise(),
+                reflectors=(Reflector((0.0, 4.0, 0.0), amplitude=0.5),),
+            ),
+        )
+        positions = [(x, 0.0, 0.0) for x in np.linspace(-0.5, 0.5, 9)]
+        deltas = [
+            abs(dirty.observe_phase(p, rng) - clean.observe_phase(p, rng))
+            for p in positions
+        ]
+        assert max(deltas) > 1e-3
+
+
+class TestRssi:
+    def test_decays_with_distance(self, ideal_antenna, ideal_tag):
+        channel = _clean_channel(ideal_antenna, ideal_tag)
+        near = channel.observe_rssi((0.0, 0.3, 0.0))
+        far = channel.observe_rssi((0.0, -1.0, 0.0))
+        assert near > far
+
+    def test_decays_off_beam(self, ideal_antenna, ideal_tag):
+        channel = _clean_channel(ideal_antenna, ideal_tag)
+        boresight = channel.observe_rssi((0.0, 0.0, 0.0))
+        off_beam = channel.observe_rssi((0.8, 0.8, 0.0))
+        assert boresight > off_beam
+
+
+class TestConfigValidation:
+    def test_bad_wavelength_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelConfig(wavelength_m=-1.0)

@@ -1,0 +1,120 @@
+"""Tests for repro.rf.noise and repro.rf.tag."""
+
+import numpy as np
+import pytest
+
+from repro.constants import TWO_PI
+from repro.rf.noise import (
+    BurstyPhaseNoise,
+    GaussianPhaseNoise,
+    NoPhaseNoise,
+    SnrScaledPhaseNoise,
+)
+from repro.rf.tag import Tag
+
+
+class TestNoPhaseNoise:
+    def test_always_zero(self, rng):
+        model = NoPhaseNoise()
+        assert model.sample(rng, 1.0, 1.0) == 0.0
+
+
+class TestGaussianPhaseNoise:
+    def test_statistics(self, rng):
+        model = GaussianPhaseNoise(std_rad=0.1)
+        draws = np.array([model.sample(rng, 1.0, 1.0) for _ in range(5000)])
+        assert np.mean(draws) == pytest.approx(0.0, abs=0.01)
+        assert np.std(draws) == pytest.approx(0.1, rel=0.1)
+
+    def test_zero_std(self, rng):
+        assert GaussianPhaseNoise(std_rad=0.0).sample(rng, 1.0, 1.0) == 0.0
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianPhaseNoise(std_rad=-0.1)
+
+    def test_independent_of_geometry(self, rng):
+        model = GaussianPhaseNoise(std_rad=0.2)
+        near = np.std([model.sample(rng, 0.1, 1.0) for _ in range(2000)])
+        far = np.std([model.sample(rng, 10.0, 0.01) for _ in range(2000)])
+        assert near == pytest.approx(far, rel=0.15)
+
+
+class TestSnrScaledPhaseNoise:
+    def test_sigma_at_reference(self):
+        model = SnrScaledPhaseNoise(base_std_rad=0.1, reference_distance_m=0.8)
+        assert model.sigma(0.8, 1.0) == pytest.approx(0.1)
+
+    def test_sigma_grows_with_distance(self):
+        model = SnrScaledPhaseNoise(base_std_rad=0.1, reference_distance_m=0.8)
+        assert model.sigma(1.6, 1.0) == pytest.approx(0.2)
+
+    def test_sigma_grows_off_beam(self):
+        model = SnrScaledPhaseNoise(base_std_rad=0.1, reference_distance_m=0.8)
+        assert model.sigma(0.8, 0.25) == pytest.approx(0.2)
+
+    def test_sigma_capped(self):
+        model = SnrScaledPhaseNoise(
+            base_std_rad=0.1, reference_distance_m=0.8, max_std_rad=0.5
+        )
+        assert model.sigma(100.0, 1e-6) == pytest.approx(0.5)
+
+    def test_degenerate_distance(self):
+        model = SnrScaledPhaseNoise(base_std_rad=0.1)
+        assert model.sigma(0.0, 1.0) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SnrScaledPhaseNoise(base_std_rad=-0.1)
+        with pytest.raises(ValueError):
+            SnrScaledPhaseNoise(reference_distance_m=0.0)
+        with pytest.raises(ValueError):
+            SnrScaledPhaseNoise(base_std_rad=0.5, max_std_rad=0.1)
+
+
+class TestBurstyPhaseNoise:
+    def test_burst_rate(self, rng):
+        model = BurstyPhaseNoise(
+            base=NoPhaseNoise(), burst_probability=0.2, burst_magnitude_rad=1.0
+        )
+        draws = np.array([model.sample(rng, 1.0, 1.0) for _ in range(5000)])
+        burst_fraction = np.mean(draws != 0.0)
+        assert burst_fraction == pytest.approx(0.2, abs=0.03)
+
+    def test_burst_magnitude_bounded(self, rng):
+        model = BurstyPhaseNoise(
+            base=NoPhaseNoise(), burst_probability=1.0, burst_magnitude_rad=0.5
+        )
+        draws = np.array([model.sample(rng, 1.0, 1.0) for _ in range(1000)])
+        assert np.all(np.abs(draws) <= 0.5)
+
+    def test_zero_probability_passthrough(self, rng):
+        model = BurstyPhaseNoise(base=GaussianPhaseNoise(0.1), burst_probability=0.0)
+        draws = np.array([model.sample(rng, 1.0, 1.0) for _ in range(2000)])
+        assert np.std(draws) == pytest.approx(0.1, rel=0.15)
+
+    def test_magnitude_must_be_below_pi(self):
+        with pytest.raises(ValueError):
+            BurstyPhaseNoise(base=NoPhaseNoise(), burst_magnitude_rad=3.5)
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            BurstyPhaseNoise(base=NoPhaseNoise(), burst_probability=1.5)
+
+
+class TestTag:
+    def test_offset_normalised_into_range(self):
+        tag = Tag(phase_offset_rad=TWO_PI + 1.0)
+        assert tag.phase_offset_rad == pytest.approx(1.0)
+
+    def test_random_tags_differ(self, rng):
+        tags = [Tag.random(rng) for _ in range(5)]
+        offsets = {round(t.phase_offset_rad, 6) for t in tags}
+        assert len(offsets) == 5
+
+    def test_random_epc_generated(self, rng):
+        tag = Tag.random(rng)
+        assert tag.epc.startswith("E200-")
+
+    def test_random_epc_override(self, rng):
+        assert Tag.random(rng, epc="CUSTOM").epc == "CUSTOM"

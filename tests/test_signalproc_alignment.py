@@ -1,0 +1,120 @@
+"""Tests for repro.signalproc.alignment — clock-offset estimation."""
+
+import numpy as np
+import pytest
+
+from repro.constants import DEFAULT_WAVELENGTH_M, TWO_PI
+from repro.core.localizer import LionLocalizer, PreprocessConfig
+from repro.signalproc.alignment import (
+    apply_clock_offset,
+    estimate_clock_offset,
+)
+
+
+def _boustrophedon_x(times, speed=0.1, start=-0.4, half_duration=8.0):
+    """Out-and-back sweep: forward for half the scan, then reversed.
+
+    A direction reversal is what makes the clock offset observable — on a
+    constant-velocity line the offset is absorbed as a spatial shift (see
+    the alignment module docstring).
+    """
+    forward = start + speed * np.minimum(times, half_duration)
+    backward = speed * np.maximum(times - half_duration, 0.0)
+    return forward - backward
+
+
+def _misaligned_streams(true_offset_s, noise=0.02, rng=None, n=800):
+    """A back-and-forth scan whose phase clock lags the encoder clock."""
+    rng = rng or np.random.default_rng(0)
+    target = np.array([0.1, 0.9])
+    duration = 16.0
+    encoder_times = np.linspace(0.0, duration, n)
+    x = _boustrophedon_x(encoder_times)
+    encoder_positions = np.stack([x, np.zeros_like(x)], axis=1)
+    # Phases are *observed* at reader-clock times; the tag's true position
+    # at reader time t is the encoder position at t + true_offset.
+    reader_times = np.linspace(0.5, duration - 0.5, n)
+    true_x = _boustrophedon_x(reader_times + true_offset_s)
+    true_positions = np.stack([true_x, np.zeros_like(true_x)], axis=1)
+    distances = np.linalg.norm(true_positions - target, axis=1)
+    phases = np.mod(
+        2.0 * TWO_PI / DEFAULT_WAVELENGTH_M * distances
+        + 0.4
+        + rng.normal(0.0, noise, n),
+        TWO_PI,
+    )
+    return encoder_times, encoder_positions, reader_times, phases, target
+
+
+@pytest.fixture
+def localizer():
+    return LionLocalizer(
+        dim=2, preprocess=PreprocessConfig(smoothing_window=1), interval_m=0.2
+    )
+
+
+class TestEstimateClockOffset:
+    @pytest.mark.parametrize("true_offset", [-0.12, 0.0, 0.15])
+    def test_recovers_known_offset(self, localizer, true_offset):
+        et, ep, rt, phases, _ = _misaligned_streams(true_offset)
+        result = estimate_clock_offset(
+            localizer, et, ep, rt, phases,
+            candidate_offsets_s=np.linspace(-0.25, 0.25, 26),
+        )
+        assert result.offset_s == pytest.approx(true_offset, abs=0.02)
+
+    def test_alignment_improves_localization(self, localizer, rng):
+        true_offset = 0.1
+        et, ep, rt, phases, target = _misaligned_streams(true_offset, rng=rng)
+        aligned = apply_clock_offset(et, ep, rt, true_offset)
+        misaligned = apply_clock_offset(et, ep, rt, 0.0)
+        error_aligned = np.linalg.norm(
+            localizer.locate(aligned, phases).position - target
+        )
+        error_misaligned = np.linalg.norm(
+            localizer.locate(misaligned, phases).position - target
+        )
+        assert error_aligned < error_misaligned
+
+    def test_score_curve_shape(self, localizer):
+        et, ep, rt, phases, _ = _misaligned_streams(0.0)
+        result = estimate_clock_offset(localizer, et, ep, rt, phases)
+        assert result.offsets_s.shape == result.scores.shape
+        best = int(np.argmin(result.scores))
+        # Scores grow away from the optimum on both sides.
+        assert result.scores[0] > result.scores[best]
+        assert result.scores[-1] > result.scores[best]
+
+    def test_refinement_beats_grid_resolution(self, localizer):
+        true_offset = 0.037  # deliberately off the grid
+        et, ep, rt, phases, _ = _misaligned_streams(true_offset, noise=0.01)
+        coarse_grid = np.linspace(-0.2, 0.2, 9)  # 50 ms steps
+        result = estimate_clock_offset(
+            localizer, et, ep, rt, phases, candidate_offsets_s=coarse_grid
+        )
+        assert abs(result.offset_s - true_offset) < 0.025
+
+    def test_validation(self, localizer):
+        et, ep, rt, phases, _ = _misaligned_streams(0.0)
+        with pytest.raises(ValueError):
+            estimate_clock_offset(localizer, et, ep, rt, phases[:10])
+        with pytest.raises(ValueError):
+            estimate_clock_offset(localizer, et[:5], ep, rt, phases)
+        with pytest.raises(ValueError):
+            estimate_clock_offset(
+                localizer, et, ep, rt, phases, candidate_offsets_s=[]
+            )
+
+
+class TestApplyClockOffset:
+    def test_interpolates_linearly(self):
+        times = np.array([0.0, 1.0, 2.0])
+        positions = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        out = apply_clock_offset(times, positions, np.array([0.25]), 0.25)
+        assert out[0] == pytest.approx([0.5, 0.0])
+
+    def test_clamps_at_edges(self):
+        times = np.array([0.0, 1.0])
+        positions = np.array([[0.0, 0.0], [1.0, 0.0]])
+        out = apply_clock_offset(times, positions, np.array([5.0]), 10.0)
+        assert out[0] == pytest.approx([1.0, 0.0])

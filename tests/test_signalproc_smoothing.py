@@ -1,0 +1,104 @@
+"""Tests for repro.signalproc.smoothing."""
+
+import numpy as np
+import pytest
+
+from repro.signalproc.smoothing import (
+    hampel_filter,
+    median_filter,
+    moving_average,
+    smooth_phase_profile,
+)
+
+
+class TestMovingAverage:
+    def test_constant_signal_unchanged(self):
+        values = np.full(20, 3.5)
+        assert moving_average(values, 5) == pytest.approx(values)
+
+    def test_linear_signal_unchanged(self):
+        """Symmetric windows are exact for linear trends — including edges."""
+        values = np.linspace(0.0, 10.0, 30)
+        assert moving_average(values, 7) == pytest.approx(values)
+
+    def test_reduces_noise_variance(self, rng):
+        noisy = rng.normal(0.0, 1.0, size=2000)
+        smoothed = moving_average(noisy, 9)
+        assert np.var(smoothed) < np.var(noisy) / 3.0
+
+    def test_window_one_is_identity(self):
+        values = np.array([1.0, 5.0, 2.0])
+        out = moving_average(values, 1)
+        assert np.array_equal(out, values)
+        assert out is not values  # must be a copy
+
+    def test_same_length(self):
+        assert moving_average(np.arange(10.0), 4).shape == (10,)
+
+    def test_window_larger_than_input(self):
+        values = np.array([1.0, 2.0, 3.0])
+        out = moving_average(values, 99)
+        assert out.shape == (3,)
+        assert out[1] == pytest.approx(2.0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            moving_average(np.zeros((3, 3)), 3)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            moving_average(np.zeros(5), 0)
+
+
+class TestSmoothPhaseProfile:
+    def test_alias_of_moving_average(self):
+        values = np.sin(np.linspace(0, 6, 100))
+        assert smooth_phase_profile(values, 9) == pytest.approx(
+            moving_average(values, 9)
+        )
+
+
+class TestMedianFilter:
+    def test_removes_single_spike(self):
+        values = np.ones(11)
+        values[5] = 100.0
+        filtered = median_filter(values, 5)
+        assert filtered[5] == pytest.approx(1.0)
+
+    def test_linear_preserved(self):
+        values = np.linspace(0.0, 5.0, 21)
+        assert median_filter(values, 5) == pytest.approx(values)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            median_filter(np.zeros(5), -1)
+
+
+class TestHampelFilter:
+    def test_flags_and_replaces_outlier(self):
+        values = np.sin(np.linspace(0, 3, 50)) * 0.1
+        values[20] += 5.0
+        cleaned, mask = hampel_filter(values, window=11, n_sigmas=3.0)
+        assert mask[20]
+        assert abs(cleaned[20]) < 1.0
+
+    def test_clean_signal_untouched(self, rng):
+        values = rng.normal(0.0, 0.1, size=200)
+        cleaned, mask = hampel_filter(values, window=11, n_sigmas=6.0)
+        assert not mask.any()
+        assert cleaned == pytest.approx(values)
+
+    def test_multiple_outliers(self, rng):
+        values = rng.normal(0.0, 0.05, size=300)
+        spikes = [30, 100, 250]
+        for index in spikes:
+            values[index] += 4.0
+        _, mask = hampel_filter(values, window=15, n_sigmas=3.0)
+        for index in spikes:
+            assert mask[index]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            hampel_filter(np.zeros(5), window=0)
+        with pytest.raises(ValueError):
+            hampel_filter(np.zeros(5), window=3, n_sigmas=0.0)

@@ -1,0 +1,94 @@
+"""Tests for repro.signalproc.stats (circular statistics)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import TWO_PI
+from repro.signalproc.stats import (
+    circular_difference,
+    circular_distance,
+    circular_mean,
+    circular_std,
+    mean_resultant_length,
+)
+
+
+class TestCircularMean:
+    def test_simple_cluster(self):
+        assert circular_mean(np.array([0.1, 0.2, 0.3])) == pytest.approx(0.2)
+
+    def test_cluster_across_wrap(self):
+        """Arithmetic mean of {6.2, 0.1} is ~3.15; circular mean is ~0."""
+        angles = np.array([TWO_PI - 0.1, 0.1])
+        mean = circular_mean(angles)
+        assert min(mean, TWO_PI - mean) == pytest.approx(0.0, abs=1e-9)
+
+    def test_invariant_to_rotation(self, rng):
+        angles = rng.normal(1.0, 0.2, size=100)
+        shift = 2.5
+        shifted_mean = circular_mean(np.mod(angles + shift, TWO_PI))
+        base_mean = circular_mean(np.mod(angles, TWO_PI))
+        diff = circular_difference(shifted_mean, base_mean)
+        assert diff == pytest.approx(shift, abs=1e-6)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            circular_mean(np.array([]))
+
+    def test_balanced_rejected(self):
+        with pytest.raises(ValueError):
+            circular_mean(np.array([0.0, np.pi]))
+
+
+class TestMeanResultantLength:
+    def test_identical_angles(self):
+        assert mean_resultant_length(np.full(10, 1.3)) == pytest.approx(1.0)
+
+    def test_uniform_spread_near_zero(self):
+        angles = np.linspace(0.0, TWO_PI, 100, endpoint=False)
+        assert mean_resultant_length(angles) == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_resultant_length(np.array([]))
+
+
+class TestCircularStd:
+    def test_zero_for_identical(self):
+        assert circular_std(np.full(5, 0.7)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_grows_with_spread(self, rng):
+        tight = circular_std(rng.normal(0.0, 0.05, 500))
+        loose = circular_std(rng.normal(0.0, 0.5, 500))
+        assert loose > tight
+
+    def test_matches_linear_std_for_small_spread(self, rng):
+        samples = rng.normal(2.0, 0.1, 5000)
+        assert circular_std(samples) == pytest.approx(0.1, rel=0.1)
+
+
+class TestCircularDifference:
+    def test_plain(self):
+        assert circular_difference(1.0, 0.3) == pytest.approx(0.7)
+
+    def test_across_wrap(self):
+        assert circular_difference(0.1, TWO_PI - 0.1) == pytest.approx(0.2)
+
+    def test_result_in_range(self, rng):
+        a = rng.uniform(0, TWO_PI, 100)
+        b = rng.uniform(0, TWO_PI, 100)
+        diffs = circular_difference(a, b)
+        assert np.all(diffs > -np.pi)
+        assert np.all(diffs <= np.pi)
+
+
+class TestCircularDistance:
+    def test_non_negative_and_bounded(self, rng):
+        a = rng.uniform(0, TWO_PI, 200)
+        b = rng.uniform(0, TWO_PI, 200)
+        d = circular_distance(a, b)
+        assert np.all(d >= 0.0)
+        assert np.all(d <= np.pi)
+
+    def test_symmetric(self):
+        assert circular_distance(0.4, 5.9) == pytest.approx(circular_distance(5.9, 0.4))

@@ -1,0 +1,126 @@
+"""Tests for repro.signalproc.unwrap."""
+
+import numpy as np
+import pytest
+
+from repro.constants import DEFAULT_WAVELENGTH_M, TWO_PI
+from repro.signalproc.unwrap import (
+    count_wraps,
+    stitch_profiles,
+    unwrap_error_estimate,
+    unwrap_phase,
+    unwrap_segments,
+)
+from repro.signalproc.wrapping import phase_from_distance, wrap_phase
+
+
+def _linear_scan_profile(distances: np.ndarray) -> np.ndarray:
+    """Wrapped phases of a smooth distance profile."""
+    return wrap_phase(phase_from_distance(distances, wrapped=False))
+
+
+class TestUnwrapPhase:
+    def test_recovers_smooth_profile_up_to_constant(self):
+        distances = np.linspace(0.8, 1.6, 400)
+        expected = phase_from_distance(distances, wrapped=False)
+        unwrapped = unwrap_phase(_linear_scan_profile(distances))
+        offset = expected[0] - unwrapped[0]
+        assert unwrapped + offset == pytest.approx(expected)
+
+    def test_first_sample_preserved(self):
+        wrapped = np.array([1.0, 1.2, 1.4])
+        assert unwrap_phase(wrapped)[0] == pytest.approx(1.0)
+
+    def test_no_jumps_after_unwrap(self):
+        distances = np.linspace(0.5, 2.0, 600)
+        unwrapped = unwrap_phase(_linear_scan_profile(distances))
+        assert np.max(np.abs(np.diff(unwrapped))) < np.pi
+
+    def test_single_sample(self):
+        assert unwrap_phase(np.array([2.0])) == pytest.approx([2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            unwrap_phase(np.array([]))
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            unwrap_phase(np.array([1.0, 2.0]), jump_threshold_rad=0.0)
+
+
+class TestCountWraps:
+    def test_no_wraps(self):
+        assert count_wraps(np.array([1.0, 1.1, 1.2])) == 0
+
+    def test_counts_jumps(self):
+        wrapped = np.array([6.2, 0.1, 6.2, 0.1])
+        assert count_wraps(wrapped) == 3
+
+    def test_short_input(self):
+        assert count_wraps(np.array([1.0])) == 0
+
+
+class TestUnwrapSegments:
+    def test_each_segment_unwrapped_independently(self):
+        d1 = np.linspace(1.0, 1.4, 100)
+        d2 = np.linspace(1.4, 1.0, 100)
+        segments = unwrap_segments(
+            [_linear_scan_profile(d1), _linear_scan_profile(d2)]
+        )
+        assert len(segments) == 2
+        for segment in segments:
+            assert np.max(np.abs(np.diff(segment))) < np.pi
+
+
+class TestStitchProfiles:
+    def test_stitched_differences_match_distance_differences(self):
+        """After stitching, cross-profile phase diffs follow 4*pi/lambda * dd."""
+        d1 = np.linspace(1.0, 1.3, 120)
+        d2 = np.linspace(1.25, 0.95, 120)
+        profiles = unwrap_segments(
+            [_linear_scan_profile(d1), _linear_scan_profile(d2)]
+        )
+        stitched = stitch_profiles(profiles, [d1[0], d2[0]])
+        k = 2.0 * TWO_PI / DEFAULT_WAVELENGTH_M
+        measured = stitched[1][40] - stitched[0][10]
+        expected = k * (d2[40] - d1[10])
+        assert measured == pytest.approx(expected, abs=1e-6)
+
+    def test_first_profile_unchanged(self):
+        p = [np.array([1.0, 1.2]), np.array([3.0, 3.3])]
+        stitched = stitch_profiles(p, [1.0, 1.1])
+        assert stitched[0] == pytest.approx(p[0])
+
+    def test_shifts_are_wrap_multiples_when_consistent(self):
+        d1 = np.linspace(1.0, 1.2, 50)
+        d2 = np.linspace(1.18, 1.4, 50)
+        profiles = unwrap_segments(
+            [_linear_scan_profile(d1), _linear_scan_profile(d2)]
+        )
+        stitched = stitch_profiles(profiles, [d1[0], d2[0]])
+        shift = stitched[1][0] - profiles[1][0]
+        assert shift / TWO_PI == pytest.approx(round(shift / TWO_PI), abs=1e-6)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            stitch_profiles([np.array([1.0])], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            stitch_profiles([], [])
+
+
+class TestUnwrapErrorEstimate:
+    def test_zero_for_identical_shapes(self):
+        profile = np.linspace(0.0, 10.0, 50)
+        assert unwrap_error_estimate(profile, profile + 5.0) == pytest.approx(0.0)
+
+    def test_positive_for_differing_shapes(self):
+        a = np.linspace(0.0, 10.0, 50)
+        b = a.copy()
+        b[25:] += 1.0
+        assert unwrap_error_estimate(a, b) > 0.1
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            unwrap_error_estimate(np.zeros(3), np.zeros(4))

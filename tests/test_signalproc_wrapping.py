@@ -1,0 +1,98 @@
+"""Tests for repro.signalproc.wrapping."""
+
+import numpy as np
+import pytest
+
+from repro.constants import DEFAULT_WAVELENGTH_M, TWO_PI
+from repro.signalproc.wrapping import (
+    distance_difference_from_phase,
+    phase_difference,
+    phase_from_distance,
+    wrap_phase,
+    wrap_to_pi,
+)
+
+
+class TestWrapPhase:
+    def test_in_range_untouched(self):
+        assert wrap_phase(1.0) == pytest.approx(1.0)
+
+    def test_wraps_above(self):
+        assert wrap_phase(TWO_PI + 0.5) == pytest.approx(0.5)
+
+    def test_wraps_negative(self):
+        assert wrap_phase(-0.5) == pytest.approx(TWO_PI - 0.5)
+
+    def test_array_input(self):
+        values = np.array([0.0, TWO_PI, 3 * TWO_PI + 1.0])
+        assert wrap_phase(values) == pytest.approx([0.0, 0.0, 1.0])
+
+
+class TestWrapToPi:
+    def test_small_value(self):
+        assert wrap_to_pi(0.3) == pytest.approx(0.3)
+
+    def test_wraps_large_positive(self):
+        assert wrap_to_pi(np.pi + 0.1) == pytest.approx(-np.pi + 0.1)
+
+    def test_boundary_maps_to_positive_pi(self):
+        assert wrap_to_pi(np.pi) == pytest.approx(np.pi)
+        assert wrap_to_pi(-np.pi) == pytest.approx(np.pi)
+
+    def test_scalar_returns_float(self):
+        assert isinstance(wrap_to_pi(1.0), float)
+
+
+class TestPhaseDifference:
+    def test_simple(self):
+        assert phase_difference(1.0, 0.4) == pytest.approx(0.6)
+
+    def test_wraps_shortest_way(self):
+        assert phase_difference(0.1, TWO_PI - 0.1) == pytest.approx(0.2)
+
+    def test_antisymmetric(self):
+        assert phase_difference(2.0, 0.5) == pytest.approx(-phase_difference(0.5, 2.0))
+
+
+class TestPhaseFromDistance:
+    def test_half_wavelength_is_full_wrap(self):
+        """Backscatter doubles the path: lambda/2 displacement = 2*pi."""
+        phase = phase_from_distance(DEFAULT_WAVELENGTH_M / 2.0, wrapped=False)
+        assert phase == pytest.approx(TWO_PI)
+
+    def test_wrapped_range(self):
+        for d in (0.1, 0.5, 1.0, 2.0):
+            assert 0.0 <= phase_from_distance(d) < TWO_PI
+
+    def test_unwrapped_monotone(self):
+        distances = np.linspace(0.5, 1.5, 10)
+        phases = phase_from_distance(distances, wrapped=False)
+        assert np.all(np.diff(phases) > 0)
+
+    def test_bad_wavelength_rejected(self):
+        with pytest.raises(ValueError):
+            phase_from_distance(1.0, wavelength_m=0.0)
+
+
+class TestDistanceDifferenceFromPhase:
+    def test_roundtrip_with_phase_from_distance(self):
+        """Eq. 6 inverts Eq. 1's distance term on unwrapped profiles."""
+        d_ref, d_t = 1.0, 1.07
+        theta_ref = phase_from_distance(d_ref, wrapped=False)
+        theta_t = phase_from_distance(d_t, wrapped=False)
+        delta = distance_difference_from_phase(theta_t, theta_ref)
+        assert delta == pytest.approx(d_t - d_ref)
+
+    def test_negative_difference(self):
+        assert distance_difference_from_phase(0.0, 1.0) < 0.0
+
+    def test_vectorised(self):
+        thetas = np.array([0.0, TWO_PI, 2 * TWO_PI])
+        deltas = distance_difference_from_phase(thetas, 0.0)
+        assert deltas == pytest.approx(
+            [0.0, DEFAULT_WAVELENGTH_M / 2.0, DEFAULT_WAVELENGTH_M]
+        )
+
+    def test_bad_wavelength_rejected(self):
+        with pytest.raises(ValueError):
+            distance_difference_from_phase(1.0, 0.0, wavelength_m=-1.0)

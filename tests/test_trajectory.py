@@ -1,0 +1,204 @@
+"""Tests for the trajectory subpackage."""
+
+import numpy as np
+import pytest
+
+from repro.trajectory.base import TrajectorySamples
+from repro.trajectory.circular import CircularTrajectory
+from repro.trajectory.linear import LinearTrajectory
+from repro.trajectory.multiline import ThreeLineScan, TwoLineScan
+from repro.trajectory.waypoints import WaypointTrajectory
+
+
+class TestLinearTrajectory:
+    def test_endpoints(self):
+        line = LinearTrajectory((0, 0, 0), (1, 0, 0))
+        assert line.position_at(0.0) == pytest.approx([0, 0, 0])
+        assert line.position_at(1.0) == pytest.approx([1, 0, 0])
+
+    def test_midpoint(self):
+        line = LinearTrajectory((0, 0, 0), (2, 0, 0))
+        assert line.position_at(1.0) == pytest.approx([1, 0, 0])
+
+    def test_length(self):
+        line = LinearTrajectory((0, 0, 0), (3, 4, 0))
+        assert line.total_length_m == pytest.approx(5.0)
+
+    def test_out_of_range_rejected(self):
+        line = LinearTrajectory((0, 0, 0), (1, 0, 0))
+        with pytest.raises(ValueError):
+            line.position_at(1.5)
+        with pytest.raises(ValueError):
+            line.position_at(-0.5)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            LinearTrajectory((1, 1, 1), (1, 1, 1))
+
+    def test_sampling_spacing_matches_speed_and_rate(self):
+        line = LinearTrajectory((0, 0, 0), (1, 0, 0))
+        samples = line.sample(speed_mps=0.1, read_rate_hz=100.0)
+        steps = np.linalg.norm(np.diff(samples.positions, axis=0), axis=1)
+        assert steps[:-1] == pytest.approx(0.001, rel=1e-6)
+
+    def test_sampling_validation(self):
+        line = LinearTrajectory((0, 0, 0), (1, 0, 0))
+        with pytest.raises(ValueError):
+            line.sample(speed_mps=0.0)
+        with pytest.raises(ValueError):
+            line.sample(read_rate_hz=0.0)
+
+
+class TestCircularTrajectory:
+    def test_points_on_circle(self):
+        circle = CircularTrajectory((0, 0, 0), radius=0.3)
+        samples = circle.sample(speed_mps=0.1, read_rate_hz=50.0)
+        radii = np.linalg.norm(samples.positions[:, :2], axis=1)
+        assert radii == pytest.approx(0.3)
+
+    def test_full_turn_closes(self):
+        circle = CircularTrajectory((1, 2, 0), radius=0.5)
+        start = circle.position_at(0.0)
+        end = circle.position_at(circle.total_length_m)
+        assert start == pytest.approx(end)
+
+    def test_stays_in_plane(self):
+        circle = CircularTrajectory((0, 0, 1), radius=0.2, normal=(0, 0, 1))
+        samples = circle.sample(speed_mps=0.05, read_rate_hz=30.0)
+        assert samples.positions[:, 2] == pytest.approx(np.ones(len(samples)))
+
+    def test_partial_turns(self):
+        circle = CircularTrajectory((0, 0, 0), radius=1.0, turns=0.5)
+        assert circle.total_length_m == pytest.approx(np.pi)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircularTrajectory((0, 0, 0), radius=0.0)
+        with pytest.raises(ValueError):
+            CircularTrajectory((0, 0, 0), radius=1.0, turns=0.0)
+
+
+class TestThreeLineScan:
+    def test_line_geometry(self):
+        scan = ThreeLineScan(-0.5, 0.5, y_offset=0.2, z_offset=0.3)
+        assert scan.line1.start == pytest.approx([-0.5, 0.0, 0.0])
+        assert scan.line2.start[2] == pytest.approx(0.3)
+        assert scan.line3.start[1] == pytest.approx(-0.2)
+
+    def test_transits_connect_lines(self):
+        scan = ThreeLineScan(-0.5, 0.5)
+        samples = scan.sample(speed_mps=0.1, read_rate_hz=60.0)
+        steps = np.linalg.norm(np.diff(samples.positions, axis=0), axis=1)
+        # The whole traversal is continuous: no jump exceeds the sample step.
+        assert np.max(steps) < 0.01
+
+    def test_data_and_transit_segments(self):
+        scan = ThreeLineScan(-0.5, 0.5)
+        assert len(scan.data_segment_ids) == 3
+        assert len(scan.transit_segment_ids) == 2
+
+    def test_transit_mask(self):
+        scan = ThreeLineScan(-0.5, 0.5)
+        samples = scan.sample(speed_mps=0.1, read_rate_hz=60.0)
+        mask = scan.transit_mask(samples)
+        assert mask.any()
+        assert not mask.all()
+        # Non-transit reads lie exactly on one of the three lines.
+        data = samples.positions[~mask]
+        on_line = (
+            (np.isclose(data[:, 1], 0.0) & np.isclose(data[:, 2], 0.0))
+            | (np.isclose(data[:, 1], 0.0) & np.isclose(data[:, 2], scan.z_offset))
+            | (np.isclose(data[:, 1], -scan.y_offset) & np.isclose(data[:, 2], 0.0))
+        )
+        assert on_line.all()
+
+    def test_without_transits(self):
+        scan = ThreeLineScan(-0.5, 0.5, include_transits=False)
+        assert len(scan.transit_segment_ids) == 0
+        assert len(scan.lines) == 3
+
+    def test_line_ids_for_pairing_ordered(self):
+        scan = ThreeLineScan(-0.5, 0.5)
+        l1, l2, l3 = scan.line_ids_for_pairing()
+        assert l1 < l2 < l3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThreeLineScan(0.0, 0.0)
+        with pytest.raises(ValueError):
+            ThreeLineScan(-0.5, 0.5, y_offset=0.0)
+
+
+class TestTwoLineScan:
+    def test_lines_in_plane(self):
+        scan = TwoLineScan(-0.4, 0.4, y_offset=0.25)
+        samples = scan.sample(speed_mps=0.1, read_rate_hz=40.0)
+        assert samples.positions[:, 2] == pytest.approx(np.zeros(len(samples)))
+
+    def test_continuous_traversal(self):
+        scan = TwoLineScan(-0.4, 0.4)
+        samples = scan.sample(speed_mps=0.1, read_rate_hz=60.0)
+        steps = np.linalg.norm(np.diff(samples.positions, axis=0), axis=1)
+        assert np.max(steps) < 0.01
+
+
+class TestWaypointTrajectory:
+    def test_length(self):
+        path = WaypointTrajectory([(0, 0, 0), (1, 0, 0), (1, 1, 0)])
+        assert path.total_length_m == pytest.approx(2.0)
+
+    def test_interpolation(self):
+        path = WaypointTrajectory([(0, 0, 0), (2, 0, 0)])
+        assert path.position_at(0.5) == pytest.approx([0.5, 0, 0])
+
+    def test_corner(self):
+        path = WaypointTrajectory([(0, 0, 0), (1, 0, 0), (1, 2, 0)])
+        assert path.position_at(1.0) == pytest.approx([1, 0, 0])
+        assert path.position_at(2.0) == pytest.approx([1, 1, 0])
+
+    def test_duplicate_waypoints_rejected(self):
+        with pytest.raises(ValueError):
+            WaypointTrajectory([(0, 0, 0), (0, 0, 0), (1, 0, 0)])
+
+    def test_single_waypoint_rejected(self):
+        with pytest.raises(ValueError):
+            WaypointTrajectory([(0, 0, 0)])
+
+
+class TestTrajectorySamples:
+    def test_segment_extraction(self):
+        samples = TrajectorySamples(
+            positions=np.zeros((4, 3)),
+            timestamps_s=np.arange(4.0),
+            segment_ids=np.array([0, 0, 1, 1]),
+        )
+        segment = samples.segment(1)
+        assert len(segment) == 2
+
+    def test_missing_segment_rejected(self):
+        samples = TrajectorySamples(
+            positions=np.zeros((2, 3)),
+            timestamps_s=np.arange(2.0),
+            segment_ids=np.zeros(2, dtype=int),
+        )
+        with pytest.raises(KeyError):
+            samples.segment(7)
+
+    def test_restricted_to_range(self):
+        positions = np.zeros((5, 3))
+        positions[:, 0] = [-2.0, -0.5, 0.0, 0.5, 2.0]
+        samples = TrajectorySamples(
+            positions=positions,
+            timestamps_s=np.arange(5.0),
+            segment_ids=np.zeros(5, dtype=int),
+        )
+        restricted = samples.restricted_to_range(axis=0, center=0.0, width=2.0)
+        assert len(restricted) == 3
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            TrajectorySamples(
+                positions=np.zeros((3, 2)),
+                timestamps_s=np.arange(3.0),
+                segment_ids=np.zeros(3, dtype=int),
+            )

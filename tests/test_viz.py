@@ -1,0 +1,123 @@
+"""Tests for repro.viz — ASCII rendering."""
+
+import numpy as np
+import pytest
+
+from repro.viz import heatmap, line_plot, scatter_2d, sparkline
+
+
+class TestSparkline:
+    def test_monotone_series_monotone_blocks(self):
+        line = sparkline([1, 2, 3, 4, 5])
+        blocks = "▁▂▃▄▅▆▇█"
+        levels = [blocks.index(c) for c in line]
+        assert levels == sorted(levels)
+        assert levels[0] == 0 and levels[-1] == len(blocks) - 1
+
+    def test_constant_series(self):
+        line = sparkline([2.0, 2.0, 2.0])
+        assert len(line) == 3
+        assert len(set(line)) == 1
+
+    def test_resampling_width(self):
+        line = sparkline(np.linspace(0, 1, 100), width=10)
+        assert len(line) == 10
+
+    def test_nan_renders_space(self):
+        line = sparkline([1.0, float("nan"), 3.0])
+        assert line[1] == " "
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+
+class TestLinePlot:
+    def test_contains_markers_and_labels(self):
+        text = line_plot([0, 1, 2], [5.0, 7.0, 6.0], title="demo")
+        assert "demo" in text
+        assert "*" in text
+        assert "7" in text and "5" in text  # y labels
+        assert "0" in text and "2" in text  # x labels
+
+    def test_extremes_placed_correctly(self):
+        text = line_plot([0, 1], [0.0, 1.0], width=20, height=5)
+        rows = [line for line in text.splitlines() if "|" in line]
+        assert "*" in rows[0]    # max at top
+        assert "*" in rows[-1]   # min at bottom
+
+    def test_constant_series_ok(self):
+        text = line_plot([0, 1, 2], [3.0, 3.0, 3.0])
+        assert "*" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_plot([1], [1, 2])
+        with pytest.raises(ValueError):
+            line_plot([], [])
+        with pytest.raises(ValueError):
+            line_plot([1, 2], [1, 2], width=2)
+        with pytest.raises(ValueError):
+            line_plot([1.0], [float("nan")])
+
+
+class TestHeatmap:
+    def test_peak_is_darkest(self):
+        grid = np.zeros((30, 30))
+        grid[20, 10] = 1.0
+        text = heatmap(grid, width=30, height=30)
+        assert "@" in text
+        assert text.count("@") == 1
+
+    def test_downsamples_large_grids(self):
+        grid = np.random.default_rng(0).random((500, 400))
+        text = heatmap(grid, width=40, height=16)
+        lines = text.splitlines()
+        assert len(lines) == 16
+        assert all(len(line) == 40 for line in lines)
+
+    def test_row_orientation(self):
+        """Largest y (second-axis index) renders on the TOP row."""
+        grid = np.zeros((10, 10))
+        grid[:, -1] = 1.0
+        text = heatmap(grid, width=10, height=10)
+        lines = text.splitlines()
+        assert set(lines[0]) == {"@"}
+        assert "@" not in lines[-1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            heatmap(np.zeros(5))
+        with pytest.raises(ValueError):
+            heatmap(np.zeros((0, 3)))
+
+
+class TestScatter2D:
+    def test_points_and_truth(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        text = scatter_2d(points, truth=np.array([0.5, 0.5]))
+        assert "o" in text
+        assert "X" in text
+
+    def test_overlapping_points_emphasised(self):
+        points = np.array([[0.0, 0.0]] * 5 + [[1.0, 1.0]])
+        text = scatter_2d(points)
+        assert "O" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scatter_2d(np.zeros((0, 2)))
+        with pytest.raises(ValueError):
+            scatter_2d(np.zeros((5, 3)))
+
+
+class TestIntegrationWithFigures:
+    def test_sparkline_of_fig18_errors(self):
+        """Viz composes with ExperimentResult columns."""
+        from repro.experiments.metrics import ExperimentResult
+
+        result = ExperimentResult("figX", "t", columns=["v"])
+        for value in (4.4, 3.0, 2.0, 3.0, 1.5, 1.9):
+            result.add_row(v=value)
+        line = sparkline([float(v) for v in result.column("v")])
+        assert len(line) == 6

@@ -1,0 +1,125 @@
+"""Serial-vs-parallel throughput of the Monte-Carlo evaluation engine.
+
+Measures one representative workload — a full LION localization per trial
+— on every executor backend, verifies the backends agree bit-for-bit, and
+records the speedups as JSON (``BENCH_parallel.json``). CI runs this as a
+smoke job and uploads the JSON as a workflow artifact, so the parallel
+layer's speedup is measured (and regressions are visible) on every PR.
+
+Run directly for the JSON report::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py --out BENCH_parallel.json
+    PYTHONPATH=src python benchmarks/bench_parallel.py --quick   # CI smoke sizing
+
+or under pytest-benchmark along with the other benches::
+
+    PYTHONPATH=src pytest benchmarks/bench_parallel.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from typing import Dict
+
+import numpy as np
+
+from repro.constants import DEFAULT_WAVELENGTH_M, TWO_PI
+from repro.core.localizer import LionLocalizer
+from repro.experiments.montecarlo import run_monte_carlo
+from repro.parallel import EXECUTOR_NAMES, resolve_jobs
+
+#: Scan size per trial; large enough that one trial is real work (~ms).
+READS_PER_TRIAL = 600
+
+_TARGET = np.array([0.12, 0.85])
+_X = np.linspace(-0.6, 0.6, READS_PER_TRIAL)
+_POSITIONS = np.stack([_X, np.zeros_like(_X)], axis=1)
+_DISTANCES = np.linalg.norm(_POSITIONS - _TARGET, axis=1)
+
+
+def localization_trial(rng: np.random.Generator) -> Dict[str, float]:
+    """One Monte-Carlo trial: noisy scan in, localization error out.
+
+    Module-level so the process backend can pickle it.
+    """
+    phases = np.mod(
+        2.0 * TWO_PI / DEFAULT_WAVELENGTH_M * _DISTANCES
+        + rng.normal(0.0, 0.05, READS_PER_TRIAL),
+        TWO_PI,
+    )
+    localizer = LionLocalizer(dim=2, interval_m=0.25)
+    result = localizer.locate(_POSITIONS, phases)
+    return {"error_m": float(np.linalg.norm(result.position - _TARGET))}
+
+
+def run_study(trials: int, jobs: int) -> Dict[str, object]:
+    """Time the study on every backend and assemble the JSON payload."""
+    timings: Dict[str, float] = {}
+    means: Dict[str, float] = {}
+    for backend in EXECUTOR_NAMES:
+        start = time.perf_counter()
+        result = run_monte_carlo(
+            localization_trial, trials=trials, seed=0, executor=backend, jobs=jobs
+        )
+        timings[backend] = time.perf_counter() - start
+        means[backend] = result["error_m"].mean
+    # Parallelism must not change the answer, only the wall clock.
+    assert means["thread"] == means["serial"], "thread backend changed the result"
+    assert means["process"] == means["serial"], "process backend changed the result"
+    return {
+        "benchmark": "monte_carlo_parallel",
+        "trials": trials,
+        "reads_per_trial": READS_PER_TRIAL,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "seconds": {name: round(seconds, 4) for name, seconds in timings.items()},
+        "speedup_thread": round(timings["serial"] / timings["thread"], 3),
+        "speedup_process": round(timings["serial"] / timings["process"], 3),
+        "mean_error_m": means["serial"],
+    }
+
+
+def test_bench_parallel_backends_agree(benchmark):
+    """Smoke-sized study: backends agree and the JSON payload assembles."""
+    payload = benchmark.pedantic(
+        run_study, kwargs={"trials": 40, "jobs": resolve_jobs()}, iterations=1, rounds=1
+    )
+    print()
+    print("== monte-carlo backends, seconds ==")
+    for name, seconds in payload["seconds"].items():
+        print(f"  {name:>8}: {seconds * 1000:8.1f} ms")
+    print(f"  process speedup: {payload['speedup_process']:.2f}x")
+    assert payload["mean_error_m"] < 0.05
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trials", type=int, default=500, help="Monte-Carlo trials (default: 500)"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke sizing (100 trials)"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, help="worker count (default: resolve_jobs())"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_parallel.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+    trials = 100 if args.quick else args.trials
+    jobs = resolve_jobs(args.jobs)
+    payload = run_study(trials, jobs)
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(payload, indent=2))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

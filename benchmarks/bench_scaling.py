@@ -1,9 +1,12 @@
-"""Scaling characterization: LION's cost vs scan size.
+"""Scaling characterization: LION's cost vs scan size and worker count.
 
 The light-weight claim, quantified: the full pipeline (unwrap + smooth +
 pair + WLS) should scale near-linearly in the number of reads — it is a
 fixed number of passes over the data plus one (dim+1)-unknown solve —
-where the hologram's cost scales with reads x grid cells.
+where the hologram's cost scales with reads x grid cells. The second half
+characterizes the executor backends of :mod:`repro.parallel` on a
+Monte-Carlo workload (see ``bench_parallel.py`` for the JSON artifact CI
+consumes).
 """
 
 import time
@@ -13,6 +16,8 @@ import pytest
 
 from repro.constants import DEFAULT_WAVELENGTH_M, TWO_PI
 from repro.core.localizer import LionLocalizer
+from repro.experiments.montecarlo import run_monte_carlo
+from repro.parallel import EXECUTOR_NAMES, resolve_jobs
 
 
 def _scan(n, target=np.array([0.1, 0.9]), seed=0):
@@ -58,3 +63,40 @@ def test_bench_scaling_is_subquadratic(benchmark):
     growth = timings[8000] / timings[1000]
     print(f"  8x reads -> {growth:.1f}x time")
     assert growth < 24.0  # near-linear with slack for the O(n·w) smoother
+
+
+def _scaling_trial(rng):
+    positions, _ = _scan(1500)
+    target = np.array([0.1, 0.9])
+    distances = np.linalg.norm(positions - target, axis=1)
+    phases = np.mod(
+        2.0 * TWO_PI / DEFAULT_WAVELENGTH_M * distances
+        + rng.normal(0.0, 0.05, positions.shape[0]),
+        TWO_PI,
+    )
+    result = LionLocalizer(dim=2, interval_m=0.25).locate(positions, phases)
+    return {"error_m": float(np.linalg.norm(result.position - target))}
+
+
+def test_bench_monte_carlo_executor_backends(benchmark):
+    """Backend comparison on one Monte-Carlo study; answers must agree."""
+
+    def run():
+        timings = {}
+        means = {}
+        for backend in EXECUTOR_NAMES:
+            start = time.perf_counter()
+            result = run_monte_carlo(
+                _scaling_trial, trials=24, seed=0, executor=backend
+            )
+            timings[backend] = time.perf_counter() - start
+            means[backend] = result["error_m"].mean
+        return timings, means
+
+    timings, means = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print(f"== monte-carlo backends, seconds ({resolve_jobs()} workers) ==")
+    for backend, seconds in timings.items():
+        print(f"  {backend:>8}: {seconds * 1000:8.1f} ms")
+    assert means["thread"] == means["serial"]
+    assert means["process"] == means["serial"]

@@ -41,6 +41,7 @@ from repro.core import (
     ParameterGrid,
     PreprocessConfig,
     Solution,
+    solve_weighted_least_squares_batch,
     MultiReferenceSolution,
     OnlineLionLocalizer,
     PairingDiagnostics,
@@ -86,6 +87,15 @@ from repro.rf import (
     Tag,
     WallReflector,
 )
+from repro.parallel import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    get_executor,
+    resolve_jobs,
+    set_default_jobs,
+)
 from repro.trajectory import (
     CircularTrajectory,
     LinearTrajectory,
@@ -111,6 +121,7 @@ __all__ = [
     "LocalizationResult",
     "PreprocessConfig",
     "Solution",
+    "solve_weighted_least_squares_batch",
     "AdaptiveResult",
     "ParameterGrid",
     "adaptive_localize",
@@ -132,6 +143,14 @@ __all__ = [
     "analyze_pairing",
     "SolutionUncertainty",
     "uncertainty_of",
+    # parallel execution
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "get_executor",
+    "resolve_jobs",
+    "set_default_jobs",
     # baselines
     "DifferentialHologram",
     "locate_hyperbola",

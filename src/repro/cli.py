@@ -5,6 +5,7 @@ Figure regeneration::
     lion list                      # show available figure ids
     lion run fig13a                # regenerate one figure
     lion run all --fast --seed 3   # everything, CI-sized
+    lion --jobs 4 run all --fast   # same, fanned out over 4 processes
 
 Data tooling (CSV read-record workflow, see repro.datasets.io)::
 
@@ -32,6 +33,15 @@ def _build_parser() -> argparse.ArgumentParser:
         description=(
             "LION (ICDCS 2022) reproduction: regenerate evaluation figures "
             "and run the localization/calibration pipeline on CSV scans."
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        help=(
+            "worker count for parallel work (figure fan-out, Monte-Carlo "
+            "studies); defaults to $LION_JOBS or the CPU count"
         ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -139,15 +149,30 @@ def _plot_result(result) -> None:
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    import functools
+
+    from repro.parallel import get_executor, resolve_jobs
+
     figure_ids = sorted(FIGURE_RUNNERS) if args.figure == "all" else [args.figure]
-    results = []
-    for figure_id in figure_ids:
-        try:
-            result = run_figure(figure_id, seed=args.seed, fast=args.fast)
-        except KeyError as error:
-            print(error.args[0], file=sys.stderr)
-            return 2
-        results.append(result)
+    unknown = [figure_id for figure_id in figure_ids if figure_id not in FIGURE_RUNNERS]
+    if unknown:
+        print(
+            f"unknown figure {unknown[0]!r}; try 'lion list'",
+            file=sys.stderr,
+        )
+        return 2
+    # Figures are independent; with more than one figure and more than one
+    # worker, fan them out over a process pool. Each runner is seeded
+    # independently, so the results match the serial run exactly.
+    try:
+        jobs = resolve_jobs(args.jobs)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    backend = "process" if len(figure_ids) > 1 and jobs > 1 else "serial"
+    runner = functools.partial(run_figure, seed=args.seed, fast=args.fast)
+    results = get_executor(backend, jobs=jobs).map(runner, figure_ids)
+    for result in results:
         print(result.format_table())
         if getattr(args, "plot", False):
             _plot_result(result)
@@ -276,6 +301,13 @@ def _command_calibrate(args: argparse.Namespace) -> int:
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.jobs is not None:
+        if args.jobs <= 0:
+            print(f"--jobs must be positive, got {args.jobs}", file=sys.stderr)
+            return 2
+        from repro.parallel import set_default_jobs
+
+        set_default_jobs(args.jobs)
     if args.command == "list":
         for figure_id in sorted(FIGURE_RUNNERS):
             print(figure_id)

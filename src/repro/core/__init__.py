@@ -37,7 +37,12 @@ from repro.core.weights import (
     huber_weights,
     uniform_weights,
 )
-from repro.core.solvers import Solution, solve_least_squares, solve_weighted_least_squares
+from repro.core.solvers import (
+    Solution,
+    solve_least_squares,
+    solve_weighted_least_squares,
+    solve_weighted_least_squares_batch,
+)
 from repro.core.lowerdim import recover_coordinate_from_reference
 from repro.core.adaptive import AdaptiveResult, ParameterGrid, adaptive_localize
 from repro.core.localizer import LionLocalizer, LocalizationResult, PreprocessConfig
@@ -88,6 +93,7 @@ __all__ = [
     "Solution",
     "solve_least_squares",
     "solve_weighted_least_squares",
+    "solve_weighted_least_squares_batch",
     "recover_coordinate_from_reference",
     "AdaptiveResult",
     "ParameterGrid",

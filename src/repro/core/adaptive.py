@@ -12,12 +12,14 @@ the estimates whose |mean residual| is smallest and averages them.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.localizer import LionLocalizer, LocalizationResult
+from repro.parallel import Executor, get_executor
 
 
 @dataclass(frozen=True)
@@ -86,6 +88,35 @@ class AdaptiveResult:
         return min(self.outcomes, key=lambda o: o.abs_mean_residual)
 
 
+def _solve_cell(
+    localizer: LionLocalizer,
+    points: np.ndarray,
+    profile: np.ndarray,
+    segment_ids: np.ndarray | None,
+    cell: Tuple[float, float, np.ndarray],
+) -> ConfigOutcome | None:
+    """Solve one (range, interval) grid cell from the shared preprocessed profile.
+
+    Module-level (dispatched via :func:`functools.partial`) so the process
+    backend can pickle it. A cell whose configuration cannot produce a
+    solve maps to ``None`` rather than raising, keeping the sweep's
+    skip-and-continue semantics on every backend.
+    """
+    range_m, interval_m, exclude = cell
+    try:
+        result = localizer.locate(
+            points,
+            profile,
+            segment_ids=segment_ids,
+            exclude_mask=exclude,
+            interval_m=interval_m,
+            assume_preprocessed=True,
+        )
+    except ValueError:
+        return None
+    return ConfigOutcome(range_m, interval_m, result)
+
+
 def adaptive_localize(
     localizer: LionLocalizer,
     positions: np.ndarray,
@@ -95,8 +126,17 @@ def adaptive_localize(
     exclude_mask: np.ndarray | None = None,
     selection_quantile: float = 0.25,
     criterion: str = "abs_mean",
+    executor: str | Executor | None = "serial",
+    jobs: int | None = None,
 ) -> AdaptiveResult:
     """Run the localizer over the parameter grid and fuse the cleanest solves.
+
+    The wrapped profile is preprocessed (unwrapped + smoothed) exactly
+    once — preprocessing does not depend on the grid point — and the
+    per-cell window masks for every scanning range are built in one
+    vectorized pass; only the per-cell solve is dispatched to the
+    executor. Cells are solved independently and collected in sweep
+    order, so the result is identical on every backend.
 
     Args:
         localizer: a configured :class:`LionLocalizer`.
@@ -112,6 +152,11 @@ def adaptive_localize(
         criterion: ``"abs_mean"`` ranks by |weighted mean normalized
             residual| (the paper's description); ``"mean_abs"`` ranks by
             mean |normalized residual| (a direct dirtiness measure).
+        executor: backend for dispatching grid cells — ``"serial"``,
+            ``"thread"``, ``"process"``, or a prebuilt
+            :class:`repro.parallel.Executor`.
+        jobs: worker count for pool backends; defaults to the CLI
+            ``--jobs`` value, ``LION_JOBS``, or the CPU count.
 
     Raises:
         ValueError: if every grid point fails to produce a solve or the
@@ -130,26 +175,27 @@ def adaptive_localize(
         if exclude_mask is not None
         else np.zeros(points.shape[0], dtype=bool)
     )
+    segments = np.asarray(segment_ids, dtype=int) if segment_ids is not None else None
+    profile = localizer.preprocess_phase(
+        np.asarray(wrapped_phase_rad, dtype=float), segment_ids=segments
+    )
 
-    outcomes: List[ConfigOutcome] = []
-    for range_m in grid.ranges_m:
-        coordinate = points[:, grid.axis]
-        outside = np.abs(coordinate - grid.center) > range_m / 2.0
-        exclude = base_exclude | outside
-        for interval_m in grid.intervals_m:
-            if interval_m >= range_m:
-                continue
-            try:
-                result = localizer.locate(
-                    points,
-                    wrapped_phase_rad,
-                    segment_ids=segment_ids,
-                    exclude_mask=exclude,
-                    interval_m=interval_m,
-                )
-            except ValueError:
-                continue
-            outcomes.append(ConfigOutcome(range_m, interval_m, result))
+    # All range windows at once: (ranges, reads) broadcast of the
+    # |coordinate - center| > range/2 test, OR-ed with the a-priori mask.
+    ranges = np.asarray(grid.ranges_m, dtype=float)
+    offsets = np.abs(points[:, grid.axis] - grid.center)
+    excludes = base_exclude[np.newaxis, :] | (offsets[np.newaxis, :] > ranges[:, np.newaxis] / 2.0)
+
+    cells: List[Tuple[float, float, np.ndarray]] = [
+        (float(range_m), float(interval_m), excludes[row])
+        for row, range_m in enumerate(grid.ranges_m)
+        for interval_m in grid.intervals_m
+        if interval_m < range_m
+    ]
+
+    runner = get_executor(executor, jobs=jobs)
+    solve = functools.partial(_solve_cell, localizer, points, profile, segments)
+    outcomes = [outcome for outcome in runner.map(solve, cells) if outcome is not None]
 
     if not outcomes:
         raise ValueError("no grid configuration produced a valid localization")

@@ -165,6 +165,7 @@ class LionLocalizer:
         pairs: Sequence[Tuple[int, int]] | None = None,
         interval_m: float | None = None,
         reference_index: int | None = None,
+        assume_preprocessed: bool = False,
     ) -> LocalizationResult:
         """Locate the target from one continuous scan.
 
@@ -187,6 +188,13 @@ class LionLocalizer:
             reference_index: index (into included reads) of the Eq. (6)
                 reference; defaults to the middle read, which keeps the
                 reference inside the antenna's main beam.
+            assume_preprocessed: when True, ``wrapped_phase_rad`` is taken
+                to be an already unwrapped and smoothed profile (from
+                :meth:`preprocess_phase`) and preprocessing is skipped.
+                Preprocessing depends only on the full profile — not on
+                the exclusion mask or interval — so callers sweeping many
+                configurations over one scan (``repro.core.adaptive``)
+                hoist it out of the per-configuration loop.
 
         Raises:
             ValueError: on shape mismatches or an unobservable geometry
@@ -209,12 +217,15 @@ class LionLocalizer:
                 "phases contain non-finite values; filter failed reads upstream"
             )
 
-        profile = self.preprocess_phase(
-            phases,
-            segment_ids=np.asarray(segment_ids, dtype=int)
-            if segment_ids is not None
-            else None,
-        )
+        if assume_preprocessed:
+            profile = phases.copy()
+        else:
+            profile = self.preprocess_phase(
+                phases,
+                segment_ids=np.asarray(segment_ids, dtype=int)
+                if segment_ids is not None
+                else None,
+            )
 
         include = np.ones(points.shape[0], dtype=bool)
         if exclude_mask is not None:

@@ -5,7 +5,9 @@
 variant: solve, compute residuals, weight each equation by
 :func:`repro.core.weights.gaussian_residual_weights`, re-solve with the
 diagonal weight matrix (Eq. 16), and repeat until the estimate moves less
-than a threshold.
+than a threshold. ``solve_weighted_least_squares_batch`` runs many small
+same-shape systems through one stacked QR path per IRLS round — the
+throughput entry point for sweep- and Monte-Carlo-style workloads.
 
 The *mean weighted residual* of the final solve is retained on the
 returned :class:`Solution` — it is the signal the adaptive parameter
@@ -16,7 +18,7 @@ sits near zero were produced from cleaner data.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, List, Sequence
 
 import numpy as np
 
@@ -178,3 +180,146 @@ def solve_weighted_least_squares(
         iterations=iterations,
         converged=converged,
     )
+
+
+def _weighted_solve_stack(
+    matrices: np.ndarray, rhs: np.ndarray, weights: np.ndarray
+) -> np.ndarray:
+    """Solve a stack of weighted LS problems via batched QR.
+
+    ``matrices`` is ``(b, m, n)``, ``rhs`` and ``weights`` are ``(b, m)``.
+    For full-rank systems this computes the same minimizer as
+    :func:`_weighted_solve`; a rank-deficient member surfaces as a
+    ``LinAlgError`` (or non-finite estimate, promoted to one) so the
+    caller can fall back to the per-system minimum-norm path.
+    """
+    root = np.sqrt(weights)
+    q, r = np.linalg.qr(matrices * root[:, :, np.newaxis])
+    # A rank-deficient member shows up as a (numerically) zero diagonal
+    # entry of its R factor; np.linalg.solve would return garbage rather
+    # than the minimum-norm solution, so reject the whole batch instead.
+    diagonals = np.abs(np.diagonal(r, axis1=1, axis2=2))
+    tolerance = np.finfo(r.dtype).eps * max(matrices.shape[1:]) * diagonals.max(axis=1)
+    if np.any(diagonals.min(axis=1) <= tolerance):
+        raise np.linalg.LinAlgError("rank-deficient system in batch")
+    projected = np.einsum("bmn,bm->bn", q, rhs * root)
+    estimates = np.linalg.solve(r, projected[:, :, np.newaxis])[:, :, 0]
+    if not np.all(np.isfinite(estimates)):
+        raise np.linalg.LinAlgError("batched solve produced non-finite estimates")
+    return estimates
+
+
+def _irls_batch(
+    systems: List[LinearSystem],
+    matrices: np.ndarray,
+    rhs: np.ndarray,
+    weight_function: WeightFunction,
+    max_iterations: int,
+    tolerance_m: float,
+) -> List[Solution]:
+    """The stacked IRLS iteration behind :func:`solve_weighted_least_squares_batch`.
+
+    Mirrors :func:`solve_weighted_least_squares` exactly, system by
+    system: every round re-solves only the not-yet-converged members, so
+    a system's (residual, weight, estimate) sequence is the same one the
+    scalar solver would produce.
+    """
+    count, row_count, _ = matrices.shape
+    weights = np.ones((count, row_count))
+    estimates = _weighted_solve_stack(matrices, rhs, weights)
+    converged = np.zeros(count, dtype=bool)
+    iterations = np.zeros(count, dtype=int)
+    for round_index in range(1, max_iterations + 1):
+        active = np.flatnonzero(~converged)
+        if active.size == 0:
+            break
+        residuals = (
+            np.einsum("bmn,bn->bm", matrices[active], estimates[active]) - rhs[active]
+        )
+        new_weights = np.stack([weight_function(row) for row in residuals])
+        updated = _weighted_solve_stack(matrices[active], rhs[active], new_weights)
+        steps = np.linalg.norm(updated - estimates[active], axis=1)
+        estimates[active] = updated
+        weights[active] = new_weights
+        iterations[active] = round_index
+        converged[active[steps < tolerance_m]] = True
+    final_residuals = np.einsum("bmn,bn->bm", matrices, estimates) - rhs
+    return [
+        Solution(
+            estimate=estimates[index].copy(),
+            residuals=final_residuals[index].copy(),
+            normalized_residuals=final_residuals[index] / _row_norms(system.matrix),
+            weights=weights[index].copy(),
+            iterations=int(iterations[index]),
+            converged=bool(converged[index]),
+        )
+        for index, system in enumerate(systems)
+    ]
+
+
+def solve_weighted_least_squares_batch(
+    systems: Sequence[LinearSystem],
+    weight_function: WeightFunction = gaussian_residual_weights,
+    max_iterations: int = 20,
+    tolerance_m: float = 1e-6,
+) -> List[Solution]:
+    """Solve many radical-equation systems in one stacked IRLS pass.
+
+    The common case — every system has the same ``(m, dim + 1)`` shape,
+    e.g. one per Monte-Carlo trial or per sweep cell of a fixed scan —
+    stacks all coefficient matrices and runs each IRLS round as a single
+    batched QR factorization, one BLAS call instead of ``len(systems)``.
+    Ragged batches (mixed shapes), underdetermined systems, and
+    rank-deficient members fall back to the per-system
+    :func:`solve_weighted_least_squares`, so the returned solutions always
+    match the scalar solver (to floating-point accuracy; the batched path
+    uses QR where the scalar path uses SVD-based ``lstsq``).
+
+    Args:
+        systems: the assembled systems, in any order; results come back
+            in the same order.
+        weight_function: residuals -> weights map, applied per system.
+        max_iterations: cap on re-weighting rounds (per system).
+        tolerance_m: per-system convergence threshold on estimate motion.
+
+    Raises:
+        ValueError: if any system is empty or the iteration parameters
+            are non-positive.
+    """
+    if max_iterations <= 0:
+        raise ValueError(f"max_iterations must be positive, got {max_iterations}")
+    if tolerance_m <= 0.0:
+        raise ValueError(f"tolerance must be positive, got {tolerance_m}")
+    members = list(systems)
+    if not members:
+        return []
+    for system in members:
+        if system.equation_count == 0:
+            raise ValueError("cannot solve an empty system")
+
+    def fallback() -> List[Solution]:
+        return [
+            solve_weighted_least_squares(
+                system,
+                weight_function=weight_function,
+                max_iterations=max_iterations,
+                tolerance_m=tolerance_m,
+            )
+            for system in members
+        ]
+
+    shapes = {system.matrix.shape for system in members}
+    if len(shapes) > 1:
+        return fallback()
+    row_count, column_count = next(iter(shapes))
+    if row_count < column_count:
+        return fallback()
+
+    matrices = np.stack([system.matrix for system in members]).astype(float)
+    rhs = np.stack([system.rhs for system in members]).astype(float)
+    try:
+        return _irls_batch(
+            members, matrices, rhs, weight_function, max_iterations, tolerance_m
+        )
+    except np.linalg.LinAlgError:
+        return fallback()

@@ -3,16 +3,23 @@
 Every figure runner repeats a scenario over random draws and aggregates
 errors; this module factors that pattern into a reusable, testable
 utility with confidence intervals, so new studies (and downstream users'
-own evaluations) don't re-implement the loop. Trials run sequentially and
-deterministically: trial ``k`` receives ``default_rng(seed + k)``.
+own evaluations) don't re-implement the loop. Trials run
+deterministically: trial ``k`` receives ``default_rng(seed + k)``, so the
+draw a trial sees depends only on ``(seed, k)`` — never on which worker
+ran it. Fanning trials out over the executor backends of
+:mod:`repro.parallel` therefore yields bit-identical results to the
+serial loop.
 """
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
+
+from repro.parallel import Executor, get_executor
 
 #: A trial returns one or more named scalar outcomes (e.g. per-method errors).
 TrialFunction = Callable[[np.random.Generator], Dict[str, float]]
@@ -82,6 +89,23 @@ def _bootstrap_ci(
     )
 
 
+def _execute_trial(
+    trial: TrialFunction, seed: int, k: int
+) -> Tuple[str, Dict[str, float] | BaseException]:
+    """Run trial ``k`` with its own generator; never raises.
+
+    Module-level (and dispatched via :func:`functools.partial`) so the
+    process backend can pickle it. Exceptions are captured and returned
+    so failure accounting stays in the coordinating process regardless of
+    backend.
+    """
+    rng = np.random.default_rng(seed + k)
+    try:
+        return ("ok", trial(rng))
+    except Exception as error:
+        return ("error", error)
+
+
 def run_monte_carlo(
     trial: TrialFunction,
     trials: int,
@@ -89,6 +113,9 @@ def run_monte_carlo(
     confidence: float = 0.95,
     bootstrap_resamples: int = 500,
     tolerate_failures: bool = True,
+    bootstrap_seed: int | None = None,
+    executor: str | Executor | None = "serial",
+    jobs: int | None = None,
 ) -> MonteCarloResult:
     """Run ``trial`` repeatedly and aggregate its named outcomes.
 
@@ -99,7 +126,18 @@ def run_monte_carlo(
         seed: base seed; trial ``k`` uses ``default_rng(seed + k)``.
         confidence: bootstrap CI level for the mean.
         bootstrap_resamples: bootstrap resampling count.
-        tolerate_failures: when False, a raising trial propagates.
+        tolerate_failures: when False, a raising trial propagates (the
+            earliest failed trial's exception, on every backend).
+        bootstrap_seed: explicit seed for the bootstrap-CI resampling;
+            defaults to a value derived from ``seed``. Fix it to get
+            identical CIs for identical samples across studies.
+        executor: backend for fanning trials out — ``"serial"``,
+            ``"thread"``, ``"process"``, or a prebuilt
+            :class:`repro.parallel.Executor`. Results are bit-identical
+            across backends; the process backend needs a picklable
+            (module-level) ``trial``.
+        jobs: worker count for pool backends; defaults to the CLI
+            ``--jobs`` value, ``LION_JOBS``, or the CPU count.
 
     Raises:
         ValueError: for a non-positive trial count, a bad confidence
@@ -110,19 +148,19 @@ def run_monte_carlo(
     if not 0.0 < confidence < 1.0:
         raise ValueError(f"confidence must be in (0, 1), got {confidence}")
 
+    runner = get_executor(executor, jobs=jobs)
+    raw = runner.map(functools.partial(_execute_trial, trial, seed), range(trials))
+
     collected: Dict[str, List[float]] = {}
     failures: Dict[str, int] = {}
     failed_trials = 0
-    for k in range(trials):
-        rng = np.random.default_rng(seed + k)
-        try:
-            outcome = trial(rng)
-        except Exception:
+    for status, payload in raw:
+        if status == "error":
             if not tolerate_failures:
-                raise
+                raise payload
             failed_trials += 1
             continue
-        for name, value in outcome.items():
+        for name, value in payload.items():
             collected.setdefault(name, [])
             failures.setdefault(name, 0)
             if np.isfinite(value):
@@ -132,7 +170,9 @@ def run_monte_carlo(
     if not collected or all(len(v) == 0 for v in collected.values()):
         raise ValueError("every trial failed; nothing to aggregate")
 
-    ci_rng = np.random.default_rng(seed ^ 0x5EED)
+    if bootstrap_seed is None:
+        bootstrap_seed = seed ^ 0x5EED
+    ci_rng = np.random.default_rng(bootstrap_seed)
     summaries: Dict[str, MonteCarloSummary] = {}
     for name, values in collected.items():
         samples = np.asarray(values, dtype=float)

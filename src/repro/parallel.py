@@ -1,0 +1,239 @@
+"""Parallel execution layer for the evaluation stack.
+
+Every heavy workload in this repository — Monte-Carlo studies, the
+adaptive (range, interval) sweep, figure regeneration — reduces to the
+same pattern: map an independent, deterministic function over a list of
+work items and fold the results in order. This module factors that
+pattern into a small executor abstraction with three interchangeable
+backends:
+
+- ``"serial"`` — a plain loop; the reference semantics.
+- ``"thread"`` — a thread pool; useful when the work releases the GIL
+  (BLAS-heavy solves) or is I/O bound.
+- ``"process"`` — a process pool; true CPU parallelism. Work functions
+  and their arguments must be picklable (module-level callables).
+
+All backends preserve item order, so a deterministic work function gives
+bit-identical results on every backend — parallelism never changes an
+answer, only how fast it arrives. Worker count resolves, in priority
+order: an explicit ``jobs=`` argument, :func:`set_default_jobs` (the CLI
+``--jobs`` flag), the ``LION_JOBS`` environment variable, and finally
+``os.cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, List, Sequence, TypeVar
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+#: Environment variable consulted by :func:`resolve_jobs`.
+JOBS_ENV_VAR = "LION_JOBS"
+
+EXECUTOR_NAMES = ("serial", "thread", "process")
+
+_default_jobs: int | None = None
+
+
+def set_default_jobs(jobs: int | None) -> None:
+    """Set the session-wide default worker count (the CLI ``--jobs`` flag).
+
+    Pass ``None`` to clear the override and fall back to ``LION_JOBS`` /
+    ``os.cpu_count()``.
+
+    Raises:
+        ValueError: on a non-positive worker count.
+    """
+    global _default_jobs
+    if jobs is not None and jobs <= 0:
+        raise ValueError(f"jobs must be positive, got {jobs}")
+    _default_jobs = jobs
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Resolve a worker count from argument, session default, env, and CPUs.
+
+    Raises:
+        ValueError: on a non-positive explicit count or ``LION_JOBS``.
+    """
+    if jobs is not None:
+        if jobs <= 0:
+            raise ValueError(f"jobs must be positive, got {jobs}")
+        return jobs
+    if _default_jobs is not None:
+        return _default_jobs
+    env = os.environ.get(JOBS_ENV_VAR)
+    if env is not None:
+        try:
+            value = int(env)
+        except ValueError as error:
+            raise ValueError(f"{JOBS_ENV_VAR} must be an integer, got {env!r}") from error
+        if value <= 0:
+            raise ValueError(f"{JOBS_ENV_VAR} must be positive, got {value}")
+        return value
+    return max(os.cpu_count() or 1, 1)
+
+
+def chunk_items(items: Sequence[ItemT], chunk_size: int) -> List[List[ItemT]]:
+    """Split ``items`` into consecutive chunks of at most ``chunk_size``.
+
+    Order is preserved: concatenating the chunks restores ``items``.
+
+    Raises:
+        ValueError: on a non-positive chunk size.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    sequence = list(items)
+    return [sequence[i : i + chunk_size] for i in range(0, len(sequence), chunk_size)]
+
+
+def default_chunk_size(item_count: int, jobs: int, chunks_per_worker: int = 4) -> int:
+    """Chunk size giving each worker a few chunks (load balancing vs overhead)."""
+    if item_count <= 0:
+        return 1
+    return max(1, -(-item_count // max(jobs * chunks_per_worker, 1)))
+
+
+def _apply_chunk(fn: Callable[[ItemT], ResultT], chunk: List[ItemT]) -> List[ResultT]:
+    """Run ``fn`` over one chunk; module-level so process backends can pickle it."""
+    return [fn(item) for item in chunk]
+
+
+class Executor(ABC):
+    """Order-preserving map/map-reduce over independent work items."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def map(
+        self, fn: Callable[[ItemT], ResultT], items: Sequence[ItemT]
+    ) -> List[ResultT]:
+        """Apply ``fn`` to every item, returning results in item order.
+
+        The first exception raised by ``fn`` propagates (for parallel
+        backends, after in-flight work completes).
+        """
+
+    def map_reduce(
+        self,
+        fn: Callable[[ItemT], ResultT],
+        items: Sequence[ItemT],
+        reduce_fn: Callable[[Any, ResultT], Any] | None = None,
+        initial: Any = None,
+    ) -> Any:
+        """Map ``fn`` over ``items`` and fold the results in item order.
+
+        With no ``reduce_fn`` this returns the mapped list. The fold is
+        always performed serially, in item order, so reductions that are
+        not associative-commutative still give backend-independent
+        results.
+        """
+        results = self.map(fn, items)
+        if reduce_fn is None:
+            return results
+        accumulator = initial
+        for result in results:
+            accumulator = reduce_fn(accumulator, result)
+        return accumulator
+
+
+class SerialExecutor(Executor):
+    """The reference backend: a plain in-process loop."""
+
+    name = "serial"
+
+    def map(
+        self, fn: Callable[[ItemT], ResultT], items: Sequence[ItemT]
+    ) -> List[ResultT]:
+        return [fn(item) for item in items]
+
+
+class _PoolExecutor(Executor):
+    """Shared chunking logic for the thread and process backends."""
+
+    def __init__(self, jobs: int | None = None, chunk_size: int | None = None) -> None:
+        if chunk_size is not None and chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self.jobs = resolve_jobs(jobs)
+        self.chunk_size = chunk_size
+
+    def map(
+        self, fn: Callable[[ItemT], ResultT], items: Sequence[ItemT]
+    ) -> List[ResultT]:
+        sequence = list(items)
+        if not sequence:
+            return []
+        if self.jobs == 1 or len(sequence) == 1:
+            return [fn(item) for item in sequence]
+        size = self.chunk_size or default_chunk_size(len(sequence), self.jobs)
+        chunks = chunk_items(sequence, size)
+        flattened: List[ResultT] = []
+        for chunk_result in self._map_chunks(fn, chunks):
+            flattened.extend(chunk_result)
+        return flattened
+
+    def _map_chunks(
+        self, fn: Callable[[ItemT], ResultT], chunks: List[List[ItemT]]
+    ) -> List[List[ResultT]]:
+        raise NotImplementedError
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Thread-pool backend; best when the work releases the GIL."""
+
+    name = "thread"
+
+    def _map_chunks(
+        self, fn: Callable[[ItemT], ResultT], chunks: List[List[ItemT]]
+    ) -> List[List[ResultT]]:
+        with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+            return list(pool.map(_apply_chunk, [fn] * len(chunks), chunks))
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Process-pool backend; work function and items must be picklable."""
+
+    name = "process"
+
+    def _map_chunks(
+        self, fn: Callable[[ItemT], ResultT], chunks: List[List[ItemT]]
+    ) -> List[List[ResultT]]:
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            return list(pool.map(_apply_chunk, [fn] * len(chunks), chunks))
+
+
+def get_executor(
+    spec: str | Executor | None,
+    jobs: int | None = None,
+    chunk_size: int | None = None,
+) -> Executor:
+    """Build (or pass through) an executor from a backend name.
+
+    Args:
+        spec: ``"serial"``, ``"thread"``, ``"process"``, an existing
+            :class:`Executor` (returned as-is), or ``None`` for serial.
+        jobs: worker count for pool backends; see :func:`resolve_jobs`.
+        chunk_size: items per dispatched chunk for pool backends; the
+            default targets a few chunks per worker.
+
+    Raises:
+        ValueError: on an unknown backend name.
+    """
+    if spec is None:
+        return SerialExecutor()
+    if isinstance(spec, Executor):
+        return spec
+    if spec == "serial":
+        return SerialExecutor()
+    if spec == "thread":
+        return ThreadExecutor(jobs=jobs, chunk_size=chunk_size)
+    if spec == "process":
+        return ProcessExecutor(jobs=jobs, chunk_size=chunk_size)
+    raise ValueError(
+        f"unknown executor {spec!r}; expected one of {', '.join(EXECUTOR_NAMES)}"
+    )

@@ -29,6 +29,7 @@ import numpy as np
 from repro.constants import DEFAULT_WAVELENGTH_M, TWO_PI
 from repro.core.localizer import LionLocalizer
 from repro.experiments.montecarlo import run_monte_carlo
+from repro.obs import collect_manifest
 from repro.parallel import EXECUTOR_NAMES, resolve_jobs
 
 #: Scan size per trial; large enough that one trial is real work (~ms).
@@ -79,6 +80,11 @@ def run_study(trials: int, jobs: int) -> Dict[str, object]:
         "speedup_thread": round(timings["serial"] / timings["thread"], 3),
         "speedup_process": round(timings["serial"] / timings["process"], 3),
         "mean_error_m": means["serial"],
+        "manifest": collect_manifest(
+            seed=0,
+            jobs=jobs,
+            config={"trials": trials, "reads_per_trial": READS_PER_TRIAL},
+        ).to_dict(),
     }
 
 

@@ -87,6 +87,21 @@ from repro.rf import (
     Tag,
     WallReflector,
 )
+from repro.obs import (
+    MetricsRegistry,
+    RunManifest,
+    collect_manifest,
+    configure_logging,
+    disable_metrics,
+    disable_tracing,
+    enable_metrics,
+    enable_tracing,
+    get_logger,
+    get_registry,
+    get_trace,
+    render_trace,
+    span,
+)
 from repro.parallel import (
     Executor,
     ProcessExecutor,
@@ -151,6 +166,20 @@ __all__ = [
     "get_executor",
     "resolve_jobs",
     "set_default_jobs",
+    # observability
+    "span",
+    "enable_tracing",
+    "disable_tracing",
+    "get_trace",
+    "render_trace",
+    "MetricsRegistry",
+    "enable_metrics",
+    "disable_metrics",
+    "get_registry",
+    "RunManifest",
+    "collect_manifest",
+    "get_logger",
+    "configure_logging",
     # baselines
     "DifferentialHologram",
     "locate_hyperbola",

@@ -13,23 +13,59 @@ Data tooling (CSV read-record workflow, see repro.datasets.io)::
     lion locate scan.csv --dim 2
     lion calibrate scan.csv --physical-center 0,0.8,0 --scenario three-line
 
+Observability (docs/observability.md)::
+
+    lion run fig13a --trace                     # print the span tree
+    lion run fig13a --metrics-out metrics.json  # metrics + RunManifest
+    lion run all --fast --log-level info        # structured repro.* logs
+
 ``python -m repro ...`` is equivalent to ``lion ...``.
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
 from typing import Sequence
 
 import numpy as np
 
 from repro.experiments.figures import FIGURE_RUNNERS, run_figure
+from repro.obs import configure_logging, get_logger
+
+_logger = get_logger("repro.cli")
+
+
+def _obs_parent_parser() -> argparse.ArgumentParser:
+    """Observability flags, attachable to the main parser and every subcommand.
+
+    Registering the flags on both levels lets them appear before or after
+    the subcommand (``lion --trace run fig13a`` / ``lion run fig13a
+    --trace``).
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--trace",
+        action="store_true",
+        help="record tracing spans and print the trace tree after the command",
+    )
+    parent.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="record metrics and write them (with a RunManifest) as JSON to PATH",
+    )
+    parent.add_argument(
+        "--log-level",
+        metavar="LEVEL",
+        help="log level for the repro.* logger hierarchy (debug/info/warning/error)",
+    )
+    return parent
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    obs_parent = _obs_parent_parser()
     parser = argparse.ArgumentParser(
         prog="lion",
+        parents=[obs_parent],
         description=(
             "LION (ICDCS 2022) reproduction: regenerate evaluation figures "
             "and run the localization/calibration pipeline on CSV scans."
@@ -46,9 +82,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("list", help="list available figure ids")
+    subparsers.add_parser("list", help="list available figure ids", parents=[obs_parent])
 
-    run_parser = subparsers.add_parser("run", help="run one figure (or 'all')")
+    run_parser = subparsers.add_parser(
+        "run", help="run one figure (or 'all')", parents=[obs_parent]
+    )
     run_parser.add_argument(
         "figure", help=f"figure id ({', '.join(sorted(FIGURE_RUNNERS))}) or 'all'"
     )
@@ -70,7 +108,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     simulate_parser = subparsers.add_parser(
-        "simulate", help="simulate a scan and write it as a read-record CSV"
+        "simulate",
+        help="simulate a scan and write it as a read-record CSV",
+        parents=[obs_parent],
     )
     simulate_parser.add_argument(
         "--scenario",
@@ -88,7 +128,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     locate_parser = subparsers.add_parser(
-        "locate", help="locate the antenna from a read-record CSV"
+        "locate",
+        help="locate the antenna from a read-record CSV",
+        parents=[obs_parent],
     )
     locate_parser.add_argument("csv", help="input CSV (from 'lion simulate' or a logger)")
     locate_parser.add_argument("--dim", type=int, choices=(2, 3), default=2)
@@ -100,7 +142,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     calibrate_parser = subparsers.add_parser(
-        "calibrate", help="full phase calibration from a read-record CSV"
+        "calibrate",
+        help="full phase calibration from a read-record CSV",
+        parents=[obs_parent],
     )
     calibrate_parser.add_argument("csv", help="input CSV of a three-line scan")
     calibrate_parser.add_argument(
@@ -156,10 +200,7 @@ def _command_run(args: argparse.Namespace) -> int:
     figure_ids = sorted(FIGURE_RUNNERS) if args.figure == "all" else [args.figure]
     unknown = [figure_id for figure_id in figure_ids if figure_id not in FIGURE_RUNNERS]
     if unknown:
-        print(
-            f"unknown figure {unknown[0]!r}; try 'lion list'",
-            file=sys.stderr,
-        )
+        _logger.error("unknown figure %r; try 'lion list'", unknown[0])
         return 2
     # Figures are independent; with more than one figure and more than one
     # worker, fan them out over a process pool. Each runner is seeded
@@ -167,7 +208,7 @@ def _command_run(args: argparse.Namespace) -> int:
     try:
         jobs = resolve_jobs(args.jobs)
     except ValueError as error:
-        print(str(error), file=sys.stderr)
+        _logger.error("cannot resolve worker count: %s", error)
         return 2
     backend = "process" if len(figure_ids) > 1 and jobs > 1 else "serial"
     runner = functools.partial(run_figure, seed=args.seed, fast=args.fast)
@@ -237,7 +278,7 @@ def _command_locate(args: argparse.Namespace) -> int:
     try:
         result = localizer.locate(positions, phases)
     except ValueError as error:
-        print(f"localization failed: {error}", file=sys.stderr)
+        _logger.error("localization failed: %s", error)
         return 1
     print(f"reads: {len(records)} from antenna {records[0].antenna!r}")
     print(f"estimated position: {np.round(result.position, 4).tolist()}")
@@ -262,11 +303,12 @@ def _command_calibrate(args: argparse.Namespace) -> int:
     trajectory = ThreeLineScan(-0.55, 0.55)
     samples = trajectory.sample()
     if len(samples) != len(records):
-        print(
-            f"warning: CSV has {len(records)} reads but the canonical "
-            f"{args.scenario} scan has {len(samples)}; segment structure "
-            "is inferred from positions instead",
-            file=sys.stderr,
+        _logger.warning(
+            "CSV has %d reads but the canonical %s scan has %d; segment "
+            "structure is inferred from positions instead",
+            len(records),
+            args.scenario,
+            len(samples),
         )
         segment_ids = None
         exclude = None
@@ -284,7 +326,7 @@ def _command_calibrate(args: argparse.Namespace) -> int:
             exclude_mask=exclude,
         )
     except ValueError as error:
-        print(f"calibration failed: {error}", file=sys.stderr)
+        _logger.error("calibration failed: %s", error)
         return 1
     print(f"antenna: {calibration.antenna_name}")
     print(f"estimated phase center: {np.round(calibration.estimated_center, 4).tolist()}")
@@ -298,16 +340,7 @@ def _command_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point; returns a process exit code."""
-    args = _build_parser().parse_args(argv)
-    if args.jobs is not None:
-        if args.jobs <= 0:
-            print(f"--jobs must be positive, got {args.jobs}", file=sys.stderr)
-            return 2
-        from repro.parallel import set_default_jobs
-
-        set_default_jobs(args.jobs)
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         for figure_id in sorted(FIGURE_RUNNERS):
             print(figure_id)
@@ -321,6 +354,76 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "calibrate":
         return _command_calibrate(args)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _flush_observability(args: argparse.Namespace, argv: Sequence[str] | None) -> None:
+    """Print the trace tree and/or write the metrics JSON, then reset state.
+
+    Runs even when the command failed, so a crashing run still leaves its
+    metrics behind. Enable flags and recorded data are cleared afterwards
+    so repeated in-process invocations (tests, notebooks) start clean.
+    """
+    from repro import obs
+
+    try:
+        if args.trace:
+            print()
+            print("== trace ==")
+            print(obs.render_trace())
+        if args.metrics_out:
+            import json
+            from pathlib import Path
+
+            manifest = obs.collect_manifest(
+                seed=getattr(args, "seed", None),
+                jobs=args.jobs,
+                argv=list(argv) if argv is not None else None,
+            )
+            payload = {
+                "manifest": manifest.to_dict(),
+                "metrics": obs.get_registry().snapshot(),
+            }
+            Path(args.metrics_out).write_text(json.dumps(payload, indent=2) + "\n")
+            print(f"wrote metrics to {args.metrics_out}")
+    finally:
+        if args.trace:
+            obs.disable_tracing()
+            obs.reset_tracing()
+        if args.metrics_out:
+            obs.disable_metrics()
+            obs.get_registry().reset()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        configure_logging(args.log_level or "WARNING")
+    except ValueError as error:
+        configure_logging("WARNING")
+        _logger.error("%s", error)
+        return 2
+    if args.jobs is not None:
+        if args.jobs <= 0:
+            _logger.error("--jobs must be positive, got %d", args.jobs)
+            return 2
+        from repro.parallel import set_default_jobs
+
+        set_default_jobs(args.jobs)
+    observing = args.trace or args.metrics_out
+    if args.trace:
+        from repro.obs import enable_tracing
+
+        enable_tracing()
+    if args.metrics_out:
+        from repro.obs import enable_metrics
+
+        enable_metrics()
+    try:
+        return _dispatch(args)
+    finally:
+        if observing:
+            _flush_observability(args, argv)
 
 
 if __name__ == "__main__":

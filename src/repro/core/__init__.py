@@ -44,7 +44,12 @@ from repro.core.solvers import (
     solve_weighted_least_squares_batch,
 )
 from repro.core.lowerdim import recover_coordinate_from_reference
-from repro.core.adaptive import AdaptiveResult, ParameterGrid, adaptive_localize
+from repro.core.adaptive import (
+    AdaptiveResult,
+    CellRejection,
+    ParameterGrid,
+    adaptive_localize,
+)
 from repro.core.localizer import LionLocalizer, LocalizationResult, PreprocessConfig
 from repro.core.multiantenna import (
     CalibratedArray,
@@ -96,6 +101,7 @@ __all__ = [
     "solve_weighted_least_squares_batch",
     "recover_coordinate_from_reference",
     "AdaptiveResult",
+    "CellRejection",
     "ParameterGrid",
     "adaptive_localize",
     "LionLocalizer",

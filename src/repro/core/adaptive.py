@@ -19,6 +19,12 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.core.localizer import LionLocalizer, LocalizationResult
+from repro.obs import (
+    RESIDUAL_BUCKETS_M,
+    get_registry,
+    metrics_enabled,
+    span,
+)
 from repro.parallel import Executor, get_executor
 
 
@@ -67,6 +73,31 @@ class ConfigOutcome:
 
 
 @dataclass(frozen=True)
+class CellRejection:
+    """A grid cell that could not produce a solve, with the reason why.
+
+    Reasons are coarse, stable categories (usable as metric labels):
+    ``"too_few_reads"`` (the range window left < 3 reads),
+    ``"degenerate_geometry"`` (unobservable/unsolvable configuration),
+    and ``"solve_error"`` (any other :class:`ValueError` from the solve).
+    """
+
+    range_m: float
+    interval_m: float
+    reason: str
+
+
+def _classify_rejection(message: str) -> str:
+    """Map a localization ``ValueError`` message to a stable reason label."""
+    text = message.lower()
+    if "read" in text and ("three" in text or "at least" in text):
+        return "too_few_reads"
+    if "unsolvable" in text or "observable" in text or "degenerate" in text:
+        return "degenerate_geometry"
+    return "solve_error"
+
+
+@dataclass(frozen=True)
 class AdaptiveResult:
     """Outcome of the adaptive sweep.
 
@@ -94,13 +125,14 @@ def _solve_cell(
     profile: np.ndarray,
     segment_ids: np.ndarray | None,
     cell: Tuple[float, float, np.ndarray],
-) -> ConfigOutcome | None:
+) -> ConfigOutcome | CellRejection:
     """Solve one (range, interval) grid cell from the shared preprocessed profile.
 
     Module-level (dispatched via :func:`functools.partial`) so the process
     backend can pickle it. A cell whose configuration cannot produce a
-    solve maps to ``None`` rather than raising, keeping the sweep's
-    skip-and-continue semantics on every backend.
+    solve maps to a :class:`CellRejection` carrying the reason rather than
+    raising, keeping the sweep's skip-and-continue semantics on every
+    backend while making rejections observable.
     """
     range_m, interval_m, exclude = cell
     try:
@@ -112,8 +144,8 @@ def _solve_cell(
             interval_m=interval_m,
             assume_preprocessed=True,
         )
-    except ValueError:
-        return None
+    except ValueError as error:
+        return CellRejection(range_m, interval_m, _classify_rejection(str(error)))
     return ConfigOutcome(range_m, interval_m, result)
 
 
@@ -192,10 +224,30 @@ def adaptive_localize(
         for interval_m in grid.intervals_m
         if interval_m < range_m
     ]
+    grid_size = len(grid.ranges_m) * len(grid.intervals_m)
 
     runner = get_executor(executor, jobs=jobs)
     solve = functools.partial(_solve_cell, localizer, points, profile, segments)
-    outcomes = [outcome for outcome in runner.map(solve, cells) if outcome is not None]
+    with span("adaptive_sweep", cells=len(cells), criterion=criterion):
+        raw = runner.map(solve, cells)
+    outcomes = [result for result in raw if isinstance(result, ConfigOutcome)]
+    rejections = [result for result in raw if isinstance(result, CellRejection)]
+
+    if metrics_enabled():
+        registry = get_registry()
+        registry.counter("adaptive.cells_total", outcome="accepted").inc(len(outcomes))
+        registry.counter(
+            "adaptive.cells_total", outcome="skipped", reason="interval_ge_range"
+        ).inc(grid_size - len(cells))
+        for rejection in rejections:
+            registry.counter(
+                "adaptive.cells_total", outcome="rejected", reason=rejection.reason
+            ).inc()
+        score_histogram = registry.histogram(
+            "adaptive.abs_mean_residual", buckets=RESIDUAL_BUCKETS_M
+        )
+        for outcome in outcomes:
+            score_histogram.observe(outcome.abs_mean_residual)
 
     if not outcomes:
         raise ValueError("no grid configuration produced a valid localization")
@@ -207,6 +259,8 @@ def adaptive_localize(
     order = np.argsort(scores)
     keep = max(int(np.ceil(selection_quantile * len(outcomes))), 1)
     selected = [int(i) for i in order[:keep]]
+    if metrics_enabled():
+        get_registry().counter("adaptive.cells_selected_total").inc(len(selected))
     stacked = np.vstack([outcomes[i].result.position for i in selected])
     distances = np.array([outcomes[i].result.reference_distance_m for i in selected])
     return AdaptiveResult(

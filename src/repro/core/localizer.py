@@ -30,6 +30,7 @@ from repro.core.solvers import (
 from repro.core.system import LinearSystem, build_system, delta_distances
 from repro.core.weights import gaussian_residual_weights
 from repro.geometry.transforms import to_line_frame_2d
+from repro.obs import span, tracing_enabled
 from repro.signalproc.smoothing import hampel_filter, smooth_phase_profile
 from repro.signalproc.unwrap import unwrap_phase
 
@@ -157,6 +158,41 @@ class LionLocalizer:
     # main entry point
     # ------------------------------------------------------------------
     def locate(
+        self,
+        positions: np.ndarray,
+        wrapped_phase_rad: np.ndarray,
+        segment_ids: np.ndarray | None = None,
+        exclude_mask: np.ndarray | None = None,
+        pairs: Sequence[Tuple[int, int]] | None = None,
+        interval_m: float | None = None,
+        reference_index: int | None = None,
+        assume_preprocessed: bool = False,
+    ) -> LocalizationResult:
+        """Locate the target from one continuous scan (traced as ``locate``)."""
+        if not tracing_enabled():
+            return self._locate_impl(
+                positions,
+                wrapped_phase_rad,
+                segment_ids=segment_ids,
+                exclude_mask=exclude_mask,
+                pairs=pairs,
+                interval_m=interval_m,
+                reference_index=reference_index,
+                assume_preprocessed=assume_preprocessed,
+            )
+        with span("locate", dim=self.dim, method=self.method):
+            return self._locate_impl(
+                positions,
+                wrapped_phase_rad,
+                segment_ids=segment_ids,
+                exclude_mask=exclude_mask,
+                pairs=pairs,
+                interval_m=interval_m,
+                reference_index=reference_index,
+                assume_preprocessed=assume_preprocessed,
+            )
+
+    def _locate_impl(
         self,
         positions: np.ndarray,
         wrapped_phase_rad: np.ndarray,

@@ -24,8 +24,63 @@ import numpy as np
 
 from repro.core.system import LinearSystem
 from repro.core.weights import gaussian_residual_weights
+from repro.obs import (
+    ITERATION_BUCKETS,
+    RESIDUAL_BUCKETS_M,
+    UNIT_BUCKETS,
+    get_registry,
+    metrics_enabled,
+    obs_enabled,
+    span,
+    tracing_enabled,
+)
+from repro.obs.trace import NULL_SPAN
 
 WeightFunction = Callable[[np.ndarray], np.ndarray]
+
+
+def _weight_entropy(weights: np.ndarray) -> float:
+    """Normalized Shannon entropy of the weight distribution, in [0, 1].
+
+    1.0 means uniform weights (no equation dominates); values near 0 mean
+    the solve concentrated on a few equations — a robustness red flag.
+    """
+    total = float(np.sum(weights))
+    if total <= 0.0 or weights.size <= 1:
+        return 1.0
+    p = weights / total
+    nonzero = p[p > 0.0]
+    return float(-np.sum(nonzero * np.log(nonzero)) / np.log(weights.size))
+
+
+def _record_solve_metrics(
+    kind: str, iterations: int, converged: bool, residual_norm: float, entropy: float
+) -> None:
+    """Fold one IRLS solve's convergence summary into the global registry.
+
+    Both the scalar and the batched solver call this per system with the
+    same field meanings, so their emitted metrics are directly comparable
+    (``tests/test_obs.py`` asserts identical iteration histograms).
+    """
+    registry = get_registry()
+    registry.counter("solver.solves_total", solver=kind).inc()
+    registry.counter(
+        "solver.converged_total" if converged else "solver.unconverged_total",
+        solver=kind,
+    ).inc()
+    if converged:
+        # A "freeze": the member stopped iterating before the cap. Counted
+        # identically by the scalar and batched solvers.
+        registry.counter("solver.convergence_freezes_total", solver=kind).inc()
+    registry.histogram(
+        "solver.irls_iterations", buckets=ITERATION_BUCKETS, solver=kind
+    ).observe(iterations)
+    registry.histogram(
+        "solver.final_residual_norm", buckets=RESIDUAL_BUCKETS_M, solver=kind
+    ).observe(residual_norm)
+    registry.histogram(
+        "solver.weight_entropy", buckets=UNIT_BUCKETS, solver=kind
+    ).observe(entropy)
 
 
 @dataclass(frozen=True)
@@ -158,20 +213,48 @@ def solve_weighted_least_squares(
     if tolerance_m <= 0.0:
         raise ValueError(f"tolerance must be positive, got {tolerance_m}")
 
-    weights = np.ones(system.equation_count)
-    estimate = _weighted_solve(system.matrix, system.rhs, weights)
-    converged = False
-    iterations = 0
-    for iterations in range(1, max_iterations + 1):
+    # Observability costs one flag check when disabled; when enabled, the
+    # solve is wrapped in a span and per-iteration diagnostics are emitted.
+    observing = obs_enabled()
+    solve_span = (
+        span("solve", solver="scalar", equations=system.equation_count)
+        if observing and tracing_enabled()
+        else NULL_SPAN
+    )
+    with solve_span as sp:
+        weights = np.ones(system.equation_count)
+        estimate = _weighted_solve(system.matrix, system.rhs, weights)
+        converged = False
+        iterations = 0
+        for iterations in range(1, max_iterations + 1):
+            residuals = system.matrix @ estimate - system.rhs
+            weights = weight_function(residuals)
+            updated = _weighted_solve(system.matrix, system.rhs, weights)
+            step = float(np.linalg.norm(updated - estimate))
+            estimate = updated
+            if observing:
+                residual_norm = float(np.linalg.norm(residuals))
+                sp.add_event(
+                    iteration=iterations, residual_norm=residual_norm, step_m=step
+                )
+                if metrics_enabled():
+                    get_registry().histogram(
+                        "solver.iteration_residual_norm",
+                        buckets=RESIDUAL_BUCKETS_M,
+                        solver="scalar",
+                    ).observe(residual_norm)
+            if step < tolerance_m:
+                converged = True
+                break
         residuals = system.matrix @ estimate - system.rhs
-        weights = weight_function(residuals)
-        updated = _weighted_solve(system.matrix, system.rhs, weights)
-        step = float(np.linalg.norm(updated - estimate))
-        estimate = updated
-        if step < tolerance_m:
-            converged = True
-            break
-    residuals = system.matrix @ estimate - system.rhs
+        if observing and metrics_enabled():
+            _record_solve_metrics(
+                "scalar",
+                iterations,
+                converged,
+                float(np.linalg.norm(residuals)),
+                _weight_entropy(weights),
+            )
     return Solution(
         estimate=estimate,
         residuals=residuals,
@@ -225,25 +308,60 @@ def _irls_batch(
     scalar solver would produce.
     """
     count, row_count, _ = matrices.shape
+    observing = obs_enabled()
+    solve_span = (
+        span("solve", solver="batch", systems=count, equations=row_count)
+        if observing and tracing_enabled()
+        else NULL_SPAN
+    )
     weights = np.ones((count, row_count))
-    estimates = _weighted_solve_stack(matrices, rhs, weights)
-    converged = np.zeros(count, dtype=bool)
-    iterations = np.zeros(count, dtype=int)
-    for round_index in range(1, max_iterations + 1):
-        active = np.flatnonzero(~converged)
-        if active.size == 0:
-            break
-        residuals = (
-            np.einsum("bmn,bn->bm", matrices[active], estimates[active]) - rhs[active]
-        )
-        new_weights = np.stack([weight_function(row) for row in residuals])
-        updated = _weighted_solve_stack(matrices[active], rhs[active], new_weights)
-        steps = np.linalg.norm(updated - estimates[active], axis=1)
-        estimates[active] = updated
-        weights[active] = new_weights
-        iterations[active] = round_index
-        converged[active[steps < tolerance_m]] = True
-    final_residuals = np.einsum("bmn,bn->bm", matrices, estimates) - rhs
+    with solve_span as sp:
+        estimates = _weighted_solve_stack(matrices, rhs, weights)
+        converged = np.zeros(count, dtype=bool)
+        iterations = np.zeros(count, dtype=int)
+        for round_index in range(1, max_iterations + 1):
+            active = np.flatnonzero(~converged)
+            if active.size == 0:
+                break
+            residuals = (
+                np.einsum("bmn,bn->bm", matrices[active], estimates[active]) - rhs[active]
+            )
+            new_weights = np.stack([weight_function(row) for row in residuals])
+            updated = _weighted_solve_stack(matrices[active], rhs[active], new_weights)
+            steps = np.linalg.norm(updated - estimates[active], axis=1)
+            estimates[active] = updated
+            weights[active] = new_weights
+            iterations[active] = round_index
+            frozen = active[steps < tolerance_m]
+            converged[frozen] = True
+            if observing:
+                # Per-round diagnostics: residual norms of the members that
+                # iterated this round, plus how many froze (converged).
+                residual_norms = np.linalg.norm(residuals, axis=1)
+                sp.add_event(
+                    iteration=round_index,
+                    active=int(active.size),
+                    frozen=int(frozen.size),
+                    mean_residual_norm=float(np.mean(residual_norms)),
+                )
+                if metrics_enabled():
+                    norm_histogram = get_registry().histogram(
+                        "solver.iteration_residual_norm",
+                        buckets=RESIDUAL_BUCKETS_M,
+                        solver="batch",
+                    )
+                    for norm in residual_norms:
+                        norm_histogram.observe(float(norm))
+        final_residuals = np.einsum("bmn,bn->bm", matrices, estimates) - rhs
+        if observing and metrics_enabled():
+            for index in range(count):
+                _record_solve_metrics(
+                    "batch",
+                    int(iterations[index]),
+                    bool(converged[index]),
+                    float(np.linalg.norm(final_residuals[index])),
+                    _weight_entropy(weights[index]),
+                )
     return [
         Solution(
             estimate=estimates[index].copy(),

@@ -36,6 +36,7 @@ from repro.experiments.figures_extensions import (
     run_ext_wander,
 )
 from repro.experiments.metrics import ExperimentResult
+from repro.obs import get_registry, metrics_enabled, span
 
 FigureRunner = Callable[..., ExperimentResult]
 
@@ -78,4 +79,8 @@ def run_figure(figure_id: str, seed: int = 0, fast: bool = False) -> ExperimentR
         raise KeyError(
             f"unknown figure {figure_id!r}; valid ids: {sorted(FIGURE_RUNNERS)}"
         )
-    return FIGURE_RUNNERS[figure_id](seed=seed, fast=fast)
+    with span("figure", figure=figure_id, seed=seed, fast=fast):
+        result = FIGURE_RUNNERS[figure_id](seed=seed, fast=fast)
+    if metrics_enabled():
+        get_registry().counter("figures.runs_total", figure=figure_id).inc()
+    return result

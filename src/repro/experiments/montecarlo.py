@@ -14,11 +14,19 @@ serial loop.
 from __future__ import annotations
 
 import functools
+import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
+from repro.obs import (
+    collect_manifest,
+    get_registry,
+    metrics_enabled,
+    span,
+    tracing_enabled,
+)
 from repro.parallel import Executor, get_executor
 
 #: A trial returns one or more named scalar outcomes (e.g. per-method errors).
@@ -49,10 +57,22 @@ class MonteCarloSummary:
 
 @dataclass(frozen=True)
 class MonteCarloResult:
-    """All metrics of a study, keyed by name."""
+    """All metrics of a study, keyed by name.
+
+    Attributes:
+        summaries: per-metric aggregates, keyed by metric name.
+        trials: requested trial count.
+        manifest: :class:`repro.obs.RunManifest` provenance of the run
+            (git SHA, seed, jobs, config hash, package versions) as a
+            plain dict — benchmarks embed it into their ``BENCH_*.json``.
+        timing: wall-clock summary: ``wall_seconds``, ``trials``, and
+            ``trials_per_second``.
+    """
 
     summaries: Dict[str, MonteCarloSummary]
     trials: int
+    manifest: Dict[str, object] | None = None
+    timing: Dict[str, float] | None = None
 
     def __getitem__(self, name: str) -> MonteCarloSummary:
         return self.summaries[name]
@@ -100,6 +120,12 @@ def _execute_trial(
     backend.
     """
     rng = np.random.default_rng(seed + k)
+    if tracing_enabled():
+        with span("trial", index=k):
+            try:
+                return ("ok", trial(rng))
+            except Exception as error:
+                return ("error", error)
     try:
         return ("ok", trial(rng))
     except Exception as error:
@@ -149,7 +175,10 @@ def run_monte_carlo(
         raise ValueError(f"confidence must be in (0, 1), got {confidence}")
 
     runner = get_executor(executor, jobs=jobs)
-    raw = runner.map(functools.partial(_execute_trial, trial, seed), range(trials))
+    start = time.perf_counter()
+    with span("monte_carlo", trials=trials, seed=seed, backend=runner.name):
+        raw = runner.map(functools.partial(_execute_trial, trial, seed), range(trials))
+    wall_seconds = time.perf_counter() - start
 
     collected: Dict[str, List[float]] = {}
     failures: Dict[str, int] = {}
@@ -167,6 +196,12 @@ def run_monte_carlo(
                 collected[name].append(float(value))
             else:
                 failures[name] += 1
+    if metrics_enabled():
+        registry = get_registry()
+        registry.counter("monte_carlo.trials_total", status="ok").inc(
+            trials - failed_trials
+        )
+        registry.counter("monte_carlo.trials_total", status="failed").inc(failed_trials)
     if not collected or all(len(v) == 0 for v in collected.values()):
         raise ValueError("every trial failed; nothing to aggregate")
 
@@ -189,7 +224,25 @@ def run_monte_carlo(
             ci_high=high,
             failures=failures.get(name, 0) + failed_trials,
         )
-    return MonteCarloResult(summaries=summaries, trials=trials)
+    manifest = collect_manifest(
+        seed=seed,
+        jobs=getattr(runner, "jobs", 1),
+        config={
+            "trials": trials,
+            "confidence": confidence,
+            "bootstrap_resamples": bootstrap_resamples,
+            "bootstrap_seed": bootstrap_seed,
+            "executor": runner.name,
+        },
+    )
+    timing = {
+        "wall_seconds": wall_seconds,
+        "trials": float(trials),
+        "trials_per_second": trials / wall_seconds if wall_seconds > 0 else 0.0,
+    }
+    return MonteCarloResult(
+        summaries=summaries, trials=trials, manifest=manifest.to_dict(), timing=timing
+    )
 
 
 def compare_methods(

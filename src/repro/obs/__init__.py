@@ -1,0 +1,101 @@
+"""Observability layer: tracing spans, metrics, run manifests, logging.
+
+Zero-dependency instrumentation for the solver/sweep/parallel stack:
+
+- :mod:`repro.obs.trace` — nestable ``span()`` context managers recording
+  wall/CPU time into a thread-safe, process-mergeable trace tree.
+- :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket
+  histograms with JSON and Prometheus-text exporters.
+- :mod:`repro.obs.manifest` — :class:`RunManifest` provenance records
+  (git SHA, seed, jobs, config hash, package versions).
+- :mod:`repro.obs.logs` — structured logging on the ``repro.*`` logger
+  hierarchy.
+
+Both tracing and metrics are off by default; instrumented hot paths guard
+on :func:`obs_enabled` (one flag check) so the disabled-mode overhead is
+negligible (see ``benchmarks/bench_obs_overhead.py``). The CLI surfaces
+the layer via ``--trace``, ``--metrics-out PATH``, and ``--log-level``;
+conventions are documented in ``docs/observability.md``.
+"""
+
+from repro.obs.logs import configure_logging, get_logger
+from repro.obs.manifest import RunManifest, collect_manifest, config_fingerprint
+from repro.obs.metrics import (
+    ITERATION_BUCKETS,
+    LATENCY_BUCKETS_S,
+    RESIDUAL_BUCKETS_M,
+    UNIT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    metrics_enabled,
+    scoped_registry,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    SpanNode,
+    attach_spans,
+    current_span,
+    disable_tracing,
+    drain_spans,
+    enable_tracing,
+    get_trace,
+    render_trace,
+    reset_tracing,
+    span,
+    trace_depth,
+    tracing_enabled,
+)
+
+
+def obs_enabled() -> bool:
+    """Whether any observability sink (tracing or metrics) is active.
+
+    Hot paths read this once per call and skip all instrumentation when it
+    is False — the single-flag-check guarantee.
+    """
+    return tracing_enabled() or metrics_enabled()
+
+
+__all__ = [
+    "obs_enabled",
+    # trace
+    "SpanNode",
+    "NULL_SPAN",
+    "span",
+    "current_span",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "get_trace",
+    "reset_tracing",
+    "drain_spans",
+    "attach_spans",
+    "trace_depth",
+    "render_trace",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "enable_metrics",
+    "disable_metrics",
+    "metrics_enabled",
+    "get_registry",
+    "scoped_registry",
+    "LATENCY_BUCKETS_S",
+    "ITERATION_BUCKETS",
+    "UNIT_BUCKETS",
+    "RESIDUAL_BUCKETS_M",
+    # manifest
+    "RunManifest",
+    "collect_manifest",
+    "config_fingerprint",
+    # logging
+    "get_logger",
+    "configure_logging",
+]

@@ -1,0 +1,76 @@
+"""Structured logging on the ``repro.*`` logger hierarchy.
+
+Every module logs through :func:`get_logger`, which returns a child of
+the ``repro`` root logger; :func:`configure_logging` installs one
+stream handler with a structured single-line format::
+
+    2026-08-05T12:34:56 WARNING repro.cli unknown figure 'fig99'
+
+The handler is tagged so repeated configuration (each CLI invocation,
+each test) replaces it instead of stacking duplicates, and the ``repro``
+logger does not propagate to the root logger, so library users keep
+full control of their own logging tree.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+__all__ = ["ROOT_LOGGER_NAME", "LOG_FORMAT", "get_logger", "configure_logging"]
+
+ROOT_LOGGER_NAME = "repro"
+
+LOG_FORMAT = "%(asctime)s %(levelname)s %(name)s %(message)s"
+DATE_FORMAT = "%Y-%m-%dT%H:%M:%S"
+
+#: Attribute marking handlers installed by :func:`configure_logging`.
+_HANDLER_TAG = "_repro_obs_handler"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger in the ``repro.*`` hierarchy.
+
+    ``get_logger()`` returns the ``repro`` root; ``get_logger("cli")``
+    and ``get_logger("repro.cli")`` both return ``repro.cli``.
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_logging(
+    level: int | str = "WARNING", stream: IO[str] | None = None
+) -> logging.Logger:
+    """Install (or replace) the structured stderr handler on ``repro``.
+
+    Args:
+        level: numeric level or case-insensitive name (``"info"``).
+        stream: destination; defaults to the *current* ``sys.stderr``.
+
+    Raises:
+        ValueError: on an unknown level name.
+
+    Returns:
+        The configured ``repro`` root logger.
+    """
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    logger.setLevel(level)
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_TAG, False):
+            logger.removeHandler(handler)
+            handler.close()
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(LOG_FORMAT, datefmt=DATE_FORMAT))
+    setattr(handler, _HANDLER_TAG, True)
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

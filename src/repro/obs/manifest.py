@@ -1,0 +1,141 @@
+"""Run provenance: the :class:`RunManifest` attached to every heavy run.
+
+A manifest pins down *what produced a number*: git revision (and whether
+the tree was dirty), the seed and worker count, a stable hash of the run
+configuration, and the versions of the interpreter and the numeric stack.
+Benchmark reports (``BENCH_*.json``), ``--metrics-out`` dumps, and
+:class:`repro.experiments.montecarlo.MonteCarloResult` all embed one, so
+results stay comparable across PRs and machines.
+
+Git state is read once per process (cached) via subprocess; everything
+degrades to ``None`` outside a git checkout or without a ``git`` binary.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List
+
+__all__ = ["RunManifest", "collect_manifest", "config_fingerprint"]
+
+
+def config_fingerprint(config: Dict[str, Any]) -> str:
+    """Stable short hash of a configuration dict (sha256 of canonical JSON).
+
+    Key order does not matter; non-JSON values are stringified.
+    """
+    canonical = json.dumps(config, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@functools.lru_cache(maxsize=1)
+def _git_state() -> tuple[str | None, bool | None]:
+    """(commit sha, dirty?) of the checkout containing this package, cached."""
+    cwd = os.path.dirname(os.path.abspath(__file__))
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=5.0, check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=cwd, capture_output=True, text=True, timeout=5.0, check=True,
+        ).stdout
+        return sha, bool(status.strip())
+    except (OSError, subprocess.SubprocessError):
+        return None, None
+
+
+@functools.lru_cache(maxsize=1)
+def _package_versions() -> Dict[str, str]:
+    versions: Dict[str, str] = {"python": platform.python_version()}
+    try:
+        import numpy
+
+        versions["numpy"] = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        pass
+    try:
+        import scipy
+
+        versions["scipy"] = scipy.__version__
+    except Exception:
+        pass
+    try:
+        from repro import __version__ as repro_version
+
+        versions["repro"] = repro_version
+    except Exception:  # pragma: no cover - circular-import safety
+        pass
+    return versions
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Provenance record for one run.
+
+    Attributes:
+        created_unix: POSIX timestamp when the manifest was collected.
+        git_sha / git_dirty: checkout state, ``None`` outside a repo.
+        seed: base random seed of the run, when seeded.
+        jobs: resolved worker count, when parallelism applies.
+        config: the run configuration that was hashed (JSON-safe values).
+        config_hash: :func:`config_fingerprint` of ``config``.
+        packages: interpreter and numeric-stack versions.
+        platform: ``platform.platform()`` of the host.
+        argv: command-line arguments, when invoked from the CLI.
+    """
+
+    created_unix: float
+    git_sha: str | None = None
+    git_dirty: bool | None = None
+    seed: int | None = None
+    jobs: int | None = None
+    config: Dict[str, Any] | None = None
+    config_hash: str | None = None
+    packages: Dict[str, str] = field(default_factory=dict)
+    platform: str = ""
+    argv: List[str] | None = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunManifest":
+        """Rebuild a manifest from :meth:`to_dict` output."""
+        return cls(**payload)
+
+
+def collect_manifest(
+    seed: int | None = None,
+    jobs: int | None = None,
+    config: Dict[str, Any] | None = None,
+    argv: List[str] | None = None,
+) -> RunManifest:
+    """Assemble a :class:`RunManifest` for the current process and inputs.
+
+    Git and package lookups are cached process-wide, so calling this per
+    run (e.g. once per Monte-Carlo study) is cheap after the first call.
+    """
+    sha, dirty = _git_state()
+    return RunManifest(
+        created_unix=time.time(),
+        git_sha=sha,
+        git_dirty=dirty,
+        seed=seed,
+        jobs=jobs,
+        config=config,
+        config_hash=config_fingerprint(config) if config is not None else None,
+        packages=dict(_package_versions()),
+        platform=platform.platform(),
+        argv=list(argv) if argv is not None else list(sys.argv[1:]),
+    )

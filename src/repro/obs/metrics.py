@@ -1,0 +1,350 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms, exporters.
+
+The registry is a thread-safe, label-aware map of named instruments with
+two export formats — a JSON-friendly snapshot (``snapshot()`` /
+``to_json()``) and Prometheus text exposition (``to_prometheus_text()``).
+Snapshots from worker processes merge back into a parent registry with
+:meth:`MetricsRegistry.merge`, which is how ``repro.parallel``'s process
+backend reconciles child-process metrics.
+
+Like tracing, metric recording is **off by default**: call sites guard on
+:func:`metrics_enabled` so the disabled path costs one flag check.
+Histograms use *fixed* bucket upper edges with Prometheus ``le``
+semantics (``value <= edge``) plus an implicit ``+Inf`` bucket, so merged
+histograms stay exact.
+
+Typical use::
+
+    from repro.obs import enable_metrics, get_registry
+
+    enable_metrics()
+    reg = get_registry()
+    reg.counter("adaptive.cells_total", outcome="rejected", reason="no_pairs").inc()
+    reg.histogram("solver.irls_iterations", buckets=ITERATION_BUCKETS).observe(6)
+    print(reg.to_prometheus_text())
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import re
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "LATENCY_BUCKETS_S",
+    "ITERATION_BUCKETS",
+    "UNIT_BUCKETS",
+    "RESIDUAL_BUCKETS_M",
+    "enable_metrics",
+    "disable_metrics",
+    "metrics_enabled",
+    "get_registry",
+    "scoped_registry",
+]
+
+#: Latency buckets in seconds (sub-millisecond chunk up to slow figures).
+LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+#: IRLS round-count buckets (the solver caps at 20 by default).
+ITERATION_BUCKETS: Tuple[float, ...] = (1, 2, 3, 4, 5, 7, 10, 15, 20)
+
+#: Buckets for [0, 1] quantities (weight entropy, worker utilization).
+UNIT_BUCKETS: Tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+#: Residual-norm buckets in meters-squared units of the radical system.
+RESIDUAL_BUCKETS_M: Tuple[float, ...] = (
+    1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0,
+)
+
+LabelsKey = Tuple[Tuple[str, str], ...]
+
+
+def _labels_key(labels: Dict[str, Any]) -> LabelsKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative).
+
+        Raises:
+            ValueError: on a negative increment.
+        """
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus ``le`` (value <= edge) semantics.
+
+    ``counts[i]`` is the number of observations in bucket ``i`` (non-
+    cumulative); the final slot is the implicit ``+Inf`` bucket. The
+    cumulative form is produced at export time.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        edges = tuple(float(b) for b in buckets)
+        if not edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        if list(edges) != sorted(edges) or len(set(edges)) != len(edges):
+            raise ValueError(f"bucket edges must be strictly increasing, got {edges}")
+        self.buckets = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.sum = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.sum += value
+
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        return sum(self.counts)
+
+
+class MetricsRegistry:
+    """Thread-safe, label-aware registry of named instruments."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[Tuple[str, LabelsKey], Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, labels: Dict[str, Any], factory, kind: str):
+        key = (name, _labels_key(labels))
+        with self._lock:
+            instrument = self._metrics.get(key)
+            if instrument is None:
+                instrument = factory()
+                self._metrics[key] = instrument
+            elif instrument.kind != kind:
+                raise TypeError(
+                    f"metric {name!r} already registered as {instrument.kind}, "
+                    f"requested {kind}"
+                )
+            return instrument
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """Get or create the counter ``name`` with the given labels."""
+        return self._get_or_create(name, labels, Counter, "counter")
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """Get or create the gauge ``name`` with the given labels."""
+        return self._get_or_create(name, labels, Gauge, "gauge")
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = LATENCY_BUCKETS_S, **labels: Any
+    ) -> Histogram:
+        """Get or create the histogram ``name``; ``buckets`` applies on creation.
+
+        Raises:
+            ValueError: when the histogram exists with different bucket edges.
+        """
+        instrument = self._get_or_create(
+            name, labels, lambda: Histogram(buckets), "histogram"
+        )
+        if instrument.buckets != tuple(float(b) for b in buckets):
+            raise ValueError(
+                f"histogram {name!r} already registered with buckets "
+                f"{instrument.buckets}, requested {tuple(buckets)}"
+            )
+        return instrument
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def reset(self) -> None:
+        """Drop every registered instrument."""
+        with self._lock:
+            self._metrics.clear()
+
+    # -- export / merge ------------------------------------------------
+    def snapshot(self) -> Dict[str, List[Dict[str, Any]]]:
+        """JSON-serializable (and picklable) dump of every instrument."""
+        with self._lock:
+            items = list(self._metrics.items())
+        out: Dict[str, List[Dict[str, Any]]] = {
+            "counters": [], "gauges": [], "histograms": [],
+        }
+        for (name, labels), instrument in items:
+            entry: Dict[str, Any] = {"name": name, "labels": dict(labels)}
+            if isinstance(instrument, Histogram):
+                entry.update(
+                    buckets=list(instrument.buckets),
+                    counts=list(instrument.counts),
+                    sum=instrument.sum,
+                    count=instrument.count,
+                )
+                out["histograms"].append(entry)
+            elif isinstance(instrument, Counter):
+                entry["value"] = instrument.value
+                out["counters"].append(entry)
+            else:
+                entry["value"] = instrument.value
+                out["gauges"].append(entry)
+        return out
+
+    def merge(self, payload: Dict[str, List[Dict[str, Any]]]) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker process) into this registry.
+
+        Counters and histogram counts/sums add; gauges take the incoming
+        value (last write wins).
+
+        Raises:
+            ValueError: when a histogram arrives with different bucket edges.
+        """
+        for entry in payload.get("counters", []):
+            self.counter(entry["name"], **entry["labels"]).inc(float(entry["value"]))
+        for entry in payload.get("gauges", []):
+            self.gauge(entry["name"], **entry["labels"]).set(float(entry["value"]))
+        for entry in payload.get("histograms", []):
+            histogram = self.histogram(
+                entry["name"], buckets=entry["buckets"], **entry["labels"]
+            )
+            with histogram._lock:
+                for index, count in enumerate(entry["counts"]):
+                    histogram.counts[index] += int(count)
+                histogram.sum += float(entry["sum"])
+
+    def to_json(self, indent: int = 2) -> str:
+        """The :meth:`snapshot` as a JSON string."""
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def to_prometheus_text(self, namespace: str = "lion") -> str:
+        """Prometheus text exposition format (one ``# TYPE`` line per name).
+
+        Metric names are sanitized (``.`` and other invalid characters
+        become ``_``) and prefixed with ``namespace_``. Histograms emit
+        cumulative ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
+        """
+        snapshot = self.snapshot()
+        lines: List[str] = []
+        typed: set[str] = set()
+
+        def full_name(raw: str) -> str:
+            base = re.sub(r"[^a-zA-Z0-9_:]", "_", raw)
+            return f"{namespace}_{base}" if namespace else base
+
+        def label_text(labels: Dict[str, str], extra: Dict[str, str] | None = None) -> str:
+            merged = dict(labels)
+            if extra:
+                merged.update(extra)
+            if not merged:
+                return ""
+            body = ",".join(f'{k}="{v}"' for k, v in sorted(merged.items()))
+            return "{" + body + "}"
+
+        def emit_type(name: str, kind: str) -> None:
+            if name not in typed:
+                lines.append(f"# TYPE {name} {kind}")
+                typed.add(name)
+
+        for entry in snapshot["counters"]:
+            # Counter names carry their own `_total` suffix by convention.
+            name = full_name(entry["name"])
+            emit_type(name, "counter")
+            lines.append(f"{name}{label_text(entry['labels'])} {entry['value']:g}")
+        for entry in snapshot["gauges"]:
+            name = full_name(entry["name"])
+            emit_type(name, "gauge")
+            lines.append(f"{name}{label_text(entry['labels'])} {entry['value']:g}")
+        for entry in snapshot["histograms"]:
+            name = full_name(entry["name"])
+            emit_type(name, "histogram")
+            cumulative = 0
+            for edge, count in zip(entry["buckets"], entry["counts"]):
+                cumulative += count
+                lines.append(
+                    f"{name}_bucket{label_text(entry['labels'], {'le': f'{edge:g}'})} "
+                    f"{cumulative}"
+                )
+            cumulative += entry["counts"][-1]
+            lines.append(
+                f"{name}_bucket{label_text(entry['labels'], {'le': '+Inf'})} {cumulative}"
+            )
+            lines.append(f"{name}_sum{label_text(entry['labels'])} {entry['sum']:g}")
+            lines.append(f"{name}_count{label_text(entry['labels'])} {cumulative}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+_metrics_enabled = False
+_registry = MetricsRegistry()
+
+
+def enable_metrics() -> None:
+    """Turn metric recording on (module-global)."""
+    global _metrics_enabled
+    _metrics_enabled = True
+
+
+def disable_metrics() -> None:
+    """Turn metric recording off; recorded values are kept."""
+    global _metrics_enabled
+    _metrics_enabled = False
+
+
+def metrics_enabled() -> bool:
+    """Whether instrumented call sites should record."""
+    return _metrics_enabled
+
+
+def get_registry() -> MetricsRegistry:
+    """The active global registry."""
+    return _registry
+
+
+@contextmanager
+def scoped_registry(registry: MetricsRegistry | None = None) -> Iterator[MetricsRegistry]:
+    """Temporarily swap the global registry (NOT thread-safe).
+
+    Used by worker processes to collect a chunk's metrics in isolation for
+    merge-back, and by tests; don't call it from concurrent threads.
+    """
+    global _registry
+    previous = _registry
+    _registry = registry if registry is not None else MetricsRegistry()
+    try:
+        yield _registry
+    finally:
+        _registry = previous

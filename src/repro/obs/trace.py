@@ -1,0 +1,296 @@
+"""Nestable tracing spans with a thread-safe, process-mergeable trace tree.
+
+A *span* brackets one unit of work — a figure regeneration, a Monte-Carlo
+trial, one IRLS solve — and records its wall-clock and CPU time plus
+free-form attributes and per-iteration events. Spans nest through ordinary
+``with`` blocks; each thread keeps its own stack, and completed top-level
+spans accumulate in a module-global list of roots.
+
+Tracing is **off by default** and the disabled path is a no-op: ``span()``
+checks a single module flag and hands back a shared null span whose
+``__enter__``/``__exit__``/``add_event`` do nothing, so instrumented hot
+paths cost one boolean check when tracing is disabled (verified by
+``benchmarks/bench_obs_overhead.py``).
+
+Process merging: a worker process drains its finished spans with
+:func:`drain_spans` (plain dicts, picklable) and the parent grafts them
+under its current span with :func:`attach_spans` — this is how
+``repro.parallel``'s process backend ships worker trace trees home.
+
+Typical use::
+
+    from repro.obs import enable_tracing, span, get_trace, render_trace
+
+    enable_tracing()
+    with span("figure", figure="fig13a"):
+        with span("solve", solver="scalar") as sp:
+            sp.add_event(iteration=1, residual_norm=0.02)
+    print(render_trace())
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+__all__ = [
+    "SpanNode",
+    "NULL_SPAN",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "span",
+    "current_span",
+    "get_trace",
+    "reset_tracing",
+    "drain_spans",
+    "attach_spans",
+    "trace_depth",
+    "render_trace",
+]
+
+_enabled = False
+_roots_lock = threading.Lock()
+_roots: List["SpanNode"] = []
+_local = threading.local()
+
+
+def _stack() -> List["SpanNode"]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = []
+        _local.stack = stack
+    return stack
+
+
+@dataclass
+class SpanNode:
+    """One completed (or in-flight) span of the trace tree.
+
+    Attributes:
+        name: span name, dot-separated by convention (``"solve.irls"``).
+        attributes: free-form key/value pairs set at creation or via
+            :meth:`set_attribute`.
+        start_s / end_s: ``time.perf_counter`` timestamps.
+        cpu_s: process CPU seconds consumed between enter and exit.
+        pid: OS process id that ran the span (distinguishes grafted
+            worker subtrees from the parent's own spans).
+        children: nested spans, in completion order.
+        events: timestamped payloads appended via :meth:`add_event`
+            (e.g. one per IRLS iteration).
+    """
+
+    name: str
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    start_s: float = 0.0
+    end_s: float = 0.0
+    cpu_s: float = 0.0
+    pid: int = 0
+    children: List["SpanNode"] = field(default_factory=list)
+    events: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def wall_s(self) -> float:
+        """Wall-clock duration in seconds."""
+        return max(self.end_s - self.start_s, 0.0)
+
+    def add_event(self, **fields: Any) -> None:
+        """Append one event payload (e.g. per-iteration diagnostics)."""
+        self.events.append(fields)
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Set or overwrite one attribute."""
+        self.attributes[key] = value
+
+    def depth(self) -> int:
+        """Number of levels in this subtree (a leaf has depth 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Picklable/JSON-serializable representation (recursive)."""
+        return {
+            "name": self.name,
+            "attributes": dict(self.attributes),
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "cpu_s": self.cpu_s,
+            "pid": self.pid,
+            "children": [child.to_dict() for child in self.children],
+            "events": [dict(event) for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SpanNode":
+        """Rebuild a span subtree from :meth:`to_dict` output."""
+        return cls(
+            name=str(payload["name"]),
+            attributes=dict(payload.get("attributes", {})),
+            start_s=float(payload.get("start_s", 0.0)),
+            end_s=float(payload.get("end_s", 0.0)),
+            cpu_s=float(payload.get("cpu_s", 0.0)),
+            pid=int(payload.get("pid", 0)),
+            children=[cls.from_dict(c) for c in payload.get("children", [])],
+            events=[dict(e) for e in payload.get("events", [])],
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def add_event(self, **fields: Any) -> None:
+        pass
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Context manager that records one :class:`SpanNode`."""
+
+    __slots__ = ("node", "_cpu_start")
+
+    def __init__(self, name: str, attributes: Dict[str, Any]) -> None:
+        self.node = SpanNode(name=name, attributes=attributes, pid=os.getpid())
+        self._cpu_start = 0.0
+
+    def __enter__(self) -> SpanNode:
+        self.node.start_s = time.perf_counter()
+        self._cpu_start = time.process_time()
+        _stack().append(self.node)
+        return self.node
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        node = self.node
+        node.end_s = time.perf_counter()
+        node.cpu_s = time.process_time() - self._cpu_start
+        if exc_type is not None:
+            node.attributes.setdefault("error", exc_type.__name__)
+        stack = _stack()
+        if stack and stack[-1] is node:
+            stack.pop()
+        elif node in stack:  # mis-nested exit; recover best-effort
+            stack.remove(node)
+        if stack:
+            stack[-1].children.append(node)
+        else:
+            with _roots_lock:
+                _roots.append(node)
+        return False
+
+
+def enable_tracing() -> None:
+    """Turn span recording on (module-global)."""
+    global _enabled
+    _enabled = True
+
+
+def disable_tracing() -> None:
+    """Turn span recording off; already-recorded spans are kept."""
+    global _enabled
+    _enabled = False
+
+
+def tracing_enabled() -> bool:
+    """Whether :func:`span` currently records."""
+    return _enabled
+
+
+def span(name: str, **attributes: Any):
+    """Open a span; use as ``with span("name", key=value) as sp:``.
+
+    When tracing is disabled this returns the shared :data:`NULL_SPAN`
+    after a single flag check — the disabled-mode cost of an instrumented
+    call site.
+    """
+    if not _enabled:
+        return NULL_SPAN
+    return _Span(name, attributes)
+
+
+def current_span() -> SpanNode | None:
+    """The innermost open span of the calling thread, if any."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+def get_trace() -> List[SpanNode]:
+    """Completed top-level spans, in completion order (shared list copy)."""
+    with _roots_lock:
+        return list(_roots)
+
+
+def reset_tracing() -> None:
+    """Drop all recorded spans (the enabled flag is left unchanged)."""
+    with _roots_lock:
+        _roots.clear()
+    _local.stack = []
+
+
+def drain_spans() -> List[Dict[str, Any]]:
+    """Pop all completed root spans as picklable dicts (for merge-back)."""
+    with _roots_lock:
+        drained = [node.to_dict() for node in _roots]
+        _roots.clear()
+    return drained
+
+
+def attach_spans(payloads: List[Dict[str, Any]]) -> None:
+    """Graft serialized spans under the current span (or as new roots).
+
+    The receiving half of process merge-back: the parent calls this with
+    what a worker's :func:`drain_spans` returned.
+    """
+    nodes = [SpanNode.from_dict(payload) for payload in payloads]
+    parent = current_span()
+    if parent is not None:
+        parent.children.extend(nodes)
+    else:
+        with _roots_lock:
+            _roots.extend(nodes)
+
+
+def trace_depth() -> int:
+    """Deepest nesting level across all recorded root spans."""
+    roots = get_trace()
+    if not roots:
+        return 0
+    return max(root.depth() for root in roots)
+
+
+def render_trace(roots: List[SpanNode] | None = None) -> str:
+    """ASCII rendering of the trace tree with wall/CPU milliseconds."""
+    roots = get_trace() if roots is None else roots
+    if not roots:
+        return "(empty trace)"
+    lines: List[str] = []
+
+    def walk(node: SpanNode, indent: int) -> None:
+        attrs = " ".join(f"{k}={v}" for k, v in node.attributes.items())
+        suffix = f"  [{attrs}]" if attrs else ""
+        events = f"  ({len(node.events)} events)" if node.events else ""
+        lines.append(
+            f"{'  ' * indent}- {node.name}  wall={node.wall_s * 1000:.2f}ms "
+            f"cpu={node.cpu_s * 1000:.2f}ms{suffix}{events}"
+        )
+        for child in node.children:
+            walk(child, indent + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return "\n".join(lines)

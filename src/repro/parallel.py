@@ -19,14 +19,36 @@ answer, only how fast it arrives. Worker count resolves, in priority
 order: an explicit ``jobs=`` argument, :func:`set_default_jobs` (the CLI
 ``--jobs`` flag), the ``LION_JOBS`` environment variable, and finally
 ``os.cpu_count()``.
+
+When observability is on (see :mod:`repro.obs`), every ``map`` records
+per-chunk latency histograms, item/chunk counters, and a worker-
+utilization gauge (labelled by backend), and the process backend runs
+each chunk against an isolated child registry whose snapshot — plus any
+spans the work recorded — is merged back into the parent, so child-
+process metrics are never lost. With observability off, dispatch takes
+the exact pre-instrumentation path after a single flag check.
 """
 
 from __future__ import annotations
 
+import functools
 import os
+import threading
+import time
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Callable, List, Sequence, TypeVar
+from typing import Any, Callable, Dict, List, Sequence, Tuple, TypeVar
+
+from repro.obs import (
+    LATENCY_BUCKETS_S,
+    attach_spans,
+    get_registry,
+    metrics_enabled,
+    obs_enabled,
+    tracing_enabled,
+)
+from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as _obs_trace
 
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
@@ -104,6 +126,47 @@ def _apply_chunk(fn: Callable[[ItemT], ResultT], chunk: List[ItemT]) -> List[Res
     return [fn(item) for item in chunk]
 
 
+#: What an observed chunk returns: (results, metrics snapshot or None,
+#: serialized spans or None, busy seconds, worker pid).
+ObservedChunk = Tuple[List[Any], Dict[str, Any] | None, List[Dict[str, Any]] | None, float, int]
+
+
+def _apply_chunk_observed(
+    fn: Callable[[ItemT], ResultT],
+    chunk: List[ItemT],
+    isolate: bool,
+    metrics_on: bool,
+    tracing_on: bool,
+) -> ObservedChunk:
+    """Observed variant of :func:`_apply_chunk`, timing the chunk.
+
+    With ``isolate=True`` (process backend) the chunk runs against a fresh
+    metrics registry and an emptied span buffer, and returns both as
+    picklable payloads for the parent to merge — child-process metrics and
+    spans are never lost, regardless of the pool's start method (the
+    enable flags are re-asserted explicitly for spawn-style workers).
+    Thread workers (``isolate=False``) record straight into the shared
+    registry, which is thread-safe, so only timing comes back.
+    """
+    start = time.perf_counter()
+    if not isolate:
+        results = [fn(item) for item in chunk]
+        return results, None, None, time.perf_counter() - start, threading.get_ident()
+    if metrics_on:
+        _obs_metrics.enable_metrics()
+    if tracing_on:
+        _obs_trace.enable_tracing()
+    with _obs_metrics.scoped_registry() as registry:
+        # Drop spans inherited from a forked parent — including any still-
+        # open span on the inherited thread-local stack, which would
+        # otherwise silently swallow the chunk's spans as its children.
+        _obs_trace.reset_tracing()
+        results = [fn(item) for item in chunk]
+        payload = registry.snapshot() if metrics_on else None
+        spans = _obs_trace.drain_spans() if tracing_on else None
+    return results, payload, spans, time.perf_counter() - start, os.getpid()
+
+
 class Executor(ABC):
     """Order-preserving map/map-reduce over independent work items."""
 
@@ -150,11 +213,47 @@ class SerialExecutor(Executor):
     def map(
         self, fn: Callable[[ItemT], ResultT], items: Sequence[ItemT]
     ) -> List[ResultT]:
-        return [fn(item) for item in items]
+        if not metrics_enabled():
+            return [fn(item) for item in items]
+        start = time.perf_counter()
+        results = [fn(item) for item in items]
+        elapsed = time.perf_counter() - start
+        _record_map_metrics(self.name, len(results), [elapsed], 1, 1, elapsed)
+        return results
+
+
+def _record_map_metrics(
+    backend: str,
+    items: int,
+    chunk_seconds: List[float],
+    jobs: int,
+    workers_used: int,
+    wall_s: float,
+) -> None:
+    """Fold one ``map``'s latency/utilization numbers into the registry."""
+    registry = get_registry()
+    registry.counter("parallel.items_total", backend=backend).inc(items)
+    registry.counter("parallel.chunks_total", backend=backend).inc(len(chunk_seconds))
+    latency = registry.histogram(
+        "parallel.chunk_seconds", buckets=LATENCY_BUCKETS_S, backend=backend
+    )
+    for seconds in chunk_seconds:
+        latency.observe(seconds)
+    # Utilization: fraction of the pool's wall-clock capacity spent inside
+    # chunks; 1.0 means every worker was busy the whole map.
+    busy = sum(chunk_seconds)
+    registry.gauge("parallel.worker_utilization", backend=backend).set(
+        min(busy / (wall_s * jobs), 1.0) if wall_s > 0 else 0.0
+    )
+    registry.gauge("parallel.workers_used", backend=backend).set(workers_used)
 
 
 class _PoolExecutor(Executor):
     """Shared chunking logic for the thread and process backends."""
+
+    #: Whether workers need isolated metric/span collection for merge-back
+    #: (True for process pools; thread pools share the parent's registry).
+    _isolate_obs = False
 
     def __init__(self, jobs: int | None = None, chunk_size: int | None = None) -> None:
         if chunk_size is not None and chunk_size <= 0:
@@ -168,18 +267,66 @@ class _PoolExecutor(Executor):
         sequence = list(items)
         if not sequence:
             return []
+        observing = obs_enabled()
         if self.jobs == 1 or len(sequence) == 1:
-            return [fn(item) for item in sequence]
+            if not metrics_enabled():
+                return [fn(item) for item in sequence]
+            start = time.perf_counter()
+            results = [fn(item) for item in sequence]
+            elapsed = time.perf_counter() - start
+            _record_map_metrics(self.name, len(results), [elapsed], 1, 1, elapsed)
+            return results
         size = self.chunk_size or default_chunk_size(len(sequence), self.jobs)
         chunks = chunk_items(sequence, size)
+        if not observing:
+            worker = functools.partial(_apply_chunk, fn)
+            flattened: List[ResultT] = []
+            for chunk_result in self._map_chunks(worker, chunks):
+                flattened.extend(chunk_result)
+            return flattened
+        return self._map_observed(fn, chunks, len(sequence))
+
+    def _map_observed(
+        self,
+        fn: Callable[[ItemT], ResultT],
+        chunks: List[List[ItemT]],
+        item_count: int,
+    ) -> List[ResultT]:
+        """Observed dispatch: time chunks, merge worker metrics/spans back."""
+        worker = functools.partial(
+            _apply_chunk_observed,
+            fn,
+            isolate=self._isolate_obs,
+            metrics_on=metrics_enabled(),
+            tracing_on=tracing_enabled(),
+        )
+        start = time.perf_counter()
+        observed = self._map_chunks(worker, chunks)
+        wall = time.perf_counter() - start
         flattened: List[ResultT] = []
-        for chunk_result in self._map_chunks(fn, chunks):
-            flattened.extend(chunk_result)
+        chunk_seconds: List[float] = []
+        worker_pids: set[int] = set()
+        merged_spans: List[Dict[str, Any]] = []
+        registry = get_registry()
+        for results, payload, spans, busy_s, pid in observed:
+            flattened.extend(results)
+            chunk_seconds.append(busy_s)
+            worker_pids.add(pid)
+            if payload is not None:
+                registry.merge(payload)
+            if spans:
+                merged_spans.extend(spans)
+        if metrics_enabled():
+            _record_map_metrics(
+                self.name, item_count, chunk_seconds, self.jobs, len(worker_pids), wall
+            )
+        if merged_spans and tracing_enabled():
+            attach_spans(merged_spans)
         return flattened
 
     def _map_chunks(
-        self, fn: Callable[[ItemT], ResultT], chunks: List[List[ItemT]]
-    ) -> List[List[ResultT]]:
+        self, worker: Callable[[List[ItemT]], Any], chunks: List[List[ItemT]]
+    ) -> List[Any]:
         raise NotImplementedError
 
 
@@ -189,22 +336,23 @@ class ThreadExecutor(_PoolExecutor):
     name = "thread"
 
     def _map_chunks(
-        self, fn: Callable[[ItemT], ResultT], chunks: List[List[ItemT]]
-    ) -> List[List[ResultT]]:
+        self, worker: Callable[[List[ItemT]], Any], chunks: List[List[ItemT]]
+    ) -> List[Any]:
         with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-            return list(pool.map(_apply_chunk, [fn] * len(chunks), chunks))
+            return list(pool.map(worker, chunks))
 
 
 class ProcessExecutor(_PoolExecutor):
     """Process-pool backend; work function and items must be picklable."""
 
     name = "process"
+    _isolate_obs = True
 
     def _map_chunks(
-        self, fn: Callable[[ItemT], ResultT], chunks: List[List[ItemT]]
-    ) -> List[List[ResultT]]:
+        self, worker: Callable[[List[ItemT]], Any], chunks: List[List[ItemT]]
+    ) -> List[Any]:
         with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            return list(pool.map(_apply_chunk, [fn] * len(chunks), chunks))
+            return list(pool.map(worker, chunks))
 
 
 def get_executor(

@@ -10,7 +10,8 @@ Quickstart::
 
     import numpy as np
     from repro import (
-        LionLocalizer, LinearTrajectory, default_antenna, simulate_scan,
+        EstimationRequest, LinearTrajectory, default_antenna, estimate,
+        simulate_scan,
     )
 
     rng = np.random.default_rng(7)
@@ -18,10 +19,14 @@ Quickstart::
     scan = simulate_scan(
         LinearTrajectory((-0.4, 0.0, 0.0), (0.4, 0.0, 0.0)), antenna, rng=rng
     )
-    result = LionLocalizer(dim=2).locate(scan.positions, scan.phases)
-    print(result.position)            # ~ the antenna's true phase center (x, y)
+    report = estimate("lion", EstimationRequest.from_scan(scan), {"dim": 2})
+    print(report.position)            # ~ the antenna's true phase center (x, y)
 
-See ``examples/`` for complete calibration and tracking applications.
+Every method — LION and the paper's baselines — is served by name
+through the :mod:`repro.pipeline` registry (``estimator_names()`` lists
+them); the underlying solver classes remain importable from
+:mod:`repro.core` and :mod:`repro.baselines`. See ``examples/`` for
+complete calibration and tracking applications.
 """
 
 from repro.constants import (
@@ -102,6 +107,21 @@ from repro.obs import (
     render_trace,
     span,
 )
+from repro.pipeline import (
+    EstimationReport,
+    EstimationRequest,
+    Estimator,
+    EstimatorConfig,
+    EstimatorSpec,
+    create_estimator,
+    estimate,
+    estimate_many,
+    estimator_names,
+    get_spec,
+    list_estimators,
+    register_estimator,
+    resolve_config,
+)
 from repro.parallel import (
     Executor,
     ProcessExecutor,
@@ -158,6 +178,20 @@ __all__ = [
     "analyze_pairing",
     "SolutionUncertainty",
     "uncertainty_of",
+    # pipeline (estimator protocol + registry)
+    "EstimationRequest",
+    "EstimationReport",
+    "Estimator",
+    "EstimatorConfig",
+    "EstimatorSpec",
+    "register_estimator",
+    "estimator_names",
+    "list_estimators",
+    "get_spec",
+    "resolve_config",
+    "create_estimator",
+    "estimate",
+    "estimate_many",
     # parallel execution
     "Executor",
     "SerialExecutor",

@@ -14,6 +14,7 @@ solve, which is exactly its role in the comparison.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
@@ -43,7 +44,7 @@ class HyperbolaResult:
     converged: bool
 
 
-def locate_hyperbola(
+def _locate_hyperbola_impl(
     positions: np.ndarray,
     wrapped_phase_rad: np.ndarray,
     initial_guess: np.ndarray | None = None,
@@ -108,3 +109,45 @@ def locate_hyperbola(
         iterations=int(fit.nfev),
         converged=bool(fit.success),
     )
+
+
+def locate_hyperbola(
+    positions: np.ndarray,
+    wrapped_phase_rad: np.ndarray,
+    initial_guess: np.ndarray | None = None,
+    pairs: Sequence[Tuple[int, int]] | None = None,
+    wavelength_m: float = DEFAULT_WAVELENGTH_M,
+    dim: int | None = None,
+) -> HyperbolaResult:
+    """Deprecated entry point for the hyperbola baseline.
+
+    Use the ``"hyperbola"`` estimator from :mod:`repro.pipeline` instead;
+    this shim forwards through the registry (identical results) and will
+    be removed once downstream callers have migrated. Calls with an
+    explicit ``pairs`` override — a knob the registry config does not
+    carry — go straight to the implementation. See
+    :func:`_locate_hyperbola_impl` for the algorithm and argument
+    documentation.
+    """
+    warnings.warn(
+        "locate_hyperbola() is deprecated; use "
+        "repro.pipeline.estimate('hyperbola', request, config) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    if pairs is not None:
+        return _locate_hyperbola_impl(
+            positions,
+            wrapped_phase_rad,
+            initial_guess=initial_guess,
+            pairs=pairs,
+            wavelength_m=wavelength_m,
+            dim=dim,
+        )
+    from repro import pipeline
+
+    config = pipeline.HyperbolaConfig(wavelength_m=wavelength_m, dim=dim)
+    request = pipeline.EstimationRequest(
+        positions=positions, phases_rad=wrapped_phase_rad, initial_guess=initial_guess
+    )
+    return pipeline.estimate("hyperbola", request, config).raw

@@ -11,6 +11,8 @@ Data tooling (CSV read-record workflow, see repro.datasets.io)::
 
     lion simulate --scenario conveyor --out scan.csv --seed 5
     lion locate scan.csv --dim 2
+    lion locate scan.csv --estimator hologram --estimator-config '{"grid_size_m": 0.005}'
+    lion estimators                # list registered estimation methods
     lion calibrate scan.csv --physical-center 0,0.8,0 --scenario three-line
 
 Observability (docs/observability.md)::
@@ -133,12 +135,32 @@ def _build_parser() -> argparse.ArgumentParser:
         parents=[obs_parent],
     )
     locate_parser.add_argument("csv", help="input CSV (from 'lion simulate' or a logger)")
+    locate_parser.add_argument(
+        "--estimator",
+        default="lion",
+        metavar="NAME",
+        help="registered estimation method (see 'lion estimators'; default: lion)",
+    )
+    locate_parser.add_argument(
+        "--estimator-config",
+        metavar="JSON",
+        help=(
+            "JSON object of config overrides for the estimator "
+            "(keys follow its typed config, e.g. '{\"interval_m\": 0.2}')"
+        ),
+    )
     locate_parser.add_argument("--dim", type=int, choices=(2, 3), default=2)
     locate_parser.add_argument(
         "--interval", type=float, default=0.25, help="scanning interval (m)"
     )
     locate_parser.add_argument(
         "--method", choices=("wls", "ls"), default="wls", help="solver"
+    )
+
+    subparsers.add_parser(
+        "estimators",
+        help="list registered estimation methods and their config keys",
+        parents=[obs_parent],
     )
 
     calibrate_parser = subparsers.add_parser(
@@ -265,27 +287,74 @@ def _command_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _locate_config(args: argparse.Namespace) -> dict:
+    """Merge the locate flags with any ``--estimator-config`` JSON.
+
+    The convenience flags (``--dim``/``--interval``/``--method``) only
+    apply when the chosen method's config actually has those knobs, so
+    ``--estimator hologram`` works without fighting LION-specific flags.
+    Explicit JSON keys always win over the flags.
+    """
+    import dataclasses
+    import json
+
+    from repro import pipeline
+
+    field_names = {
+        field.name for field in dataclasses.fields(pipeline.get_spec(args.estimator).config_cls)
+    }
+    flag_values = {"dim": args.dim, "interval_m": args.interval, "method": args.method}
+    config = {key: value for key, value in flag_values.items() if key in field_names}
+    if args.estimator_config:
+        overrides = json.loads(args.estimator_config)
+        if not isinstance(overrides, dict):
+            raise ValueError("--estimator-config must be a JSON object")
+        config.update(overrides)
+    return config
+
+
 def _command_locate(args: argparse.Namespace) -> int:
-    from repro.core.localizer import LionLocalizer
+    from repro import pipeline
     from repro.datasets.io import read_records_csv
 
     records = read_records_csv(args.csv)
     positions = np.array([r.tag_position for r in records])
     phases = np.array([r.phase_rad for r in records])
-    localizer = LionLocalizer(
-        dim=args.dim, method=args.method, interval_m=args.interval
-    )
     try:
-        result = localizer.locate(positions, phases)
-    except ValueError as error:
+        config = _locate_config(args)
+        report = pipeline.estimate(
+            args.estimator,
+            pipeline.EstimationRequest(positions=positions, phases_rad=phases),
+            config,
+        )
+    except (KeyError, ValueError) as error:
         _logger.error("localization failed: %s", error)
         return 1
     print(f"reads: {len(records)} from antenna {records[0].antenna!r}")
-    print(f"estimated position: {np.round(result.position, 4).tolist()}")
-    print(f"reference distance: {result.reference_distance_m:.4f} m")
-    if result.recovered_axis is not None:
-        print(f"axis {result.recovered_axis} recovered from d_r (lower-dimension)")
-    print(f"mean |residual|: {result.solution.mean_abs_residual * 1000:.3f} mm")
+    print(f"estimator: {report.estimator} (config hash {report.config_hash[:12]})")
+    print(f"estimated position: {np.round(report.position, 4).tolist()}")
+    if report.reference_distance_m is not None:
+        print(f"reference distance: {report.reference_distance_m:.4f} m")
+    recovered_axis = report.diagnostics.get("recovered_axis")
+    if recovered_axis is not None:
+        print(f"axis {recovered_axis} recovered from d_r (lower-dimension)")
+    mean_abs = report.diagnostics.get("mean_abs_residual")
+    if mean_abs is not None:
+        print(f"mean |residual|: {mean_abs * 1000:.3f} mm")
+    return 0
+
+
+def _command_estimators() -> int:
+    import dataclasses
+
+    from repro import pipeline
+
+    for name, summary in pipeline.list_estimators().items():
+        keys = ", ".join(
+            field.name for field in dataclasses.fields(pipeline.get_spec(name).config_cls)
+        )
+        print(f"{name:20s} {summary}")
+        print(f"{'':20s}   config keys: {keys}")
     return 0
 
 
@@ -351,6 +420,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _command_simulate(args)
     if args.command == "locate":
         return _command_locate(args)
+    if args.command == "estimators":
+        return _command_estimators()
     if args.command == "calibrate":
         return _command_calibrate(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -13,6 +13,7 @@ the estimates whose |mean residual| is smallest and averages them.
 from __future__ import annotations
 
 import functools
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
 
@@ -149,7 +150,7 @@ def _solve_cell(
     return ConfigOutcome(range_m, interval_m, result)
 
 
-def adaptive_localize(
+def _adaptive_localize_impl(
     localizer: LionLocalizer,
     positions: np.ndarray,
     wrapped_phase_rad: np.ndarray,
@@ -269,3 +270,65 @@ def adaptive_localize(
         outcomes=outcomes,
         selected=selected,
     )
+
+
+def adaptive_localize(
+    localizer: LionLocalizer,
+    positions: np.ndarray,
+    wrapped_phase_rad: np.ndarray,
+    grid: ParameterGrid | None = None,
+    segment_ids: np.ndarray | None = None,
+    exclude_mask: np.ndarray | None = None,
+    selection_quantile: float = 0.25,
+    criterion: str = "abs_mean",
+    executor: str | Executor | None = "serial",
+    jobs: int | None = None,
+) -> AdaptiveResult:
+    """Deprecated entry point for the adaptive sweep.
+
+    Use the ``"lion-adaptive"`` estimator from :mod:`repro.pipeline`
+    instead; this shim forwards through the registry (identical results)
+    and will be removed once downstream callers have migrated. See
+    :func:`_adaptive_localize_impl` for the algorithm and argument
+    documentation.
+    """
+    warnings.warn(
+        "adaptive_localize() is deprecated; use "
+        "repro.pipeline.estimate('lion-adaptive', request, config) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro import pipeline
+
+    if grid is None:
+        grid = ParameterGrid()
+    config = pipeline.AdaptiveLionConfig(
+        dim=localizer.dim,
+        wavelength_m=localizer.wavelength_m,
+        method=localizer.method,
+        interval_m=localizer.interval_m,
+        positive_side=localizer.positive_side,
+        smoothing_window=localizer.preprocess.smoothing_window,
+        jump_threshold_rad=localizer.preprocess.jump_threshold_rad,
+        hampel_window=localizer.preprocess.hampel_window,
+        max_iterations=localizer.max_iterations,
+        tolerance_m=localizer.tolerance_m,
+        ranges_m=tuple(float(r) for r in grid.ranges_m),
+        intervals_m=tuple(float(i) for i in grid.intervals_m),
+        axis=grid.axis,
+        center=grid.center,
+        selection_quantile=selection_quantile,
+        criterion=criterion,
+        executor=executor if isinstance(executor, str) else "serial",
+        jobs=jobs,
+    )
+    estimator = pipeline.create_estimator("lion-adaptive", config)
+    if executor is not None and not isinstance(executor, str):
+        estimator.runtime_executor = executor
+    request = pipeline.EstimationRequest(
+        positions=positions,
+        phases_rad=wrapped_phase_rad,
+        segment_ids=segment_ids,
+        exclude_mask=exclude_mask,
+    )
+    return estimator.estimate(request).raw

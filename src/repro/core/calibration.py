@@ -24,7 +24,7 @@ from typing import Dict, Sequence
 import numpy as np
 
 from repro.constants import DEFAULT_WAVELENGTH_M, TWO_PI
-from repro.core.adaptive import AdaptiveResult, ParameterGrid, adaptive_localize
+from repro.core.adaptive import AdaptiveResult, ParameterGrid, _adaptive_localize_impl
 from repro.core.localizer import LionLocalizer
 from repro.signalproc.stats import circular_mean
 
@@ -137,7 +137,7 @@ def calibrate_antenna(
         localizer = LionLocalizer(dim=3, wavelength_m=wavelength_m, method="wls")
     if localizer.dim != 3:
         raise ValueError("phase-center calibration requires a 3-D localizer")
-    adaptive = adaptive_localize(
+    adaptive = _adaptive_localize_impl(
         localizer,
         positions,
         wrapped_phase_rad,

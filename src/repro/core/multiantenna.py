@@ -23,8 +23,9 @@ This module provides the differential machinery as a first-class API:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import List, Literal, Sequence, Tuple
+from typing import Literal, Sequence, Tuple
 
 import numpy as np
 from scipy.optimize import least_squares
@@ -100,7 +101,7 @@ class CalibratedArray:
         )
 
 
-def differential_hologram(
+def _differential_hologram_impl(
     centers: np.ndarray,
     measured_phase_rad: np.ndarray,
     bounds: Sequence[Bounds],
@@ -227,9 +228,9 @@ def locate_tag_with_array(
     """Locate a static tag with a calibrated array at a calibration level.
 
     Convenience wrapper combining :class:`CalibratedArray` level selection
-    with :func:`differential_hologram` — the exact Fig. 20 comparison.
+    with the differential grid search — the exact Fig. 20 comparison.
     """
-    return differential_hologram(
+    return _differential_hologram_impl(
         array.centers(level, dim=len(bounds)),
         measured_phase_rad,
         bounds,
@@ -237,3 +238,39 @@ def locate_tag_with_array(
         offset_corrections_rad=array.offset_corrections(level),
         wavelength_m=wavelength_m,
     )
+
+
+def differential_hologram(
+    centers: np.ndarray,
+    measured_phase_rad: np.ndarray,
+    bounds: Sequence[Bounds],
+    grid_size_m: float = 0.004,
+    offset_corrections_rad: np.ndarray | None = None,
+    wavelength_m: float = DEFAULT_WAVELENGTH_M,
+) -> DifferentialResult:
+    """Deprecated entry point for the multi-antenna grid search.
+
+    Use the ``"lion-multiantenna"`` estimator from :mod:`repro.pipeline`
+    instead; this shim forwards through the registry (identical results)
+    and will be removed once downstream callers have migrated. See
+    :func:`_differential_hologram_impl` for the algorithm and argument
+    documentation.
+    """
+    warnings.warn(
+        "differential_hologram() is deprecated; use "
+        "repro.pipeline.estimate('lion-multiantenna', request, config) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro import pipeline
+
+    config = pipeline.MultiAntennaConfig(
+        wavelength_m=wavelength_m, grid_size_m=grid_size_m
+    )
+    request = pipeline.EstimationRequest(
+        positions=centers,
+        phases_rad=measured_phase_rad,
+        bounds=tuple(bounds),
+        offset_corrections_rad=offset_corrections_rad,
+    )
+    return pipeline.estimate("lion-multiantenna", request, config).raw

@@ -21,6 +21,7 @@ from repro.constants import (
     DEFAULT_WAVELENGTH_M,
 )
 from repro.geometry.points import ArrayLike, as_point_array
+from repro.geometry.transforms import unit
 from repro.rf.antenna import Antenna
 from repro.rf.channel import Channel, ChannelConfig
 from repro.rf.multipath import Reflector
@@ -84,8 +85,7 @@ def default_antenna(
         displacement = np.zeros(3)
         offset = 0.0
     else:
-        direction = rng.normal(size=3)
-        direction /= np.linalg.norm(direction)
+        direction = unit(rng.normal(size=3), name="displacement direction")
         magnitude = rng.uniform(0.8, 1.2) * displacement_scale_m
         displacement = magnitude * direction
         offset = float(rng.uniform(0.0, 2.0 * np.pi))

@@ -21,6 +21,7 @@ from typing import Callable, Dict, Tuple
 import numpy as np
 
 from repro.datasets.synthetic import ScanData, simulate_scan
+from repro.geometry.transforms import unit
 from repro.rf.antenna import Antenna
 from repro.rf.noise import (
     BurstyPhaseNoise,
@@ -76,8 +77,7 @@ class Workload:
 
 
 def _paper_antenna(rng: np.random.Generator, depth: float = 0.8, height: float = 0.0) -> Antenna:
-    direction = rng.normal(size=3)
-    direction /= np.linalg.norm(direction)
+    direction = unit(rng.normal(size=3), name="displacement direction")
     return Antenna(
         physical_center=(0.0, depth, height),
         center_displacement=tuple(rng.uniform(0.02, 0.03) * direction),

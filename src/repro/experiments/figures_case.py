@@ -10,29 +10,26 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 import numpy as np
 
-from repro.constants import DEFAULT_WAVELENGTH_M, TWO_PI
+from repro import pipeline
+from repro.constants import TWO_PI
 from repro.core.calibration import (
     AntennaCalibration,
     calibrate_antenna,
     relative_phase_offsets,
 )
-from repro.core.adaptive import ParameterGrid
-from repro.core.localizer import LionLocalizer
 from repro.datasets.synthetic import simulate_scan, simulate_static_reads
 from repro.experiments.metrics import ExperimentResult, axis_errors, distance_error
+from repro.geometry.transforms import unit
 from repro.rf.antenna import Antenna
 from repro.rf.noise import GaussianPhaseNoise, SnrScaledPhaseNoise
 from repro.rf.tag import Tag
 from repro.signalproc.stats import circular_mean
 from repro.trajectory.circular import CircularTrajectory
 from repro.trajectory.multiline import ThreeLineScan
-
-
-from repro.core.multiantenna import differential_hologram
 
 
 def run_fig19_20_multi_antenna(seed: int = 0, fast: bool = False) -> ExperimentResult:
@@ -47,9 +44,11 @@ def run_fig19_20_multi_antenna(seed: int = 0, fast: bool = False) -> ExperimentR
     grid_size = 0.01 if fast else 0.004
     read_rate = 30.0 if fast else 120.0
     cal_grid = (
-        ParameterGrid(ranges_m=(0.8, 1.0), intervals_m=(0.2, 0.3))
+        pipeline.ParameterGrid(ranges_m=(0.8, 1.0), intervals_m=(0.2, 0.3))
         if fast
-        else ParameterGrid(ranges_m=(0.7, 0.8, 0.9, 1.0), intervals_m=(0.15, 0.2, 0.25, 0.3))
+        else pipeline.ParameterGrid(
+            ranges_m=(0.7, 0.8, 0.9, 1.0), intervals_m=(0.15, 0.2, 0.25, 0.3)
+        )
     )
     tag_truth = np.array([-0.1, 0.8])
     level_errors: Dict[str, List[float]] = {"none": [], "center": [], "full": []}
@@ -68,8 +67,7 @@ def run_fig19_20_multi_antenna(seed: int = 0, fast: bool = False) -> ExperimentR
         rng = np.random.default_rng(seed + repetition)
         antennas = []
         for index, x in enumerate((-0.3, 0.0, 0.3)):
-            direction = rng.normal(size=3)
-            direction /= np.linalg.norm(direction)
+            direction = unit(rng.normal(size=3), name="displacement direction")
             antennas.append(
                 Antenna(
                     physical_center=(x, 0.0, 0.0),
@@ -152,12 +150,15 @@ def run_fig19_20_multi_antenna(seed: int = 0, fast: bool = False) -> ExperimentR
             ("center", estimated, np.zeros(3)),
             ("full", estimated, corrections),
         ):
-            outcome = differential_hologram(
-                centers,
-                measured,
-                bounds,
-                grid_size_m=grid_size,
-                offset_corrections_rad=offsets_corr,
+            outcome = pipeline.estimate(
+                "lion-multiantenna",
+                pipeline.EstimationRequest(
+                    positions=centers,
+                    phases_rad=measured,
+                    bounds=tuple(bounds),
+                    offset_corrections_rad=offsets_corr,
+                ),
+                {"grid_size_m": grid_size},
             )
             level_errors[level].append(distance_error(outcome.position, tag_truth))
 
@@ -212,10 +213,13 @@ def run_fig21_rotating_tag(seed: int = 0, fast: bool = False) -> ExperimentResul
                 noise=GaussianPhaseNoise(0.1),
                 read_rate_hz=read_rate,
             )
-            localizer = LionLocalizer(dim=2, interval_m=min(radius, 0.2))
-            estimate = localizer.locate(scan.positions, scan.phases)
-            per_axis.append(axis_errors(estimate.position, truth))
-            totals.append(distance_error(estimate.position, truth))
+            report = pipeline.estimate(
+                "lion",
+                pipeline.EstimationRequest.from_scan(scan),
+                {"dim": 2, "interval_m": min(radius, 0.2)},
+            )
+            per_axis.append(axis_errors(report.position, truth))
+            totals.append(distance_error(report.position, truth))
         mean_axis = np.mean(np.vstack(per_axis), axis=0) * 100.0
         result.add_row(
             radius_m=radius,

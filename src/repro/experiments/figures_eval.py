@@ -14,16 +14,13 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro.baselines.hologram import DifferentialHologram
-from repro.core.adaptive import ParameterGrid, adaptive_localize
+from repro import pipeline
 from repro.core.calibration import calibrate_antenna
-from repro.core.localizer import LionLocalizer, PreprocessConfig
 from repro.datasets.synthetic import ScanData, simulate_scan
 from repro.experiments.metrics import ExperimentResult, axis_errors, distance_error
 from repro.experiments.scenarios import make_room_reflectors, standard_antenna
 from repro.rf.antenna import Antenna
 from repro.rf.noise import BurstyPhaseNoise, SnrScaledPhaseNoise
-from repro.rf.tag import Tag
 from repro.trajectory.linear import LinearTrajectory
 from repro.trajectory.multiline import ThreeLineScan, TwoLineScan
 
@@ -65,9 +62,11 @@ def _calibrate(
     """Run the full adaptive calibration; return the estimated phase center."""
     scan = _calibration_scan(antenna, rng, fast)
     grid = (
-        ParameterGrid(ranges_m=(0.8, 1.0), intervals_m=(0.2, 0.3))
+        pipeline.ParameterGrid(ranges_m=(0.8, 1.0), intervals_m=(0.2, 0.3))
         if fast
-        else ParameterGrid(ranges_m=(0.7, 0.8, 0.9, 1.0), intervals_m=(0.15, 0.2, 0.25, 0.3))
+        else pipeline.ParameterGrid(
+            ranges_m=(0.7, 0.8, 0.9, 1.0), intervals_m=(0.15, 0.2, 0.25, 0.3)
+        )
     )
     calibration, _ = calibrate_antenna(
         scan.positions,
@@ -92,11 +91,11 @@ def run_fig13a_overall_accuracy(seed: int = 0, fast: bool = False) -> Experiment
     """
     rng = np.random.default_rng(seed)
     repetitions = 3 if fast else 10
-    hologram = DifferentialHologram(
-        grid_size_m=0.01 if fast else 0.002, augmentation_rounds=1
+    hologram = pipeline.create_estimator(
+        "hologram", {"grid_size_m": 0.01 if fast else 0.002, "augmentation_rounds": 1}
     )
-    hologram3d = DifferentialHologram(
-        grid_size_m=0.02 if fast else 0.005, augmentation_rounds=1
+    hologram3d = pipeline.create_estimator(
+        "hologram", {"grid_size_m": 0.02 if fast else 0.005, "augmentation_rounds": 1}
     )
     errors: Dict[str, List[float]] = {
         key: []
@@ -120,16 +119,25 @@ def run_fig13a_overall_accuracy(seed: int = 0, fast: bool = False) -> Experiment
             noise=noise,
             read_rate_hz=_read_rate(fast),
         )
-        lion2 = LionLocalizer(dim=2, interval_m=0.25).locate(scan2.positions, scan2.phases)
+        lion2 = pipeline.estimate(
+            "lion",
+            pipeline.EstimationRequest.from_scan(scan2),
+            {"dim": 2, "interval_m": 0.25},
+        )
         errors["LION 2D-"].append(distance_error(lion2.position, physical[:2]))
         errors["LION 2D+"].append(distance_error(lion2.position, calibrated_center[:2]))
 
         sub_positions, sub_phases = _subsample(scan2, 30)
         truth2 = antenna.phase_center[:2]
-        dah2 = hologram.locate(
-            sub_positions[:, :2],
-            sub_phases,
-            [(truth2[0] - 0.12, truth2[0] + 0.12), (truth2[1] - 0.12, truth2[1] + 0.12)],
+        dah2 = hologram.estimate(
+            pipeline.EstimationRequest(
+                positions=sub_positions[:, :2],
+                phases_rad=sub_phases,
+                bounds=(
+                    (truth2[0] - 0.12, truth2[0] + 0.12),
+                    (truth2[1] - 0.12, truth2[1] + 0.12),
+                ),
+            )
         )
         errors["DAH 2D-"].append(distance_error(dah2.position, physical[:2]))
         errors["DAH 2D+"].append(distance_error(dah2.position, calibrated_center[:2]))
@@ -142,21 +150,22 @@ def run_fig13a_overall_accuracy(seed: int = 0, fast: bool = False) -> Experiment
             noise=noise,
             read_rate_hz=_read_rate(fast),
         )
-        lion3 = LionLocalizer(dim=3, interval_m=0.25).locate(
-            scan3.positions,
-            scan3.phases,
-            segment_ids=scan3.segment_ids,
-            exclude_mask=scan3.exclude_mask,
+        lion3 = pipeline.estimate(
+            "lion",
+            pipeline.EstimationRequest.from_scan(scan3),
+            {"dim": 3, "interval_m": 0.25},
         )
         errors["LION 3D-"].append(distance_error(lion3.position, physical))
         errors["LION 3D+"].append(distance_error(lion3.position, calibrated_center))
 
         sub_positions3, sub_phases3 = _subsample(scan3, 24)
         truth3 = antenna.phase_center
-        dah3 = hologram3d.locate(
-            sub_positions3,
-            sub_phases3,
-            [(t - 0.1, t + 0.1) for t in truth3],
+        dah3 = hologram3d.estimate(
+            pipeline.EstimationRequest(
+                positions=sub_positions3,
+                phases_rad=sub_phases3,
+                bounds=tuple((t - 0.1, t + 0.1) for t in truth3),
+            )
         )
         errors["DAH 3D-"].append(distance_error(dah3.position, physical))
         errors["DAH 3D+"].append(distance_error(dah3.position, calibrated_center))
@@ -207,39 +216,42 @@ def run_fig13b_timing(seed: int = 0, fast: bool = False) -> ExperimentResult:
 
     timings: Dict[str, float] = {}
 
-    lion2 = LionLocalizer(dim=2, interval_m=0.25)
+    lion2 = pipeline.create_estimator("lion", {"dim": 2, "interval_m": 0.25})
+    request2 = pipeline.EstimationRequest.from_scan(scan2)
     start = time.perf_counter()
-    lion2.locate(scan2.positions, scan2.phases)
+    lion2.estimate(request2)
     timings["LION 2D"] = time.perf_counter() - start
 
-    lion3 = LionLocalizer(dim=3, interval_m=0.25)
+    lion3 = pipeline.create_estimator("lion", {"dim": 3, "interval_m": 0.25})
+    request3 = pipeline.EstimationRequest.from_scan(scan3)
     start = time.perf_counter()
-    lion3.locate(
-        scan3.positions,
-        scan3.phases,
-        segment_ids=scan3.segment_ids,
-        exclude_mask=scan3.exclude_mask,
-    )
+    lion3.estimate(request3)
     timings["LION 3D"] = time.perf_counter() - start
 
     sub2_positions, sub2_phases = _subsample(scan2, 30)
-    dah2 = DifferentialHologram(grid_size_m=grid2, augmentation_rounds=1)
-    start = time.perf_counter()
-    dah2.locate(
-        sub2_positions[:, :2],
-        sub2_phases,
-        [(truth[0] - 0.1, truth[0] + 0.1), (truth[1] - 0.1, truth[1] + 0.1)],
+    dah2 = pipeline.create_estimator(
+        "hologram", {"grid_size_m": grid2, "augmentation_rounds": 1}
     )
+    dah2_request = pipeline.EstimationRequest(
+        positions=sub2_positions[:, :2],
+        phases_rad=sub2_phases,
+        bounds=((truth[0] - 0.1, truth[0] + 0.1), (truth[1] - 0.1, truth[1] + 0.1)),
+    )
+    start = time.perf_counter()
+    dah2.estimate(dah2_request)
     timings["DAH 2D"] = time.perf_counter() - start
 
     sub3_positions, sub3_phases = _subsample(scan3, 20)
-    dah3 = DifferentialHologram(grid_size_m=grid3, augmentation_rounds=1)
-    start = time.perf_counter()
-    dah3.locate(
-        sub3_positions,
-        sub3_phases,
-        [(t - 0.1, t + 0.1) for t in truth],
+    dah3 = pipeline.create_estimator(
+        "hologram", {"grid_size_m": grid3, "augmentation_rounds": 1}
     )
+    dah3_request = pipeline.EstimationRequest(
+        positions=sub3_positions,
+        phases_rad=sub3_phases,
+        bounds=tuple((t - 0.1, t + 0.1) for t in truth),
+    )
+    start = time.perf_counter()
+    dah3.estimate(dah3_request)
     timings["DAH 3D"] = time.perf_counter() - start
 
     result = ExperimentResult(
@@ -294,16 +306,14 @@ def run_fig14a_height_depth_3d(seed: int = 0, fast: bool = False) -> ExperimentR
             scan = simulate_scan(
                 scan_trajectory, antenna, rng=rng, noise=noise, read_rate_hz=_read_rate(fast)
             )
-            localizer = LionLocalizer(dim=3, interval_m=0.25)
-            estimate = localizer.locate(
-                scan.positions,
-                scan.phases,
-                segment_ids=scan.segment_ids,
-                exclude_mask=scan.exclude_mask,
+            report = pipeline.estimate(
+                "lion",
+                pipeline.EstimationRequest.from_scan(scan),
+                {"dim": 3, "interval_m": 0.25},
             )
             truth = antenna.phase_center
-            per_axis.append(axis_errors(estimate.position, truth))
-            totals.append(distance_error(estimate.position, truth))
+            per_axis.append(axis_errors(report.position, truth))
+            totals.append(distance_error(report.position, truth))
         mean_axis = np.mean(np.vstack(per_axis), axis=0) * 100.0
         result.add_row(
             position=label,
@@ -327,13 +337,13 @@ def run_fig14b_depth_2d(seed: int = 0, fast: bool = False) -> ExperimentResult:
     rng = np.random.default_rng(seed)
     repetitions = 2 if fast else 8
     depths = (0.6, 0.8, 1.0, 1.2, 1.4, 1.6)
-    grid = (
-        ParameterGrid(ranges_m=(1.2, 2.0), intervals_m=(0.2, 0.3))
-        if fast
-        else ParameterGrid(ranges_m=(0.8, 1.2, 1.6, 2.0), intervals_m=(0.2, 0.3))
-    )
-    hologram = DifferentialHologram(
-        grid_size_m=0.01 if fast else 0.002, augmentation_rounds=1
+    adaptive_config = {
+        "dim": 2,
+        "ranges_m": (1.2, 2.0) if fast else (0.8, 1.2, 1.6, 2.0),
+        "intervals_m": (0.2, 0.3),
+    }
+    hologram = pipeline.create_estimator(
+        "hologram", {"grid_size_m": 0.01 if fast else 0.002, "augmentation_rounds": 1}
     )
     result = ExperimentResult(
         figure_id="fig14b",
@@ -366,17 +376,25 @@ def run_fig14b_depth_2d(seed: int = 0, fast: bool = False) -> ExperimentResult:
             )
             truth = antenna.phase_center[:2]
 
-            localizer = LionLocalizer(dim=2)
-            adaptive = adaptive_localize(
-                localizer, scan.positions, scan.phases, grid=grid
+            adaptive = pipeline.estimate(
+                "lion-adaptive",
+                pipeline.EstimationRequest(
+                    positions=scan.positions, phases_rad=scan.phases
+                ),
+                adaptive_config,
             )
             lion_errors.append(distance_error(adaptive.position, truth))
 
             sub_positions, sub_phases = _subsample(scan, 50)
-            dah = hologram.locate(
-                sub_positions[:, :2],
-                sub_phases,
-                [(truth[0] - 0.25, truth[0] + 0.25), (truth[1] - 0.25, truth[1] + 0.25)],
+            dah = hologram.estimate(
+                pipeline.EstimationRequest(
+                    positions=sub_positions[:, :2],
+                    phases_rad=sub_phases,
+                    bounds=(
+                        (truth[0] - 0.25, truth[0] + 0.25),
+                        (truth[1] - 0.25, truth[1] + 0.25),
+                    ),
+                )
             )
             dah_errors.append(distance_error(dah.position, truth))
         result.add_row(
@@ -420,14 +438,19 @@ def run_fig15_weight(seed: int = 0, fast: bool = False) -> ExperimentResult:
         )
         truth = antenna.phase_center[:2]
         for method, store in (("wls", wls_errors), ("ls", ls_errors)):
-            localizer = LionLocalizer(
-                dim=2,
-                method=method,
-                interval_m=0.25,
-                preprocess=PreprocessConfig(smoothing_window=1),
+            report = pipeline.estimate(
+                "lion",
+                pipeline.EstimationRequest(
+                    positions=scan.positions, phases_rad=scan.phases
+                ),
+                {
+                    "dim": 2,
+                    "method": method,
+                    "interval_m": 0.25,
+                    "smoothing_window": 1,
+                },
             )
-            estimate = localizer.locate(scan.positions, scan.phases)
-            store.append(distance_error(estimate.position, truth))
+            store.append(distance_error(report.position, truth))
 
     result = ExperimentResult(
         figure_id="fig15",
@@ -487,18 +510,20 @@ def _range_interval_sweep(
                     read_rate_hz=30.0,
                 )
                 outside = np.abs(scan.positions[:, 0]) > range_m / 2.0
-                localizer = LionLocalizer(dim=2)
-                estimate = localizer.locate(
-                    scan.positions,
-                    scan.phases,
-                    exclude_mask=outside,
-                    interval_m=interval_m,
+                report = pipeline.estimate(
+                    "lion",
+                    pipeline.EstimationRequest(
+                        positions=scan.positions,
+                        phases_rad=scan.phases,
+                        exclude_mask=outside,
+                    ),
+                    {"dim": 2, "interval_m": interval_m},
                 )
                 errors.append(
-                    distance_error(estimate.position, antenna.phase_center[:2])
+                    distance_error(report.position, antenna.phase_center[:2])
                 )
-                residuals.append(estimate.mean_residual)
-                dirtiness.append(estimate.solution.mean_abs_residual)
+                residuals.append(report.diagnostics["mean_residual"])
+                dirtiness.append(report.diagnostics["mean_abs_residual"])
             rows.append(
                 {
                     "range_m": float(range_m),

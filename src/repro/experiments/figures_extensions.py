@@ -18,10 +18,8 @@ import time
 
 import numpy as np
 
+from repro import pipeline
 from repro.constants import DEFAULT_WAVELENGTH_M, TWO_PI, wavelength_for_frequency
-from repro.core.localizer import LionLocalizer
-from repro.core.multiref import locate_multireference
-from repro.core.online import OnlineLionLocalizer
 from repro.datasets.synthetic import simulate_scan
 from repro.experiments.metrics import ExperimentResult, distance_error
 from repro.rf.antenna import Antenna
@@ -56,16 +54,22 @@ def run_ext_online(seed: int = 0, fast: bool = False) -> ExperimentResult:
             noise=SnrScaledPhaseNoise(base_std_rad=0.08, reference_distance_m=0.9),
             read_rate_hz=read_rate,
         )
-        online = OnlineLionLocalizer(dim=2, pair_lag=max(len(scan) // 5, 10))
+        online = pipeline.create_estimator(
+            "lion-online", {"dim": 2, "pair_lag": max(len(scan) // 5, 10)}
+        )
         marks = {int(fraction * len(scan)) - 1: fraction for fraction in checkpoints}
         start = time.perf_counter()
         for index, (position, phase) in enumerate(zip(scan.positions, scan.phases)):
-            online.add_read(position, phase)
+            online.ingest(position, phase)
             if index in marks and online.ready():
-                estimate = online.estimate()
-                errors[marks[index]].append(distance_error(estimate.position, truth))
+                snapshot = online.snapshot()
+                errors[marks[index]].append(distance_error(snapshot.position, truth))
         per_read_ms.append((time.perf_counter() - start) * 1000.0 / len(scan))
-        batch = LionLocalizer(dim=2, interval_m=0.25).locate(scan.positions, scan.phases)
+        batch = pipeline.estimate(
+            "lion",
+            pipeline.EstimationRequest.from_scan(scan),
+            {"dim": 2, "interval_m": 0.25},
+        )
         batch_errors.append(distance_error(batch.position, truth))
     for fraction in checkpoints:
         values = errors[fraction]
@@ -95,9 +99,10 @@ def run_ext_multiref(seed: int = 0, fast: bool = False) -> ExperimentResult:
             ThreeLineScan(-0.5, 0.5), antenna, rng=rng,
             noise=GaussianPhaseNoise(0.05), read_rate_hz=read_rate,
         )
-        batch = LionLocalizer(dim=3, interval_m=0.25).locate(
-            scan.positions, scan.phases,
-            segment_ids=scan.segment_ids, exclude_mask=scan.exclude_mask,
+        batch = pipeline.estimate(
+            "lion",
+            pipeline.EstimationRequest.from_scan(scan),
+            {"dim": 3, "interval_m": 0.25},
         )
         stitched.append(distance_error(batch.position, truth))
 
@@ -116,7 +121,13 @@ def run_ext_multiref(seed: int = 0, fast: bool = False) -> ExperimentResult:
                 + rng.normal(0, 0.05, members.size),
                 TWO_PI,
             )
-        solution = locate_multireference(positions, phases, runs, dim=3, interval_m=0.25)
+        solution = pipeline.estimate(
+            "lion-multiref",
+            pipeline.EstimationRequest(
+                positions=positions, phases_rad=phases, run_ids=runs
+            ),
+            {"dim": 3, "interval_m": 0.25},
+        )
         separate.append(distance_error(solution.position, truth))
 
         # Frequency-hopped circle scan in 2D.
@@ -137,9 +148,12 @@ def run_ext_multiref(seed: int = 0, fast: bool = False) -> ExperimentResult:
                 + rng.normal(0, 0.05, int(members.sum())),
                 TWO_PI,
             )
-        hop_solution = locate_multireference(
-            circle, hop_phases, hop_runs, dim=2, interval_m=0.2,
-            wavelengths_m=wavelengths,
+        hop_solution = pipeline.estimate(
+            "lion-multiref",
+            pipeline.EstimationRequest(
+                positions=circle, phases_rad=hop_phases, run_ids=hop_runs
+            ),
+            {"dim": 2, "interval_m": 0.2, "wavelengths_by_run": wavelengths},
         )
         hopped.append(distance_error(hop_solution.position, truth[:2]))
 
@@ -183,12 +197,13 @@ def run_ext_wander(seed: int = 0, fast: bool = False) -> ExperimentResult:
             rng=np.random.default_rng(seed), noise=NoPhaseNoise(),
             read_rate_hz=read_rate,
         )
-        estimate = LionLocalizer(dim=3, interval_m=0.25).locate(
-            scan.positions, scan.phases,
-            segment_ids=scan.segment_ids, exclude_mask=scan.exclude_mask,
+        report = pipeline.estimate(
+            "lion",
+            pipeline.EstimationRequest.from_scan(scan),
+            {"dim": 3, "interval_m": 0.25},
         )
         result.add_row(
             wander_mm=wander_mm,
-            floor_error_cm=distance_error(estimate.position, antenna.phase_center) * 100.0,
+            floor_error_cm=distance_error(report.position, antenna.phase_center) * 100.0,
         )
     return result

@@ -10,9 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines.hologram import DifferentialHologram
+from repro import pipeline
 from repro.constants import DEFAULT_WAVELENGTH_M, TWO_PI
-from repro.core.localizer import LionLocalizer, PreprocessConfig
 from repro.experiments.metrics import ExperimentResult, axis_errors, distance_error
 
 
@@ -50,10 +49,12 @@ def run_fig06_directions(seed: int = 0, fast: bool = False) -> ExperimentResult:
     sample_count = 120 if fast else 360
     hologram_grid = 0.005 if fast else 0.002
     positions = _circle_positions(0.3, sample_count)
-    localizer = LionLocalizer(
-        dim=2, preprocess=PreprocessConfig(smoothing_window=5), interval_m=0.3
+    localizer = pipeline.create_estimator(
+        "lion", {"dim": 2, "smoothing_window": 5, "interval_m": 0.3}
     )
-    hologram = DifferentialHologram(grid_size_m=hologram_grid, augmentation_rounds=1)
+    hologram = pipeline.create_estimator(
+        "hologram", {"grid_size_m": hologram_grid, "augmentation_rounds": 1}
+    )
 
     result = ExperimentResult(
         figure_id="fig06",
@@ -77,16 +78,23 @@ def run_fig06_directions(seed: int = 0, fast: bool = False) -> ExperimentResult:
         axes = {"LION": [], "DAH": []}
         for _ in range(repetitions):
             phases = _ideal_phases(positions, antenna, 0.1, rng)
-            lion = localizer.locate(positions, phases)
+            lion = localizer.estimate(
+                pipeline.EstimationRequest(positions=positions, phases_rad=phases)
+            )
             errors["LION"].append(distance_error(lion.position, antenna))
             axes["LION"].append(axis_errors(lion.position, antenna))
 
             subsample = slice(None, None, max(sample_count // 30, 1))
-            bounds = [
-                (antenna[0] - 0.15, antenna[0] + 0.15),
-                (antenna[1] - 0.15, antenna[1] + 0.15),
-            ]
-            dah = hologram.locate(positions[subsample], phases[subsample], bounds)
+            dah = hologram.estimate(
+                pipeline.EstimationRequest(
+                    positions=positions[subsample],
+                    phases_rad=phases[subsample],
+                    bounds=(
+                        (antenna[0] - 0.15, antenna[0] + 0.15),
+                        (antenna[1] - 0.15, antenna[1] + 0.15),
+                    ),
+                )
+            )
             errors["DAH"].append(distance_error(dah.position, antenna))
             axes["DAH"].append(axis_errors(dah.position, antenna))
         for method in ("LION", "DAH"):
@@ -115,21 +123,30 @@ def run_fig09_lower_dimension(seed: int = 0, fast: bool = False) -> ExperimentRe
     x = np.linspace(-0.3, 0.3, sample_count)
     positions = np.stack([x, np.zeros_like(x)], axis=1)
     antenna = np.array([0.2, 1.0])
-    localizer = LionLocalizer(
-        dim=2, preprocess=PreprocessConfig(smoothing_window=5), interval_m=0.2
+    localizer = pipeline.create_estimator(
+        "lion", {"dim": 2, "smoothing_window": 5, "interval_m": 0.2}
     )
-    hologram = DifferentialHologram(grid_size_m=hologram_grid, augmentation_rounds=1)
+    hologram = pipeline.create_estimator(
+        "hologram", {"grid_size_m": hologram_grid, "augmentation_rounds": 1}
+    )
 
     lion_errors, dah_errors = [], []
     for _ in range(repetitions):
         phases = _ideal_phases(positions, antenna, 0.1, rng)
-        lion = localizer.locate(positions, phases)
+        lion = localizer.estimate(
+            pipeline.EstimationRequest(positions=positions, phases_rad=phases)
+        )
         lion_errors.append(distance_error(lion.position, antenna))
         subsample = slice(None, None, max(sample_count // 30, 1))
-        dah = hologram.locate(
-            positions[subsample],
-            phases[subsample],
-            [(antenna[0] - 0.15, antenna[0] + 0.15), (antenna[1] - 0.15, antenna[1] + 0.15)],
+        dah = hologram.estimate(
+            pipeline.EstimationRequest(
+                positions=positions[subsample],
+                phases_rad=phases[subsample],
+                bounds=(
+                    (antenna[0] - 0.15, antenna[0] + 0.15),
+                    (antenna[1] - 0.15, antenna[1] + 0.15),
+                ),
+            )
         )
         dah_errors.append(distance_error(dah.position, antenna))
 

@@ -15,8 +15,8 @@ import time
 
 import numpy as np
 
-from repro.baselines.hologram import DifferentialHologram, hologram_likelihood
 from repro.constants import DEFAULT_WAVELENGTH_M, TWO_PI
+from repro.pipeline import hologram_likelihood
 from repro.datasets.synthetic import simulate_scan, simulate_static_reads
 from repro.experiments.metrics import ExperimentResult
 from repro.rf.antenna import Antenna

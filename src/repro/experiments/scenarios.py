@@ -14,6 +14,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.datasets.synthetic import ScanData, simulate_scan
+from repro.geometry.transforms import unit
 from repro.rf.antenna import Antenna
 from repro.rf.multipath import Reflector, WallReflector
 from repro.rf.noise import PhaseNoiseModel, SnrScaledPhaseNoise
@@ -50,8 +51,7 @@ def standard_antenna(
     Boresight faces the track (-y). Hidden displacement magnitude defaults
     to ~2.5 cm per Fig. 2; phase offset is uniform per Fig. 3.
     """
-    direction = rng.normal(size=3)
-    direction /= np.linalg.norm(direction)
+    direction = unit(rng.normal(size=3), name="displacement direction")
     displacement = rng.uniform(0.02, 0.03) * direction
     return Antenna(
         physical_center=(x_m, depth_m, height_m),

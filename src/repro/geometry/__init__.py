@@ -34,6 +34,7 @@ from repro.geometry.transforms import (
     rotation_matrix_3d,
     to_line_frame_2d,
     from_line_frame_2d,
+    unit,
 )
 
 __all__ = [
@@ -56,4 +57,5 @@ __all__ = [
     "rotation_matrix_3d",
     "to_line_frame_2d",
     "from_line_frame_2d",
+    "unit",
 ]

@@ -14,6 +14,26 @@ import numpy as np
 from repro.geometry.points import ArrayLike, as_point_array
 
 
+def unit(vector: ArrayLike, name: str = "vector") -> np.ndarray:
+    """Normalize ``vector`` to unit length.
+
+    Args:
+        vector: any 1-D vector (list, tuple or array).
+        name: label used in the error message, so callers normalizing a
+            named quantity ("rotation axis", "boresight") keep a precise
+            diagnostic.
+
+    Raises:
+        ValueError: if ``vector`` is the zero vector (or contains
+            non-finite entries, whose norm is not a usable scale).
+    """
+    v = np.asarray(vector, dtype=float)
+    norm = float(np.linalg.norm(v))
+    if norm == 0.0 or not np.isfinite(norm):
+        raise ValueError(f"{name} must be non-zero")
+    return v / norm
+
+
 def rotation_matrix_2d(angle_rad: float) -> np.ndarray:
     """Counter-clockwise rotation matrix by ``angle_rad``."""
     c, s = np.cos(angle_rad), np.sin(angle_rad)
@@ -26,11 +46,7 @@ def rotation_matrix_3d(axis: ArrayLike, angle_rad: float) -> np.ndarray:
     Raises:
         ValueError: if ``axis`` is the zero vector.
     """
-    u = as_point_array(axis, dim=3)
-    norm = float(np.linalg.norm(u))
-    if norm == 0.0:
-        raise ValueError("rotation axis must be non-zero")
-    u = u / norm
+    u = unit(as_point_array(axis, dim=3), name="rotation axis")
     c, s = np.cos(angle_rad), np.sin(angle_rad)
     cross = np.array(
         [
@@ -62,11 +78,7 @@ def to_line_frame_2d(
     Raises:
         ValueError: if ``direction`` is the zero vector.
     """
-    d = as_point_array(direction, dim=2)
-    norm = float(np.linalg.norm(d))
-    if norm == 0.0:
-        raise ValueError("line direction must be non-zero")
-    d = d / norm
+    d = unit(as_point_array(direction, dim=2), name="line direction")
     rotation = np.array([[d[0], d[1]], [-d[1], d[0]]])
     o = as_point_array(origin, dim=2)
     pts = np.asarray(points, dtype=float)
@@ -91,14 +103,9 @@ def orthonormal_basis_for_plane(normal: ArrayLike) -> tuple[np.ndarray, np.ndarr
     Raises:
         ValueError: if ``normal`` is the zero vector.
     """
-    n = as_point_array(normal, dim=3)
-    norm = float(np.linalg.norm(n))
-    if norm == 0.0:
-        raise ValueError("plane normal must be non-zero")
-    n = n / norm
+    n = unit(as_point_array(normal, dim=3), name="plane normal")
     # Pick the world axis least aligned with the normal as a seed.
     seed = np.eye(3)[int(np.argmin(np.abs(n)))]
-    u = np.cross(n, seed)
-    u = u / np.linalg.norm(u)
+    u = unit(np.cross(n, seed))
     v = np.cross(n, u)
     return u, v

@@ -20,6 +20,10 @@ order: an explicit ``jobs=`` argument, :func:`set_default_jobs` (the CLI
 ``--jobs`` flag), the ``LION_JOBS`` environment variable, and finally
 ``os.cpu_count()``.
 
+Registry-dispatched estimation composes with these backends through
+:func:`repro.pipeline.estimate_many`, which fans a batch of requests for
+one named estimator over any executor here.
+
 When observability is on (see :mod:`repro.obs`), every ``map`` records
 per-chunk latency histograms, item/chunk counters, and a worker-
 utilization gauge (labelled by backend), and the process backend runs

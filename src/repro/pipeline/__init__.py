@@ -1,0 +1,102 @@
+"""Unified estimator pipeline: one contract, one registry, every method.
+
+This package is the serving layer between the solvers (:mod:`repro.core`,
+:mod:`repro.baselines`) and everything that runs them (experiments,
+figures, CLI, Monte-Carlo). Callers build an
+:class:`EstimationRequest`, pick a method by registry name, and get back
+an :class:`EstimationReport` whose ``config_hash`` ties the result to the
+exact method + settings that produced it:
+
+>>> from repro import pipeline
+>>> request = pipeline.EstimationRequest.from_scan(scan)   # doctest: +SKIP
+>>> report = pipeline.estimate("lion", request, {"interval_m": 0.2})  # doctest: +SKIP
+
+Importing this package registers every built-in estimator (see
+:mod:`repro.pipeline.estimators` for the name table). The higher layers
+import solver-adjacent helpers (``ParameterGrid``,
+``hologram_likelihood``) from here rather than from the solver modules —
+the import-hygiene gate enforces that direction.
+"""
+
+from repro.core.adaptive import ParameterGrid
+from repro.baselines.hologram import hologram_likelihood
+
+from repro.pipeline.config import EstimatorConfig
+from repro.pipeline.contract import (
+    EstimationReport,
+    EstimationRequest,
+    Estimator,
+    build_report,
+)
+from repro.pipeline.registry import (
+    EstimatorSpec,
+    create_estimator,
+    estimate,
+    estimator_names,
+    get_spec,
+    list_estimators,
+    register_estimator,
+    resolve_config,
+)
+from repro.pipeline.estimators import (
+    AdaptiveLionConfig,
+    AdaptiveLionEstimator,
+    AngleConfig,
+    AngleEstimator,
+    HologramConfig,
+    HologramEstimator,
+    HyperbolaConfig,
+    HyperbolaEstimator,
+    LionConfig,
+    LionEstimator,
+    MultiAntennaConfig,
+    MultiAntennaEstimator,
+    MultiRefLionConfig,
+    MultiRefLionEstimator,
+    OnlineLionConfig,
+    OnlineLionEstimator,
+    ParabolaConfig,
+    ParabolaEstimator,
+)
+from repro.pipeline.batch import estimate_many
+
+__all__ = [
+    # contract
+    "EstimationRequest",
+    "EstimationReport",
+    "Estimator",
+    "EstimatorConfig",
+    "build_report",
+    # registry
+    "EstimatorSpec",
+    "register_estimator",
+    "create_estimator",
+    "estimate",
+    "estimate_many",
+    "estimator_names",
+    "list_estimators",
+    "get_spec",
+    "resolve_config",
+    # estimator adapters + typed configs
+    "LionConfig",
+    "LionEstimator",
+    "OnlineLionConfig",
+    "OnlineLionEstimator",
+    "MultiRefLionConfig",
+    "MultiRefLionEstimator",
+    "MultiAntennaConfig",
+    "MultiAntennaEstimator",
+    "AdaptiveLionConfig",
+    "AdaptiveLionEstimator",
+    "HyperbolaConfig",
+    "HyperbolaEstimator",
+    "ParabolaConfig",
+    "ParabolaEstimator",
+    "AngleConfig",
+    "AngleEstimator",
+    "HologramConfig",
+    "HologramEstimator",
+    # solver-adjacent helpers re-exported for the experiment layer
+    "ParameterGrid",
+    "hologram_likelihood",
+]

@@ -1,0 +1,53 @@
+"""Batched estimation over the :mod:`repro.parallel` executors.
+
+One estimator, many requests — the shape of a Monte-Carlo sweep or a
+multi-tag inventory pass. The estimator is identified by registry name
+and its config by the serialized dict (both picklable), so the process
+backend can rebuild the estimator inside each worker; results come back
+in request order on every backend.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Iterable, List, Mapping
+
+from repro.parallel import Executor, get_executor
+from repro.pipeline.config import EstimatorConfig
+from repro.pipeline.contract import EstimationReport, EstimationRequest
+from repro.pipeline.registry import estimate, resolve_config
+
+
+def _estimate_one(
+    name: str, config_payload: Mapping[str, Any], request: EstimationRequest
+) -> EstimationReport:
+    """Build the named estimator and run one request (picklable worker)."""
+    return estimate(name, request, config_payload)
+
+
+def estimate_many(
+    name: str,
+    requests: Iterable[EstimationRequest],
+    config: EstimatorConfig | Mapping[str, Any] | None = None,
+    executor: str | Executor | None = "serial",
+    jobs: int | None = None,
+) -> List[EstimationReport]:
+    """Run one registered estimator over many requests.
+
+    Args:
+        name: registry name (see
+            :func:`repro.pipeline.registry.estimator_names`).
+        requests: the estimation requests, one report returned per
+            request in the same order.
+        config: typed config, plain dict, or ``None`` for defaults —
+            resolved once up front so a bad config fails before any work
+            is dispatched.
+        executor: ``"serial"``, ``"thread"``, ``"process"``, or a
+            prebuilt :class:`repro.parallel.Executor`.
+        jobs: worker count for pool backends (see
+            :func:`repro.parallel.resolve_jobs`).
+    """
+    payload = resolve_config(name, config).to_dict()
+    runner = get_executor(executor, jobs=jobs)
+    worker = functools.partial(_estimate_one, name, payload)
+    return runner.map(worker, list(requests))

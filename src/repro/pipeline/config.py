@@ -1,0 +1,89 @@
+"""Typed, serializable estimator configuration.
+
+Every estimator in the registry declares its knobs as a frozen dataclass
+deriving from :class:`EstimatorConfig`. The base class supplies the
+dict round-trip the serving layer is built on:
+
+* :meth:`EstimatorConfig.to_dict` produces a plain, JSON-safe dict
+  (tuples become lists, numpy scalars become Python numbers), suitable
+  for ``--estimator-config`` files and
+  :func:`repro.obs.manifest.config_fingerprint` hashing;
+* :meth:`EstimatorConfig.from_dict` rebuilds the typed config, rejecting
+  unknown keys so a typo in a config file fails loudly instead of
+  silently running with defaults.
+
+``from_dict(to_dict(cfg)) == cfg`` holds for every registered config —
+the property the provenance hash in :class:`repro.obs.RunManifest`
+relies on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Type, TypeVar
+
+import numpy as np
+
+C = TypeVar("C", bound="EstimatorConfig")
+
+
+def _jsonify(value: Any) -> Any:
+    """Coerce a config field value into plain JSON-friendly types."""
+    if isinstance(value, (tuple, list)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonify(v) for key, v in value.items()}
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return [_jsonify(v) for v in value.tolist()]
+    return value
+
+
+def _typify(value: Any) -> Any:
+    """Inverse of :func:`_jsonify` for the containers configs use.
+
+    JSON has no tuple, so sequences come back as lists; configs declare
+    tuple fields (hashable, frozen-dataclass friendly), so lists are
+    converted back. Dict-valued fields are handled by the owning config's
+    ``from_dict`` override (key types are field-specific).
+    """
+    if isinstance(value, list):
+        return tuple(_typify(v) for v in value)
+    return value
+
+
+@dataclasses.dataclass(frozen=True)
+class EstimatorConfig:
+    """Base class for estimator configuration dataclasses.
+
+    Subclasses are frozen dataclasses whose fields are all plain-data
+    (numbers, strings, booleans, tuples, ``None``); that restriction is
+    what makes the dict round-trip — and therefore config hashing and
+    CLI JSON configs — total.
+    """
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize to a plain JSON-safe dict (tuples become lists)."""
+        return {
+            f.name: _jsonify(getattr(self, f.name))
+            for f in dataclasses.fields(self)
+        }
+
+    @classmethod
+    def from_dict(cls: Type[C], payload: Dict[str, Any]) -> C:
+        """Rebuild a config from :meth:`to_dict` output (or CLI JSON).
+
+        Missing keys fall back to the field defaults; unknown keys raise.
+
+        Raises:
+            ValueError: for keys that are not fields of this config.
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown config keys for {cls.__name__}: {unknown}; "
+                f"valid keys: {sorted(known)}"
+            )
+        return cls(**{key: _typify(value) for key, value in payload.items()})

@@ -1,0 +1,129 @@
+"""String-keyed estimator registry.
+
+The serving layer's core datum: a name (``"lion"``, ``"hologram"``, ...)
+maps to an :class:`EstimatorSpec` bundling the typed config class and a
+factory. Everything downstream — the CLI's ``--estimator`` flag, the
+Monte-Carlo comparison harness, the figure runners — resolves methods by
+name here, so adding a solver is one ``register_estimator`` call instead
+of edits to every caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Type
+
+from repro.pipeline.config import EstimatorConfig
+from repro.pipeline.contract import EstimationReport, EstimationRequest, Estimator
+
+_REGISTRY: Dict[str, "EstimatorSpec"] = {}
+
+
+@dataclass(frozen=True)
+class EstimatorSpec:
+    """One registry entry.
+
+    Attributes:
+        name: the registry key.
+        summary: one-line human description (shown by ``lion estimators``).
+        config_cls: the method's :class:`EstimatorConfig` subclass.
+        factory: builds the estimator from a config instance.
+    """
+
+    name: str
+    summary: str
+    config_cls: Type[EstimatorConfig]
+    factory: Callable[[EstimatorConfig], Estimator]
+
+
+def register_estimator(
+    name: str,
+    config_cls: Type[EstimatorConfig],
+    factory: Callable[[EstimatorConfig], Estimator],
+    summary: str = "",
+) -> None:
+    """Register a method under ``name``.
+
+    Raises:
+        ValueError: if the name is already taken (each estimator must be
+            registered exactly once) or empty.
+    """
+    if not name:
+        raise ValueError("estimator name must be non-empty")
+    if name in _REGISTRY:
+        raise ValueError(f"estimator {name!r} is already registered")
+    _REGISTRY[name] = EstimatorSpec(
+        name=name, summary=summary, config_cls=config_cls, factory=factory
+    )
+
+
+def estimator_names() -> List[str]:
+    """All registered names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def list_estimators() -> Dict[str, str]:
+    """Mapping of registered name -> one-line summary, sorted by name."""
+    return {name: _REGISTRY[name].summary for name in sorted(_REGISTRY)}
+
+
+def get_spec(name: str) -> EstimatorSpec:
+    """Look up a registry entry.
+
+    Raises:
+        KeyError: for an unknown name (message lists the valid ones).
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown estimator {name!r}; registered: {estimator_names()}"
+        ) from None
+
+
+def resolve_config(
+    name: str, config: EstimatorConfig | Mapping[str, Any] | None = None
+) -> EstimatorConfig:
+    """Normalize ``config`` into the method's typed config instance.
+
+    Accepts the typed config itself, a plain dict (e.g. parsed from CLI
+    JSON), or ``None`` for defaults.
+
+    Raises:
+        KeyError: for an unknown estimator name.
+        TypeError: for a config of the wrong typed class.
+        ValueError: for unknown dict keys.
+    """
+    spec = get_spec(name)
+    if config is None:
+        return spec.config_cls()
+    if isinstance(config, EstimatorConfig):
+        if not isinstance(config, spec.config_cls):
+            raise TypeError(
+                f"estimator {name!r} expects {spec.config_cls.__name__}, "
+                f"got {type(config).__name__}"
+            )
+        return config
+    return spec.config_cls.from_dict(dict(config))
+
+
+def create_estimator(
+    name: str, config: EstimatorConfig | Mapping[str, Any] | None = None
+) -> Estimator:
+    """Construct a registered estimator by name.
+
+    Args:
+        name: registry key (see :func:`estimator_names`).
+        config: typed config, plain dict, or ``None`` for defaults.
+    """
+    spec = get_spec(name)
+    return spec.factory(resolve_config(name, config))
+
+
+def estimate(
+    name: str,
+    request: EstimationRequest,
+    config: EstimatorConfig | Mapping[str, Any] | None = None,
+) -> EstimationReport:
+    """One-shot convenience: construct the estimator and run it."""
+    return create_estimator(name, config).estimate(request)

@@ -1,0 +1,60 @@
+"""Tests for the import-hygiene gate (tools/check_import_hygiene.py).
+
+The tool also runs standalone in CI's lint job; these tests keep its
+verdict correct in both directions — the tree is currently clean, and a
+sneaky solver import (even a lazy one inside a function) is caught.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TOOL = REPO_ROOT / "tools" / "check_import_hygiene.py"
+
+spec = importlib.util.spec_from_file_location("check_import_hygiene", TOOL)
+hygiene = importlib.util.module_from_spec(spec)
+sys.modules.setdefault("check_import_hygiene", hygiene)
+spec.loader.exec_module(hygiene)
+
+
+class TestGateOnTree:
+    def test_tree_is_clean(self):
+        assert hygiene.main() == 0
+
+    def test_gate_covers_experiments_and_cli(self):
+        names = {path.name for path in hygiene.gated_files()}
+        assert "cli.py" in names
+        assert "montecarlo.py" in names
+        assert "figures_eval.py" in names
+
+
+class TestGateVerdicts:
+    def test_flags_solver_module_import(self):
+        assert hygiene._is_forbidden("repro.core.localizer")
+        assert hygiene._is_forbidden("repro.core.adaptive")
+        assert hygiene._is_forbidden("repro.core.online")
+        assert hygiene._is_forbidden("repro.core.multiref")
+        assert hygiene._is_forbidden("repro.core.multiantenna")
+        assert hygiene._is_forbidden("repro.core")
+
+    def test_flags_baselines(self):
+        assert hygiene._is_forbidden("repro.baselines")
+        assert hygiene._is_forbidden("repro.baselines.hologram")
+
+    def test_allows_calibration_and_pipeline(self):
+        assert not hygiene._is_forbidden("repro.core.calibration")
+        assert not hygiene._is_forbidden("repro.pipeline")
+        assert not hygiene._is_forbidden("repro.datasets.io")
+        assert not hygiene._is_forbidden("repro.corelike")
+
+    def test_catches_lazy_function_level_import(self):
+        import ast
+
+        tree = ast.parse(
+            "def sneaky():\n"
+            "    from repro.core.localizer import LionLocalizer\n"
+            "    return LionLocalizer\n"
+        )
+        modules = [module for _, module in hygiene._imported_modules(tree)]
+        assert "repro.core.localizer" in modules

@@ -26,6 +26,12 @@ PUBLIC_MODULES = [
     "repro.trajectory",
     "repro.core",
     "repro.baselines",
+    "repro.pipeline",
+    "repro.pipeline.config",
+    "repro.pipeline.contract",
+    "repro.pipeline.registry",
+    "repro.pipeline.estimators",
+    "repro.pipeline.batch",
     "repro.datasets",
     "repro.experiments",
     "repro.experiments.crlb",
@@ -71,8 +77,42 @@ class TestExports:
             "ThreeLineScan",
             "OnlineLionLocalizer",
             "locate_multireference",
+            "EstimationRequest",
+            "estimate",
+            "create_estimator",
         ):
             assert name in repro.__all__
+
+
+class TestEstimatorRegistry:
+    """The registry is the package's serving surface: complete, no dupes."""
+
+    EXPECTED = [
+        "angle",
+        "hologram",
+        "hyperbola",
+        "lion",
+        "lion-adaptive",
+        "lion-multiantenna",
+        "lion-multiref",
+        "lion-online",
+        "parabola",
+    ]
+
+    def test_registry_lists_every_estimator_exactly_once(self):
+        names = repro.estimator_names()
+        assert names == self.EXPECTED
+        assert len(names) == len(set(names))
+
+    def test_every_estimator_constructible_by_name(self):
+        for name in repro.estimator_names():
+            estimator = repro.create_estimator(name)
+            assert isinstance(estimator, repro.Estimator)
+            assert estimator.name == name
+
+    def test_every_summary_nonempty(self):
+        for name, summary in repro.list_estimators().items():
+            assert summary.strip(), f"estimator {name!r} has no summary"
 
 
 class TestDocstrings:

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Import-hygiene gate for the serving layer.
+
+The experiment harness and the CLI must dispatch estimation through the
+:mod:`repro.pipeline` registry — never by importing a concrete solver
+module. This keeps "add a method" a one-file change and keeps the
+figure/CLI layer honest about using the same serving surface downstream
+users get.
+
+Rules (checked by AST walk, so lazy in-function imports count too), for
+every file under ``src/repro/experiments/`` plus ``src/repro/cli.py``:
+
+- no import of ``repro.baselines`` or any of its submodules;
+- no import of ``repro.core`` or any of its submodules, **except**
+  ``repro.core.calibration`` (calibration is a workflow on top of
+  estimation, not an estimator, and is itself registry-backed inside).
+
+Runs standalone on the source tree — no package install needed::
+
+    python tools/check_import_hygiene.py
+
+Exits non-zero listing every violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+#: import prefixes that gated files may never use.
+FORBIDDEN_PREFIXES = ("repro.baselines", "repro.core")
+#: exact modules exempt from the forbidden prefixes.
+ALLOWED_MODULES = ("repro.core.calibration",)
+
+
+def gated_files() -> List[Path]:
+    """The files the gate applies to."""
+    files = sorted((SRC / "repro" / "experiments").rglob("*.py"))
+    files.append(SRC / "repro" / "cli.py")
+    return files
+
+
+def _is_forbidden(module: str) -> bool:
+    if module in ALLOWED_MODULES or any(
+        module.startswith(allowed + ".") for allowed in ALLOWED_MODULES
+    ):
+        return False
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in FORBIDDEN_PREFIXES
+    )
+
+
+def _imported_modules(tree: ast.AST) -> Iterator[Tuple[int, str]]:
+    """Every ``(lineno, module)`` imported anywhere in the tree."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node.lineno, alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            yield node.lineno, node.module
+
+
+def check_file(path: Path) -> List[str]:
+    """Violation messages for one file (empty when clean)."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    relative = path.relative_to(REPO_ROOT)
+    return [
+        f"{relative}:{lineno}: imports {module!r}; dispatch through "
+        "repro.pipeline instead"
+        for lineno, module in _imported_modules(tree)
+        if _is_forbidden(module)
+    ]
+
+
+def main() -> int:
+    """Run the gate over every gated file; 0 when clean."""
+    violations: List[str] = []
+    for path in gated_files():
+        violations.extend(check_file(path))
+    if violations:
+        print("import-hygiene violations:")
+        for message in violations:
+            print(f"  {message}")
+        return 1
+    print(f"import hygiene OK ({len(gated_files())} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

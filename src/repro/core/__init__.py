@@ -42,6 +42,7 @@ from repro.core.solvers import (
     solve_least_squares,
     solve_weighted_least_squares,
     solve_weighted_least_squares_batch,
+    solve_weighted_least_squares_masked_batch,
 )
 from repro.core.lowerdim import recover_coordinate_from_reference
 from repro.core.adaptive import (
@@ -50,7 +51,15 @@ from repro.core.adaptive import (
     ParameterGrid,
     adaptive_localize,
 )
-from repro.core.localizer import LionLocalizer, LocalizationResult, PreprocessConfig
+from repro.core.localizer import (
+    DegenerateGeometryError,
+    LionLocalizer,
+    LocalizationResult,
+    PreparedScan,
+    PreprocessConfig,
+    TooFewReadsError,
+)
+from repro.core.sweep import clear_pair_cache, fused_sweep, pair_cache_info
 from repro.core.multiantenna import (
     CalibratedArray,
     DifferentialResult,
@@ -99,14 +108,21 @@ __all__ = [
     "solve_least_squares",
     "solve_weighted_least_squares",
     "solve_weighted_least_squares_batch",
+    "solve_weighted_least_squares_masked_batch",
     "recover_coordinate_from_reference",
     "AdaptiveResult",
     "CellRejection",
     "ParameterGrid",
     "adaptive_localize",
+    "DegenerateGeometryError",
     "LionLocalizer",
     "LocalizationResult",
+    "PreparedScan",
     "PreprocessConfig",
+    "TooFewReadsError",
+    "clear_pair_cache",
+    "fused_sweep",
+    "pair_cache_info",
     "CalibratedArray",
     "DifferentialResult",
     "differential_hologram",

@@ -19,14 +19,26 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.localizer import LionLocalizer, LocalizationResult
+from repro.core.localizer import (
+    DegenerateGeometryError,
+    LionLocalizer,
+    LocalizationResult,
+    TooFewReadsError,
+)
+from repro.core.sweep import fused_sweep
 from repro.obs import (
     RESIDUAL_BUCKETS_M,
     get_registry,
     metrics_enabled,
     span,
 )
-from repro.parallel import Executor, get_executor
+from repro.parallel import (
+    Executor,
+    SharedArrayBundle,
+    SharedArraySpec,
+    attach_shared_arrays,
+    get_executor,
+)
 
 
 @dataclass(frozen=True)
@@ -88,12 +100,18 @@ class CellRejection:
     reason: str
 
 
-def _classify_rejection(message: str) -> str:
-    """Map a localization ``ValueError`` message to a stable reason label."""
-    text = message.lower()
-    if "read" in text and ("three" in text or "at least" in text):
+def _classify_rejection(error: ValueError) -> str:
+    """Map a localization ``ValueError`` to a stable reason label.
+
+    The localizer raises typed exceptions
+    (:class:`repro.core.localizer.TooFewReadsError`,
+    :class:`repro.core.localizer.DegenerateGeometryError`) for the two
+    structured failure modes; anything else is a generic solve error.
+    The labels are unchanged — dashboards keyed on them keep working.
+    """
+    if isinstance(error, TooFewReadsError):
         return "too_few_reads"
-    if "unsolvable" in text or "observable" in text or "degenerate" in text:
+    if isinstance(error, DegenerateGeometryError):
         return "degenerate_geometry"
     return "solve_error"
 
@@ -125,7 +143,8 @@ def _solve_cell(
     points: np.ndarray,
     profile: np.ndarray,
     segment_ids: np.ndarray | None,
-    cell: Tuple[float, float, np.ndarray],
+    excludes: np.ndarray,
+    cell: Tuple[float, float, int],
 ) -> ConfigOutcome | CellRejection:
     """Solve one (range, interval) grid cell from the shared preprocessed profile.
 
@@ -135,19 +154,63 @@ def _solve_cell(
     raising, keeping the sweep's skip-and-continue semantics on every
     backend while making rejections observable.
     """
-    range_m, interval_m, exclude = cell
+    range_m, interval_m, row = cell
     try:
         result = localizer.locate(
             points,
             profile,
             segment_ids=segment_ids,
-            exclude_mask=exclude,
+            exclude_mask=excludes[row],
             interval_m=interval_m,
             assume_preprocessed=True,
         )
     except ValueError as error:
-        return CellRejection(range_m, interval_m, _classify_rejection(str(error)))
+        return CellRejection(range_m, interval_m, _classify_rejection(error))
     return ConfigOutcome(range_m, interval_m, result)
+
+
+def _solve_cell_shared(
+    localizer: LionLocalizer,
+    specs: dict[str, SharedArraySpec | None],
+    cell: Tuple[float, float, int],
+) -> ConfigOutcome | CellRejection:
+    """Process-backend variant of :func:`_solve_cell`.
+
+    The chunk carries only shared-memory handles; the worker maps
+    ``positions``/``profile``/``excludes`` (byte-exact, zero-copy, cached
+    per process) instead of receiving them re-pickled with every cell.
+    """
+    arrays = attach_shared_arrays(specs)
+    return _solve_cell(
+        localizer,
+        arrays["points"],
+        arrays["profile"],
+        arrays["segments"],
+        arrays["excludes"],
+        cell,
+    )
+
+
+def _fused_cells(
+    localizer: LionLocalizer,
+    points: np.ndarray,
+    profile: np.ndarray,
+    segments: np.ndarray | None,
+    excludes: np.ndarray,
+    cells: List[Tuple[float, float, int]],
+) -> List[ConfigOutcome | CellRejection]:
+    """Run the fused engine and wrap its per-cell results like the legacy path."""
+    wrapped: List[ConfigOutcome | CellRejection] = []
+    for (range_m, interval_m, _), result in zip(
+        cells, fused_sweep(localizer, points, profile, segments, excludes, cells)
+    ):
+        if isinstance(result, ValueError):
+            wrapped.append(
+                CellRejection(range_m, interval_m, _classify_rejection(result))
+            )
+        else:
+            wrapped.append(ConfigOutcome(range_m, interval_m, result))
+    return wrapped
 
 
 def _adaptive_localize_impl(
@@ -161,15 +224,22 @@ def _adaptive_localize_impl(
     criterion: str = "abs_mean",
     executor: str | Executor | None = "serial",
     jobs: int | None = None,
+    fused: bool | None = None,
 ) -> AdaptiveResult:
     """Run the localizer over the parameter grid and fuse the cleanest solves.
 
     The wrapped profile is preprocessed (unwrapped + smoothed) exactly
     once — preprocessing does not depend on the grid point — and the
     per-cell window masks for every scanning range are built in one
-    vectorized pass; only the per-cell solve is dispatched to the
-    executor. Cells are solved independently and collected in sweep
-    order, so the result is identical on every backend.
+    vectorized pass. With the serial executor (the default) the grid is
+    solved through the fused engine of :mod:`repro.core.sweep`: one
+    preparation per range window, cached pair selection, and a single
+    masked batch IRLS solve — bit-identical to the per-cell path, only
+    faster. Pool executors keep the per-cell dispatch (cells are solved
+    independently and collected in sweep order, so the result is
+    identical on every backend); the process backend ships the shared
+    arrays through ``multiprocessing.shared_memory`` instead of
+    re-pickling them per chunk.
 
     Args:
         localizer: a configured :class:`LionLocalizer`.
@@ -190,6 +260,9 @@ def _adaptive_localize_impl(
             :class:`repro.parallel.Executor`.
         jobs: worker count for pool backends; defaults to the CLI
             ``--jobs`` value, ``LION_JOBS``, or the CPU count.
+        fused: force the fused batch engine on (``True``) or off
+            (``False``); ``None`` picks it automatically — fused for the
+            serial executor, per-cell dispatch for pool backends.
 
     Raises:
         ValueError: if every grid point fails to produce a solve or the
@@ -219,8 +292,8 @@ def _adaptive_localize_impl(
     offsets = np.abs(points[:, grid.axis] - grid.center)
     excludes = base_exclude[np.newaxis, :] | (offsets[np.newaxis, :] > ranges[:, np.newaxis] / 2.0)
 
-    cells: List[Tuple[float, float, np.ndarray]] = [
-        (float(range_m), float(interval_m), excludes[row])
+    cells: List[Tuple[float, float, int]] = [
+        (float(range_m), float(interval_m), row)
         for row, range_m in enumerate(grid.ranges_m)
         for interval_m in grid.intervals_m
         if interval_m < range_m
@@ -228,9 +301,22 @@ def _adaptive_localize_impl(
     grid_size = len(grid.ranges_m) * len(grid.intervals_m)
 
     runner = get_executor(executor, jobs=jobs)
-    solve = functools.partial(_solve_cell, localizer, points, profile, segments)
+    if fused is None:
+        fused = runner.name == "serial"
     with span("adaptive_sweep", cells=len(cells), criterion=criterion):
-        raw = runner.map(solve, cells)
+        if fused:
+            raw = _fused_cells(localizer, points, profile, segments, excludes, cells)
+        elif runner.name == "process":
+            with SharedArrayBundle(
+                points=points, profile=profile, segments=segments, excludes=excludes
+            ) as bundle:
+                solve = functools.partial(_solve_cell_shared, localizer, bundle.specs)
+                raw = runner.map(solve, cells)
+        else:
+            solve = functools.partial(
+                _solve_cell, localizer, points, profile, segments, excludes
+            )
+            raw = runner.map(solve, cells)
     outcomes = [result for result in raw if isinstance(result, ConfigOutcome)]
     rejections = [result for result in raw if isinstance(result, CellRejection)]
 
@@ -283,6 +369,7 @@ def adaptive_localize(
     criterion: str = "abs_mean",
     executor: str | Executor | None = "serial",
     jobs: int | None = None,
+    fused: bool | None = None,
 ) -> AdaptiveResult:
     """Deprecated entry point for the adaptive sweep.
 
@@ -321,6 +408,7 @@ def adaptive_localize(
         criterion=criterion,
         executor=executor if isinstance(executor, str) else "serial",
         jobs=jobs,
+        fused=fused,
     )
     estimator = pipeline.create_estimator("lion-adaptive", config)
     if executor is not None and not isinstance(executor, str):

@@ -37,6 +37,24 @@ from repro.signalproc.unwrap import unwrap_phase
 Method = Literal["wls", "ls"]
 
 
+class TooFewReadsError(ValueError):
+    """A scan (or its exclusion mask) leaves fewer than three usable reads.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    callers keep working; the adaptive sweep maps it to the stable
+    ``"too_few_reads"`` rejection label.
+    """
+
+
+class DegenerateGeometryError(ValueError):
+    """The scan geometry cannot observe a position of the requested dim.
+
+    Raised for the Sec. III-C unsolvable cases (e.g. a single straight
+    line for a 3D target). Subclasses :class:`ValueError`; the adaptive
+    sweep maps it to the stable ``"degenerate_geometry"`` label.
+    """
+
+
 @dataclass(frozen=True)
 class PreprocessConfig:
     """Signal preprocessing knobs (paper Sec. IV-A).
@@ -81,6 +99,39 @@ class LocalizationResult:
     def mean_residual(self) -> float:
         """Weighted mean residual of the final solve (adaptive-selection signal)."""
         return self.solution.mean_residual
+
+
+@dataclass(frozen=True)
+class PreparedScan:
+    """A scan reduced to its solve-ready, pairing-independent pieces.
+
+    Produced by :meth:`LionLocalizer._prepare_scan`: mask application,
+    reference selection, degeneracy detection / frame rotation, and the
+    Eq. (6) distance differences. Everything here depends only on the
+    (masked) geometry and the preprocessed profile — not on the pairing
+    interval — which is what lets the fused adaptive sweep
+    (:mod:`repro.core.sweep`) prepare each distinct range window once and
+    reuse it across every interval.
+
+    Attributes:
+        solve_points: included positions in the solve frame (rotated for
+            collinear 2D scans), shape ``(k, dim)``.
+        used_profile: preprocessed phases of the included reads.
+        used_segments: segment ids of the included reads, or ``None``.
+        reference_index: Eq. (6) reference, index into included reads.
+        missing_axis: axis to recover via ``d_r``, or ``None``.
+        rotation / frame_origin: the 2D line-frame transform, or ``None``.
+        delta_d: Eq. (6) distance differences of the included reads.
+    """
+
+    solve_points: np.ndarray
+    used_profile: np.ndarray
+    used_segments: np.ndarray | None
+    reference_index: int
+    missing_axis: int | None
+    rotation: np.ndarray | None
+    frame_origin: np.ndarray | None
+    delta_d: np.ndarray
 
 
 @dataclass
@@ -233,8 +284,10 @@ class LionLocalizer:
                 hoist it out of the per-configuration loop.
 
         Raises:
-            ValueError: on shape mismatches or an unobservable geometry
-                (e.g. a single straight line for a 3D target).
+            TooFewReadsError: when fewer than three (included) reads remain.
+            DegenerateGeometryError: on an unobservable geometry (e.g. a
+                single straight line for a 3D target).
+            ValueError: on shape mismatches or other solve failures.
         """
         points = np.asarray(positions, dtype=float)
         phases = np.asarray(wrapped_phase_rad, dtype=float)
@@ -245,7 +298,7 @@ class LionLocalizer:
                 f"phases must have shape ({points.shape[0]},), got {phases.shape}"
             )
         if points.shape[0] < 3:
-            raise ValueError("need at least three reads to localize")
+            raise TooFewReadsError("need at least three reads to localize")
         if not np.all(np.isfinite(points)):
             raise ValueError("positions contain non-finite values")
         if not np.all(np.isfinite(phases)):
@@ -263,6 +316,26 @@ class LionLocalizer:
                 else None,
             )
 
+        prepared = self._prepare_scan(
+            points, profile, segment_ids, exclude_mask, reference_index
+        )
+        return self._solve_prepared(prepared, pairs=pairs, interval_m=interval_m)
+
+    def _prepare_scan(
+        self,
+        points: np.ndarray,
+        profile: np.ndarray,
+        segment_ids: np.ndarray | None,
+        exclude_mask: np.ndarray | None,
+        reference_index: int | None,
+    ) -> PreparedScan:
+        """Mask, pick the reference, handle degeneracy, compute Eq. (6).
+
+        ``points`` and ``profile`` are the full validated position matrix
+        and preprocessed phase profile; the result depends only on them,
+        the mask, and the localizer configuration — not on the pairing
+        interval — so sweep engines prepare each distinct mask once.
+        """
         include = np.ones(points.shape[0], dtype=bool)
         if exclude_mask is not None:
             mask = np.asarray(exclude_mask, dtype=bool)
@@ -270,7 +343,7 @@ class LionLocalizer:
                 raise ValueError("exclude_mask must match the number of reads")
             include = ~mask
         if int(np.count_nonzero(include)) < 3:
-            raise ValueError("need at least three included reads")
+            raise TooFewReadsError("need at least three included reads")
 
         used_points_full = points[include]
         used_profile = profile[include]
@@ -309,13 +382,33 @@ class LionLocalizer:
             missing_axis = 1
 
         delta_d = delta_distances(used_profile, reference_index, self.wavelength_m)
+        return PreparedScan(
+            solve_points=solve_points,
+            used_profile=used_profile,
+            used_segments=used_segments,
+            reference_index=reference_index,
+            missing_axis=missing_axis,
+            rotation=rotation,
+            frame_origin=frame_origin,
+            delta_d=delta_d,
+        )
 
+    def _solve_prepared(
+        self,
+        prepared: PreparedScan,
+        pairs: Sequence[Tuple[int, int]] | None = None,
+        interval_m: float | None = None,
+    ) -> LocalizationResult:
+        """Pair, assemble, and solve one prepared scan."""
         if pairs is None:
             pairs = self._auto_pairs(
-                solve_points, used_segments, interval_m or self.interval_m
+                prepared.solve_points,
+                prepared.used_segments,
+                interval_m or self.interval_m,
             )
-
-        system = build_system(solve_points, delta_d, pairs, dim=self.dim)
+        system = build_system(
+            prepared.solve_points, prepared.delta_d, pairs, dim=self.dim
+        )
         if self.method == "wls":
             solution = solve_weighted_least_squares(
                 system,
@@ -324,32 +417,36 @@ class LionLocalizer:
                 tolerance_m=self.tolerance_m,
             )
         else:
-            solve_ls = solve_least_squares
-            solution = solve_ls(system)
+            solution = solve_least_squares(system)
+        return self._finalize_solution(prepared, system, solution)
 
+    def _finalize_solution(
+        self, prepared: PreparedScan, system: LinearSystem, solution: Solution
+    ) -> LocalizationResult:
+        """Recover the missing coordinate and rotate back to world frame."""
         position = solution.position.copy()
-        reference_position = solve_points[reference_index].copy()
+        reference_position = prepared.solve_points[prepared.reference_index].copy()
         recovery: RecoveryResult | None = None
-        if missing_axis is not None:
+        if prepared.missing_axis is not None:
             recovery = recover_coordinate_from_reference(
                 position,
-                missing_axis,
+                prepared.missing_axis,
                 max(solution.reference_distance, 0.0),
                 reference_position,
                 positive_side=self.positive_side,
             )
             position = recovery.position
 
-        if rotation is not None and frame_origin is not None:
-            position = rotation.T @ position + frame_origin
-            reference_position = rotation.T @ reference_position + frame_origin
+        if prepared.rotation is not None and prepared.frame_origin is not None:
+            position = prepared.rotation.T @ position + prepared.frame_origin
+            reference_position = prepared.rotation.T @ reference_position + prepared.frame_origin
 
         return LocalizationResult(
             position=position,
             reference_distance_m=solution.reference_distance,
             solution=solution,
             system=system,
-            recovered_axis=missing_axis,
+            recovered_axis=prepared.missing_axis,
             recovery=recovery,
             reference_position=reference_position,
         )
@@ -362,7 +459,7 @@ class LionLocalizer:
         try:
             return detect_missing_axis(points, span_threshold_m=1e-6)
         except ValueError as error:
-            raise ValueError(
+            raise DegenerateGeometryError(
                 f"trajectory cannot observe a {self.dim}-D position: {error}"
             ) from error
 
@@ -387,18 +484,18 @@ class LionLocalizer:
         interval_m: float,
     ) -> Sequence[Tuple[int, int]]:
         """Pick a pairing strategy from the scan structure."""
-        if (
-            self.dim == 3
-            and segments is not None
-            and np.unique(segments).size == 3
-        ):
-            ids = tuple(int(v) for v in np.unique(segments))
-            return three_line_pairs(points, segments, interval_m, line_ids=ids)
-        if segments is not None and np.unique(segments).size > 1:
-            # Multi-segment but not the canonical three-line scan: pair
-            # within segments at the interval, plus across consecutive
-            # segments by matching the sweep coordinate.
-            return self._generic_multisegment_pairs(points, segments, interval_m)
+        if segments is not None:
+            unique_ids = np.unique(segments)
+            if self.dim == 3 and unique_ids.size == 3:
+                ids = tuple(int(v) for v in unique_ids)
+                return three_line_pairs(points, segments, interval_m, line_ids=ids)
+            if unique_ids.size > 1:
+                # Multi-segment but not the canonical three-line scan: pair
+                # within segments at the interval, plus across consecutive
+                # segments by matching the sweep coordinate.
+                return self._generic_multisegment_pairs(
+                    points, segments, interval_m, unique_ids
+                )
         try:
             return spacing_pairs(points, interval_m)
         except ValueError:
@@ -406,12 +503,18 @@ class LionLocalizer:
             return lag_pairs(points.shape[0], max(points.shape[0] // 2, 1))
 
     def _generic_multisegment_pairs(
-        self, points: np.ndarray, segments: np.ndarray, interval_m: float
+        self,
+        points: np.ndarray,
+        segments: np.ndarray,
+        interval_m: float,
+        unique_ids: np.ndarray | None = None,
     ) -> list[Tuple[int, int]]:
         from repro.core.pairing import cross_segment_pairs
 
+        if unique_ids is None:
+            unique_ids = np.unique(segments)
         pairs: list[Tuple[int, int]] = []
-        unique = [int(v) for v in np.unique(segments)]
+        unique = [int(v) for v in unique_ids]
         for segment in unique:
             index = np.flatnonzero(segments == segment)
             if index.size < 2:

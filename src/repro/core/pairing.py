@@ -10,6 +10,7 @@ three-line pairing to generic lag/spacing pairs for arbitrary trajectories
 
 from __future__ import annotations
 
+import math
 from typing import List, Sequence, Tuple
 
 import numpy as np
@@ -62,16 +63,40 @@ def spacing_pairs(
         steps = np.linalg.norm(np.diff(points, axis=0), axis=1)
         positive = steps[steps > 0.0]
         tolerance_m = float(np.median(positive)) if positive.size else spacing_m * 0.1
+    # This two-pointer scan is the adaptive sweep's hottest loop; plain
+    # float arithmetic on Python rows avoids ~n tiny-array round trips
+    # through np.linalg.norm (squaring, summing, and sqrt are all single
+    # correctly-rounded IEEE ops, so the accepted pairs are unchanged).
+    coords = points.tolist()
+    dim = points.shape[1]
+    limit = spacing_m + tolerance_m + 1e-12
     pairs: List[Pair] = []
     j = 0
     for i in range(n):
-        j = max(j, i + 1)
-        while j < n and float(np.linalg.norm(points[j] - points[i])) < spacing_m:
+        first = coords[i]
+        if j < i + 1:
+            j = i + 1
+        displacement = 0.0
+        while j < n:
+            row = coords[j]
+            if dim == 2:
+                dx = row[0] - first[0]
+                dy = row[1] - first[1]
+                squared = dx * dx + dy * dy
+            elif dim == 3:
+                dx = row[0] - first[0]
+                dy = row[1] - first[1]
+                dz = row[2] - first[2]
+                squared = dx * dx + dy * dy + dz * dz
+            else:
+                squared = sum((a - b) * (a - b) for a, b in zip(row, first))
+            displacement = math.sqrt(squared)
+            if displacement >= spacing_m:
+                break
             j += 1
         if j >= n:
             break
-        displacement = float(np.linalg.norm(points[j] - points[i]))
-        if displacement <= spacing_m + tolerance_m + 1e-12:
+        if displacement <= limit:
             pairs.append((i, j))
     if not pairs:
         raise ValueError(
@@ -156,19 +181,24 @@ def cross_segment_pairs(
     coords_b = points[index_b, match_axis]
     order = np.argsort(coords_b)
     sorted_b = coords_b[order]
-    pairs: List[Pair] = []
-    for a in index_a:
-        target = points[a, match_axis]
-        slot = int(np.searchsorted(sorted_b, target))
-        best = None
-        for candidate in (slot - 1, slot):
-            if 0 <= candidate < sorted_b.size:
-                mismatch = abs(sorted_b[candidate] - target)
-                if best is None or mismatch < best[0]:
-                    best = (mismatch, candidate)
-        if best is not None and best[0] <= max_mismatch_m:
-            pairs.append((int(a), int(index_b[order[best[1]]])))
-    return pairs
+    size = sorted_b.size
+    # Vectorized nearest-neighbor match: each reference read considers the
+    # two sorted partners bracketing its insertion slot; ties go to the
+    # lower-coordinate partner, as the scalar scan did.
+    targets = points[index_a, match_axis]
+    slots = np.searchsorted(sorted_b, targets)
+    lower = np.clip(slots - 1, 0, size - 1)
+    upper = np.clip(slots, 0, size - 1)
+    lower_mismatch = np.where(slots > 0, np.abs(sorted_b[lower] - targets), np.inf)
+    upper_mismatch = np.where(slots < size, np.abs(sorted_b[upper] - targets), np.inf)
+    use_upper = upper_mismatch < lower_mismatch
+    mismatch = np.where(use_upper, upper_mismatch, lower_mismatch)
+    nearest = np.where(use_upper, upper, lower)
+    keep = mismatch <= max_mismatch_m
+    return [
+        (int(a), int(b))
+        for a, b in zip(index_a[keep], index_b[order[nearest[keep]]])
+    ]
 
 
 def three_line_pairs(

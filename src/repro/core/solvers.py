@@ -144,18 +144,61 @@ class Solution:
         return float(np.sqrt(np.mean(self.residuals**2)))
 
 
+def _qr_solve(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray | None:
+    """Householder-QR solve of an overdetermined full-rank system.
+
+    Returns ``None`` when the system is underdetermined, numerically
+    rank-deficient, or produced a non-finite estimate — callers fall back
+    to the minimum-norm ``lstsq`` path. This factor/project/substitute
+    sequence is exactly what the batched kernel runs per member, which is
+    what makes the batch bit-identical to the scalar solver.
+    """
+    rows, cols = matrix.shape
+    if rows < cols or cols == 0:
+        return None
+    q, r = np.linalg.qr(matrix)
+    diagonal = np.abs(np.diagonal(r))
+    tolerance = np.finfo(r.dtype).eps * max(rows, cols) * float(diagonal.max())
+    if float(diagonal.min()) <= tolerance:
+        return None
+    solution = np.linalg.solve(r, q.T @ rhs)
+    if not np.all(np.isfinite(solution)):
+        return None
+    return solution
+
+
 def _weighted_solve(
     matrix: np.ndarray, rhs: np.ndarray, weights: np.ndarray
 ) -> np.ndarray:
-    """Solve ``min ||W^(1/2) (A X - K)||`` via scaled lstsq.
+    """Solve ``min ||W^(1/2) (A X - K)||`` on sqrt-weight-scaled rows.
 
-    Scaling rows by sqrt(w) and calling lstsq is numerically safer than
-    forming the normal equations ``(A^T W A)^-1 A^T W K`` of Eq. (16) and
-    solves the same problem; rank deficiency (the lower-dimension issue)
-    falls through to the minimum-norm solution instead of blowing up.
+    Full-rank overdetermined systems go through a Householder QR. A
+    lower-dimension trajectory (Sec. III-C) zeroes an entire coefficient
+    column — e.g. a line scan never excites the cross axis — which would
+    fail the full rank test even though the live sub-problem is perfectly
+    conditioned; exactly-zero columns are therefore dropped, the live
+    columns QR-solved, and the dead coefficients pinned to the
+    minimum-norm value 0 (what ``lstsq``'s SVD produces, without the
+    SVD). Anything still deficient falls back to ``lstsq``. Row scaling
+    plus a factored solve is numerically safer than forming the normal
+    equations ``(A^T W A)^-1 A^T W K`` of Eq. (16) and solves the same
+    problem.
     """
     root = np.sqrt(weights)
-    solution, *_ = np.linalg.lstsq(matrix * root[:, np.newaxis], rhs * root, rcond=None)
+    scaled_matrix = matrix * root[:, np.newaxis]
+    scaled_rhs = rhs * root
+    live = np.any(scaled_matrix != 0.0, axis=0)
+    if live.all():
+        solution = _qr_solve(scaled_matrix, scaled_rhs)
+        if solution is not None:
+            return solution
+    else:
+        reduced = _qr_solve(scaled_matrix[:, live], scaled_rhs)
+        if reduced is not None:
+            solution = np.zeros(matrix.shape[1])
+            solution[live] = reduced
+            return solution
+    solution, *_ = np.linalg.lstsq(scaled_matrix, scaled_rhs, rcond=None)
     return solution
 
 
@@ -212,24 +255,42 @@ def solve_weighted_least_squares(
         raise ValueError(f"max_iterations must be positive, got {max_iterations}")
     if tolerance_m <= 0.0:
         raise ValueError(f"tolerance must be positive, got {tolerance_m}")
+    return _scalar_irls(
+        system.matrix, system.rhs, weight_function, max_iterations, tolerance_m
+    )
 
+
+def _scalar_irls(
+    matrix: np.ndarray,
+    rhs: np.ndarray,
+    weight_function: WeightFunction,
+    max_iterations: int,
+    tolerance_m: float,
+) -> Solution:
+    """The scalar IRLS loop on raw arrays (validated by the callers).
+
+    Shared by :func:`solve_weighted_least_squares` and the masked batch
+    kernel's per-member rank-deficiency fallback, so a member ejected
+    from the batch reproduces exactly the trajectory — and emits exactly
+    the scalar-solver metrics — the per-system path would have.
+    """
     # Observability costs one flag check when disabled; when enabled, the
     # solve is wrapped in a span and per-iteration diagnostics are emitted.
     observing = obs_enabled()
     solve_span = (
-        span("solve", solver="scalar", equations=system.equation_count)
+        span("solve", solver="scalar", equations=matrix.shape[0])
         if observing and tracing_enabled()
         else NULL_SPAN
     )
     with solve_span as sp:
-        weights = np.ones(system.equation_count)
-        estimate = _weighted_solve(system.matrix, system.rhs, weights)
+        weights = np.ones(matrix.shape[0])
+        estimate = _weighted_solve(matrix, rhs, weights)
         converged = False
         iterations = 0
         for iterations in range(1, max_iterations + 1):
-            residuals = system.matrix @ estimate - system.rhs
+            residuals = matrix @ estimate - rhs
             weights = weight_function(residuals)
-            updated = _weighted_solve(system.matrix, system.rhs, weights)
+            updated = _weighted_solve(matrix, rhs, weights)
             step = float(np.linalg.norm(updated - estimate))
             estimate = updated
             if observing:
@@ -246,7 +307,7 @@ def solve_weighted_least_squares(
             if step < tolerance_m:
                 converged = True
                 break
-        residuals = system.matrix @ estimate - system.rhs
+        residuals = matrix @ estimate - rhs
         if observing and metrics_enabled():
             _record_solve_metrics(
                 "scalar",
@@ -258,86 +319,190 @@ def solve_weighted_least_squares(
     return Solution(
         estimate=estimate,
         residuals=residuals,
-        normalized_residuals=residuals / _row_norms(system.matrix),
+        normalized_residuals=residuals / _row_norms(matrix),
         weights=weights,
         iterations=iterations,
         converged=converged,
     )
 
 
-def _weighted_solve_stack(
-    matrices: np.ndarray, rhs: np.ndarray, weights: np.ndarray
-) -> np.ndarray:
-    """Solve a stack of weighted LS problems via batched QR.
+def _masked_qr_solve(
+    stack: np.ndarray,
+    scaled_rhs: np.ndarray,
+    counts: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One batched weighted-LS round over a pre-scaled, column-reduced stack.
 
-    ``matrices`` is ``(b, m, n)``, ``rhs`` and ``weights`` are ``(b, m)``.
-    For full-rank systems this computes the same minimizer as
-    :func:`_weighted_solve`; a rank-deficient member surfaces as a
-    ``LinAlgError`` (or non-finite estimate, promoted to one) so the
-    caller can fall back to the per-system minimum-norm path.
+    ``stack`` is ``(k, M, width)`` — each member's sqrt-weight-scaled live
+    columns, valid rows ``[:counts[i]]`` on top, zeros below; ``scaled_rhs``
+    is ``(k, M)`` scaled the same way. Returns ``(estimates, ok)`` where
+    ``ok[i]`` is False for members the QR fast path cannot handle
+    bit-identically to the scalar solver (numerically rank-deficient or
+    non-finite) — those need the per-member ``lstsq`` fallback.
+
+    Bitwise parity with :func:`_qr_solve` rests on three measured facts
+    of LAPACK/BLAS on contiguous float64 inputs: (1) Householder QR of a
+    matrix with trailing zero rows yields the identical R factor and the
+    identical top ``m`` rows of Q as the unpadded QR; (2) the batched
+    triangular solve equals the per-matrix solve; (3) batched *matmul*
+    projections do NOT reliably equal the scalar ``q.T @ b`` (GEMM vs
+    GEMV blocking), so Q^T·b is computed per member on contiguous views.
     """
-    root = np.sqrt(weights)
-    q, r = np.linalg.qr(matrices * root[:, :, np.newaxis])
-    # A rank-deficient member shows up as a (numerically) zero diagonal
-    # entry of its R factor; np.linalg.solve would return garbage rather
-    # than the minimum-norm solution, so reject the whole batch instead.
+    batch, _, width = stack.shape
+    q, r = np.linalg.qr(stack)
+    eps = np.finfo(r.dtype).eps
     diagonals = np.abs(np.diagonal(r, axis1=1, axis2=2))
-    tolerance = np.finfo(r.dtype).eps * max(matrices.shape[1:]) * diagonals.max(axis=1)
-    if np.any(diagonals.min(axis=1) <= tolerance):
-        raise np.linalg.LinAlgError("rank-deficient system in batch")
-    projected = np.einsum("bmn,bm->bn", q, rhs * root)
-    estimates = np.linalg.solve(r, projected[:, :, np.newaxis])[:, :, 0]
-    if not np.all(np.isfinite(estimates)):
-        raise np.linalg.LinAlgError("batched solve produced non-finite estimates")
-    return estimates
+    tolerances = eps * np.maximum(counts, width) * diagonals.max(axis=1)
+    deficient = diagonals.min(axis=1) <= tolerances
+    ok = ~deficient
+    estimates = np.zeros((batch, width))
+    projected = np.empty((batch, width))
+    for position in range(batch):
+        if deficient[position]:
+            continue
+        rows = int(counts[position])
+        projected[position] = q[position, :rows].T @ scaled_rhs[position, :rows]
+    solvable = np.flatnonzero(ok)
+    if solvable.size:
+        solutions = np.linalg.solve(
+            r[solvable], projected[solvable][:, :, np.newaxis]
+        )[:, :, 0]
+        finite = np.all(np.isfinite(solutions), axis=1)
+        estimates[solvable] = solutions
+        ok[solvable[~finite]] = False
+    return estimates, ok
 
 
-def _irls_batch(
-    systems: List[LinearSystem],
+class _ColumnGroup:
+    """Members of a masked batch sharing one exactly-zero-column pattern.
+
+    Mirrors the scalar solver's dead-column handling (:func:`_weighted_solve`)
+    batch-side: the pattern is computed once on the *unscaled* stack —
+    weights only scale rows, so scaling can only zero further columns, and
+    a member whose scaled pattern shrinks (pathological zero weights)
+    simply fails the rank test and is ejected to the scalar fallback,
+    which is authoritative. ``base`` holds the members' live columns as
+    one contiguous reduced stack so each IRLS round scales straight from
+    it with no per-round slicing.
+    """
+
+    __slots__ = ("members", "keep", "keep_indices", "base")
+
+    def __init__(self, members: np.ndarray, keep: np.ndarray, matrices: np.ndarray):
+        self.members = members
+        self.keep = keep
+        self.keep_indices = np.flatnonzero(keep)
+        base = matrices[members]
+        self.base = base if keep.all() else np.ascontiguousarray(base[:, :, keep])
+
+
+def _irls_masked(
     matrices: np.ndarray,
     rhs: np.ndarray,
+    counts: np.ndarray,
     weight_function: WeightFunction,
     max_iterations: int,
     tolerance_m: float,
 ) -> List[Solution]:
-    """The stacked IRLS iteration behind :func:`solve_weighted_least_squares_batch`.
+    """The masked stacked IRLS iteration on zero-padded inputs.
 
-    Mirrors :func:`solve_weighted_least_squares` exactly, system by
-    system: every round re-solves only the not-yet-converged members, so
-    a system's (residual, weight, estimate) sequence is the same one the
-    scalar solver would produce.
+    Mirrors :func:`_scalar_irls` exactly, member by member: each round
+    re-solves only the not-yet-converged members (convergence freezing),
+    re-weights each member's *valid* residual slice with the caller's
+    weight function, and runs one batched QR over the still-active stack.
+    A member the QR path rejects (underdetermined, rank-deficient, or
+    non-finite) is ejected and re-run from scratch through
+    :func:`_scalar_irls` — an identical trajectory, since every batch
+    round before the ejection matched the scalar path bit for bit.
     """
-    count, row_count, _ = matrices.shape
+    count, max_rows, cols = matrices.shape
     observing = obs_enabled()
     solve_span = (
-        span("solve", solver="batch", systems=count, equations=row_count)
+        span("solve", solver="batch", systems=count, equations=max_rows)
         if observing and tracing_enabled()
         else NULL_SPAN
     )
-    weights = np.ones((count, row_count))
+    compact = [
+        (matrices[index, : counts[index]], rhs[index, : counts[index]])
+        for index in range(count)
+    ]
+    fallback = counts < cols
+    estimates = np.zeros((count, cols))
+    weights = np.ones((count, max_rows))
+    converged = np.zeros(count, dtype=bool)
+    iterations = np.zeros(count, dtype=int)
+
+    # Group members by exactly-zero-column pattern once, on the unscaled
+    # stack (padding rows are zero, so the any-reduction over all rows
+    # equals the one over the valid rows), and pre-extract each group's
+    # live columns as a contiguous reduced base stack. Every IRLS round
+    # then scales straight from the base — two passes over reduced data
+    # instead of the fancy-index + scale + slice copies of the full stack
+    # a per-round regrouping would cost.
+    live = np.any(matrices != 0.0, axis=1)
+    group_id = np.full(count, -1, dtype=int)
+    base_pos = np.zeros(count, dtype=int)
+    groups: List[_ColumnGroup] = []
+    patterns: dict = {}
+    for index in np.flatnonzero(~fallback):
+        patterns.setdefault(live[index].tobytes(), []).append(index)
+    for members_list in patterns.values():
+        members = np.asarray(members_list)
+        keep = live[members[0]]
+        if not keep.any():
+            fallback[members] = True
+            continue
+        group_id[members] = len(groups)
+        base_pos[members] = np.arange(members.size)
+        groups.append(_ColumnGroup(members, keep, matrices))
+
+    def _solve_round(active: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """One weighted round over the active members, full-width results."""
+        solved = np.zeros((active.size, cols))
+        ok = np.zeros(active.size, dtype=bool)
+        gids = group_id[active]
+        for gi, group in enumerate(groups):
+            apos = np.flatnonzero(gids == gi)
+            if apos.size == 0:
+                continue
+            sel = active[apos]
+            root = np.sqrt(weights[sel])
+            stack = group.base[base_pos[sel]] * root[:, :, np.newaxis]
+            reduced, round_ok = _masked_qr_solve(stack, rhs[sel] * root, counts[sel])
+            solved[np.ix_(apos, group.keep_indices)] = reduced
+            ok[apos] = round_ok
+        return solved, ok
+
     with solve_span as sp:
-        estimates = _weighted_solve_stack(matrices, rhs, weights)
-        converged = np.zeros(count, dtype=bool)
-        iterations = np.zeros(count, dtype=int)
+        active = np.flatnonzero(~fallback)
+        if active.size:
+            solved, ok = _solve_round(active)
+            estimates[active] = solved
+            fallback[active[~ok]] = True
         for round_index in range(1, max_iterations + 1):
-            active = np.flatnonzero(~converged)
+            active = np.flatnonzero(~converged & ~fallback)
             if active.size == 0:
                 break
-            residuals = (
-                np.einsum("bmn,bn->bm", matrices[active], estimates[active]) - rhs[active]
-            )
-            new_weights = np.stack([weight_function(row) for row in residuals])
-            updated = _weighted_solve_stack(matrices[active], rhs[active], new_weights)
-            steps = np.linalg.norm(updated - estimates[active], axis=1)
-            estimates[active] = updated
-            weights[active] = new_weights
-            iterations[active] = round_index
-            frozen = active[steps < tolerance_m]
+            # Residuals and re-weighting run per member on the contiguous
+            # valid slice — dgemv and a weight function applied to exactly
+            # the array the scalar path sees (a batched GEMM would drift
+            # by an ulp on some BLAS builds).
+            residual_norms = np.empty(active.size) if observing else None
+            for position, index in enumerate(active):
+                matrix_c, rhs_c = compact[index]
+                residuals = matrix_c @ estimates[index] - rhs_c
+                weights[index, : counts[index]] = weight_function(residuals)
+                if observing:
+                    residual_norms[position] = np.linalg.norm(residuals)
+            solved, ok = _solve_round(active)
+            fallback[active[~ok]] = True
+            good = active[ok]
+            steps = np.linalg.norm(solved[ok] - estimates[good], axis=1)
+            estimates[good] = solved[ok]
+            iterations[good] = round_index
+            frozen = good[steps < tolerance_m]
             converged[frozen] = True
             if observing:
-                # Per-round diagnostics: residual norms of the members that
-                # iterated this round, plus how many froze (converged).
-                residual_norms = np.linalg.norm(residuals, axis=1)
                 sp.add_event(
                     iteration=round_index,
                     active=int(active.size),
@@ -352,27 +517,117 @@ def _irls_batch(
                     )
                     for norm in residual_norms:
                         norm_histogram.observe(float(norm))
-        final_residuals = np.einsum("bmn,bn->bm", matrices, estimates) - rhs
         if observing and metrics_enabled():
-            for index in range(count):
+            for index in np.flatnonzero(~fallback):
+                matrix_c, rhs_c = compact[index]
+                final = matrix_c @ estimates[index] - rhs_c
                 _record_solve_metrics(
                     "batch",
                     int(iterations[index]),
                     bool(converged[index]),
-                    float(np.linalg.norm(final_residuals[index])),
-                    _weight_entropy(weights[index]),
+                    float(np.linalg.norm(final)),
+                    _weight_entropy(weights[index, : counts[index]]),
                 )
-    return [
-        Solution(
-            estimate=estimates[index].copy(),
-            residuals=final_residuals[index].copy(),
-            normalized_residuals=final_residuals[index] / _row_norms(system.matrix),
-            weights=weights[index].copy(),
-            iterations=int(iterations[index]),
-            converged=bool(converged[index]),
+    solutions: List[Solution] = []
+    for index in range(count):
+        matrix_c, rhs_c = compact[index]
+        if fallback[index]:
+            solutions.append(
+                _scalar_irls(
+                    matrix_c, rhs_c, weight_function, max_iterations, tolerance_m
+                )
+            )
+            continue
+        residuals = matrix_c @ estimates[index] - rhs_c
+        solutions.append(
+            Solution(
+                estimate=estimates[index].copy(),
+                residuals=residuals,
+                normalized_residuals=residuals / _row_norms(matrix_c),
+                weights=weights[index, : counts[index]].copy(),
+                iterations=int(iterations[index]),
+                converged=bool(converged[index]),
+            )
         )
-        for index, system in enumerate(systems)
-    ]
+    return solutions
+
+
+def solve_weighted_least_squares_masked_batch(
+    matrices: np.ndarray,
+    rhs: np.ndarray,
+    row_mask: np.ndarray,
+    weight_function: WeightFunction = gaussian_residual_weights,
+    max_iterations: int = 20,
+    tolerance_m: float = 1e-6,
+) -> List[Solution]:
+    """Solve a padded stack of weighted-LS systems in one masked IRLS pass.
+
+    The throughput entry point for sweep-style workloads (one member per
+    adaptive grid cell): member ``i`` consists of the rows of
+    ``matrices[i]`` / ``rhs[i]`` where ``row_mask[i]`` is True; padding
+    rows are ignored. Each IRLS round runs one batched QR factorization
+    over the still-active members with per-member convergence freezing and
+    masked Gaussian re-weighting. Every returned :class:`Solution` is
+    **bit-identical** to :func:`solve_weighted_least_squares` on the
+    corresponding compact system — members the QR fast path cannot handle
+    (underdetermined, rank-deficient, non-finite) are ejected to the
+    scalar path individually, never poisoning the batch.
+
+    Args:
+        matrices: coefficient stack, shape ``(b, max_rows, n)``.
+        rhs: right-hand sides, shape ``(b, max_rows)``.
+        row_mask: boolean validity mask, shape ``(b, max_rows)``; padding
+            may sit anywhere (rows are compacted to a zero-padded prefix
+            internally, preserving order).
+        weight_function: residuals -> weights map, applied per member to
+            its valid residual slice.
+        max_iterations: cap on re-weighting rounds (per member).
+        tolerance_m: per-member convergence threshold on estimate motion.
+
+    Raises:
+        ValueError: on shape mismatches, an all-padding member, or
+            non-positive iteration parameters.
+    """
+    if max_iterations <= 0:
+        raise ValueError(f"max_iterations must be positive, got {max_iterations}")
+    if tolerance_m <= 0.0:
+        raise ValueError(f"tolerance must be positive, got {tolerance_m}")
+    stack = np.asarray(matrices, dtype=float)
+    targets = np.asarray(rhs, dtype=float)
+    mask = np.asarray(row_mask, dtype=bool)
+    if stack.ndim != 3:
+        raise ValueError(f"matrices must be (b, max_rows, n), got {stack.shape}")
+    if targets.shape != stack.shape[:2]:
+        raise ValueError(
+            f"rhs must have shape {stack.shape[:2]}, got {targets.shape}"
+        )
+    if mask.shape != targets.shape:
+        raise ValueError(
+            f"row_mask must have shape {targets.shape}, got {mask.shape}"
+        )
+    count, max_rows, _ = stack.shape
+    if count == 0:
+        return []
+    counts = mask.sum(axis=1)
+    if np.any(counts == 0):
+        raise ValueError("cannot solve an empty system")
+    # The batched QR is only bit-identical under *trailing* zero-row
+    # padding, so valid rows are compacted to a prefix (order preserved)
+    # and everything below is zeroed.
+    prefix = np.arange(max_rows)[np.newaxis, :] < counts[:, np.newaxis]
+    if np.array_equal(mask, prefix):
+        padded = np.where(mask[:, :, np.newaxis], stack, 0.0)
+        padded_rhs = np.where(mask, targets, 0.0)
+    else:
+        padded = np.zeros_like(stack)
+        padded_rhs = np.zeros_like(targets)
+        for index in range(count):
+            rows = np.flatnonzero(mask[index])
+            padded[index, : rows.size] = stack[index, rows]
+            padded_rhs[index, : rows.size] = targets[index, rows]
+    return _irls_masked(
+        padded, padded_rhs, counts, weight_function, max_iterations, tolerance_m
+    )
 
 
 def solve_weighted_least_squares_batch(
@@ -383,15 +638,16 @@ def solve_weighted_least_squares_batch(
 ) -> List[Solution]:
     """Solve many radical-equation systems in one stacked IRLS pass.
 
-    The common case — every system has the same ``(m, dim + 1)`` shape,
-    e.g. one per Monte-Carlo trial or per sweep cell of a fixed scan —
-    stacks all coefficient matrices and runs each IRLS round as a single
-    batched QR factorization, one BLAS call instead of ``len(systems)``.
-    Ragged batches (mixed shapes), underdetermined systems, and
-    rank-deficient members fall back to the per-system
-    :func:`solve_weighted_least_squares`, so the returned solutions always
-    match the scalar solver (to floating-point accuracy; the batched path
-    uses QR where the scalar path uses SVD-based ``lstsq``).
+    A convenience wrapper over
+    :func:`solve_weighted_least_squares_masked_batch`: the systems — one
+    per Monte-Carlo trial or per sweep cell, ragged shapes welcome — are
+    zero-padded to the widest member and each IRLS round runs as a single
+    batched QR factorization, one LAPACK call instead of ``len(systems)``.
+    Underdetermined and rank-deficient members are ejected to the scalar
+    :func:`solve_weighted_least_squares` individually. Every returned
+    solution is bit-identical to the scalar solver on the same system
+    (mixed-dimension batches — differing column counts — fall back to a
+    scalar loop).
 
     Args:
         systems: the assembled systems, in any order; results come back
@@ -415,7 +671,8 @@ def solve_weighted_least_squares_batch(
         if system.equation_count == 0:
             raise ValueError("cannot solve an empty system")
 
-    def fallback() -> List[Solution]:
+    column_counts = {system.matrix.shape[1] for system in members}
+    if len(column_counts) > 1:
         return [
             solve_weighted_least_squares(
                 system,
@@ -426,18 +683,20 @@ def solve_weighted_least_squares_batch(
             for system in members
         ]
 
-    shapes = {system.matrix.shape for system in members}
-    if len(shapes) > 1:
-        return fallback()
-    row_count, column_count = next(iter(shapes))
-    if row_count < column_count:
-        return fallback()
-
-    matrices = np.stack([system.matrix for system in members]).astype(float)
-    rhs = np.stack([system.rhs for system in members]).astype(float)
-    try:
-        return _irls_batch(
-            members, matrices, rhs, weight_function, max_iterations, tolerance_m
-        )
-    except np.linalg.LinAlgError:
-        return fallback()
+    columns = next(iter(column_counts))
+    counts = np.array([system.equation_count for system in members])
+    max_rows = int(counts.max())
+    matrices = np.zeros((len(members), max_rows, columns))
+    rhs = np.zeros((len(members), max_rows))
+    mask = np.arange(max_rows)[np.newaxis, :] < counts[:, np.newaxis]
+    for index, system in enumerate(members):
+        matrices[index, : counts[index]] = system.matrix
+        rhs[index, : counts[index]] = system.rhs
+    return solve_weighted_least_squares_masked_batch(
+        matrices,
+        rhs,
+        mask,
+        weight_function=weight_function,
+        max_iterations=max_iterations,
+        tolerance_m=tolerance_m,
+    )

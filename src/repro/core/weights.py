@@ -12,6 +12,8 @@ produce outlying residuals and are down-weighted; clean equations dominate.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 
@@ -21,21 +23,28 @@ def gaussian_residual_weights(residuals: np.ndarray) -> np.ndarray:
     Degenerate case: when all residuals coincide (e.g. noiseless data),
     sigma is zero and every weight is 1.
 
+    This runs once per IRLS round per system — the hottest call of the
+    adaptive sweep — so the moment statistics are spelled as raw ufunc
+    reduces, which compute bit-for-bit what ``np.mean``/``np.std`` compute
+    on 1-D float64 input while skipping several layers of dispatch.
+
     Raises:
         ValueError: on empty input.
     """
     r = np.asarray(residuals, dtype=float)
     if r.size == 0:
         raise ValueError("cannot weight an empty residual vector")
-    mu = float(np.mean(r))
-    sigma = float(np.std(r))
+    mu = float(np.add.reduce(r) / r.size)
+    centered = r - mu
+    squared = centered * centered
+    sigma = math.sqrt(np.add.reduce(squared) / r.size)
     # Guard against exact and floating-point-degenerate spreads: identical
     # residuals can yield a tiny nonzero std from rounding, which would
     # produce arbitrary sub-1 weights.
-    scale = max(float(np.max(np.abs(r))), 1.0)
+    scale = max(float(np.maximum.reduce(np.abs(r))), 1.0)
     if sigma <= 1e-12 * scale:
         return np.ones_like(r)
-    return np.exp(-((r - mu) ** 2) / (2.0 * sigma**2))
+    return np.exp(-squared / (2.0 * sigma**2))
 
 
 def uniform_weights(residuals: np.ndarray) -> np.ndarray:

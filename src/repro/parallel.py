@@ -41,7 +41,11 @@ import threading
 import time
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Callable, Dict, List, Sequence, Tuple, TypeVar
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple, TypeVar
+
+import numpy as np
 
 from repro.obs import (
     LATENCY_BUCKETS_S,
@@ -357,6 +361,115 @@ class ProcessExecutor(_PoolExecutor):
     ) -> List[Any]:
         with ProcessPoolExecutor(max_workers=self.jobs) as pool:
             return list(pool.map(worker, chunks))
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Picklable handle to one array living in POSIX shared memory.
+
+    Attributes:
+        name: the ``multiprocessing.shared_memory`` segment name.
+        shape / dtype: how workers reconstruct the ndarray view.
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+class SharedArrayBundle:
+    """Parent-side owner of a set of arrays placed in shared memory once.
+
+    Process-backend work items that all reference the same large arrays
+    (scan ``positions``, the preprocessed ``profile``) would otherwise
+    re-pickle those arrays into every dispatched chunk. The bundle copies
+    each array into its own ``multiprocessing.shared_memory`` segment up
+    front; chunks then carry only the tiny :class:`SharedArraySpec`
+    handles, and workers map the bytes via :func:`attach_shared_arrays`
+    — zero-copy and byte-exact, so results are bit-identical to the
+    pickling path. ``None`` values pass through as ``None`` (optional
+    arrays keep their meaning).
+
+    Use as a context manager; segments are closed and unlinked on exit,
+    after the map completes.
+    """
+
+    def __init__(self, **arrays: np.ndarray | None) -> None:
+        self._segments: List[shared_memory.SharedMemory] = []
+        self.specs: Dict[str, SharedArraySpec | None] = {}
+        try:
+            for key, value in arrays.items():
+                if value is None:
+                    self.specs[key] = None
+                    continue
+                data = np.ascontiguousarray(value)
+                segment = shared_memory.SharedMemory(
+                    create=True, size=max(data.nbytes, 1)
+                )
+                self._segments.append(segment)
+                view = np.ndarray(data.shape, dtype=data.dtype, buffer=segment.buf)
+                view[...] = data
+                self.specs[key] = SharedArraySpec(
+                    name=segment.name, shape=tuple(data.shape), dtype=data.dtype.str
+                )
+        except BaseException:
+            self.close()
+            raise
+
+    def close(self) -> None:
+        """Close and unlink every owned segment (idempotent)."""
+        for segment in self._segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+        self._segments = []
+
+    def __enter__(self) -> "SharedArrayBundle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self.close()
+        return False
+
+
+#: Worker-side attachment cache: one mapping per segment per process.
+_ATTACHED_SEGMENTS: Dict[str, Tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+
+
+def attach_shared_arrays(
+    specs: Mapping[str, SharedArraySpec | None],
+) -> Dict[str, np.ndarray | None]:
+    """Worker-side inverse of :class:`SharedArrayBundle`: specs -> arrays.
+
+    Attachments are cached per process (a worker serves many chunks of
+    one map), and each segment is deregistered from the resource tracker:
+    the parent owns the segment's lifetime, and Python 3.11's tracker
+    would otherwise unlink it a second time at worker exit and warn
+    (python/cpython#82300). Returned views are read-only — workers share
+    one mapping.
+    """
+    arrays: Dict[str, np.ndarray | None] = {}
+    for key, spec in specs.items():
+        if spec is None:
+            arrays[key] = None
+            continue
+        cached = _ATTACHED_SEGMENTS.get(spec.name)
+        if cached is None:
+            segment = shared_memory.SharedMemory(name=spec.name)
+            try:  # pragma: no cover - tracker registration is start-method dependent
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(segment._name, "shared_memory")
+            except Exception:
+                pass
+            view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf)
+            view.flags.writeable = False
+            cached = (segment, view)
+            _ATTACHED_SEGMENTS[spec.name] = cached
+        arrays[key] = cached[1]
+    return arrays
 
 
 def get_executor(

@@ -375,7 +375,9 @@ class AdaptiveLionConfig(LionConfig):
 
     Extends :class:`LionConfig` with the grid and selection knobs of
     :func:`repro.core.adaptive.adaptive_localize`. ``executor`` names a
-    :mod:`repro.parallel` backend for fanning grid cells out.
+    :mod:`repro.parallel` backend for fanning grid cells out. ``fused``
+    forces the fused batch sweep on or off; ``None`` keeps the default
+    (fused on the serial backend, per-cell dispatch otherwise).
     """
 
     ranges_m: Tuple[float, ...] = (0.6, 0.7, 0.8, 0.9, 1.0, 1.1)
@@ -386,6 +388,7 @@ class AdaptiveLionConfig(LionConfig):
     criterion: str = "abs_mean"
     executor: str = "serial"
     jobs: int | None = None
+    fused: bool | None = None
 
     def build_grid(self) -> ParameterGrid:
         """Construct the configured :class:`ParameterGrid`."""
@@ -427,6 +430,7 @@ class AdaptiveLionEstimator:
             criterion=self.config.criterion,
             executor=self.runtime_executor or self.config.executor,
             jobs=self.config.jobs,
+            fused=self.config.fused,
         )
         best = result.best_outcome
         return build_report(

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Gate a benchmark JSON against a committed baseline.
+
+Compares one numeric metric (dotted path into the JSON payload) between a
+current benchmark artifact and a committed baseline, and exits non-zero
+when the current value has regressed — dropped, for higher-is-better
+metrics — by more than the tolerated fraction::
+
+    python tools/check_bench_regression.py \
+        --current BENCH_adaptive_sweep.json \
+        --baseline benchmarks/baselines/BENCH_adaptive_sweep.json \
+        --metric cells_per_sec.fused --tolerance 0.20
+
+CI machines are noisy and differ from the machines baselines were
+recorded on, so the default tolerance is deliberately loose (20%): the
+gate catches algorithmic regressions (an accidental fallback to the slow
+path), not scheduling jitter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+
+def resolve_metric(payload: Any, dotted: str) -> float:
+    """Walk a dotted path (``cells_per_sec.fused``) into nested dicts."""
+    node = payload
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise KeyError(f"metric path {dotted!r} not found (missing {part!r})")
+        node = node[part]
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        raise TypeError(f"metric {dotted!r} is not numeric: {node!r}")
+    return float(node)
+
+
+def check(
+    current: dict, baseline: dict, metric: str, tolerance: float
+) -> tuple[bool, str]:
+    """Return (ok, human-readable report line)."""
+    now = resolve_metric(current, metric)
+    then = resolve_metric(baseline, metric)
+    floor = then * (1.0 - tolerance)
+    ratio = now / then if then else float("inf")
+    line = (
+        f"{metric}: current={now:.2f} baseline={then:.2f} "
+        f"({ratio:.2f}x, floor={floor:.2f} at -{tolerance:.0%})"
+    )
+    return now >= floor, line
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", required=True, help="fresh benchmark JSON")
+    parser.add_argument("--baseline", required=True, help="committed baseline JSON")
+    parser.add_argument(
+        "--metric",
+        default="cells_per_sec.fused",
+        help="dotted path to the higher-is-better metric (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="tolerated fractional drop before failing (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error(f"tolerance must be in [0, 1), got {args.tolerance}")
+    with open(args.current) as handle:
+        current = json.load(handle)
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    ok, line = check(current, baseline, args.metric, args.tolerance)
+    print(("OK  " if ok else "FAIL ") + line)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""Micro-batched vs single-request throughput of the serving engine.
+
+Replays one Monte-Carlo-style request stream (fixed paper-scale line
+scan, re-noised phases per request) through :class:`repro.serve.ServeEngine`
+at batch sizes 1/8/32, verifies a sample of batched reports bit-identical
+to the direct scalar path, and records p50/p99 latency, requests/second,
+and the batch-32-vs-1 speedup as JSON (``BENCH_serve.json``). CI runs the
+quick sizing on every PR, gates ``speedup_32_vs_1 >= 3`` with
+``tools/check_bench_regression.py --min``, and the nightly slow job diffs
+the full sizing against ``benchmarks/baselines/BENCH_serve.json``.
+
+Run directly for the JSON report::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --out BENCH_serve.json
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick   # CI smoke sizing
+
+or under pytest-benchmark along with the other benches::
+
+    PYTHONPATH=src pytest benchmarks/bench_serve.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.serve.bench import run_load
+
+#: Reads per scan; the paper-scale line scan.
+READS = 400
+
+#: ``max_batch_size`` settings measured per replay (1 = scalar baseline).
+BATCH_SIZES = (1, 8, 32)
+
+
+def run_study(requests: int, seed: int = 0) -> dict:
+    """One full load study; see :func:`repro.serve.bench.run_load`."""
+    return run_load(requests=requests, reads=READS, batch_sizes=BATCH_SIZES, seed=seed)
+
+
+def test_bench_serve_microbatch(benchmark):
+    """Smoke-sized load study: batching speeds up and changes no answer."""
+    payload = benchmark.pedantic(run_study, kwargs={"requests": 48}, iterations=1, rounds=1)
+    print()
+    print("== serve engine, requests/second ==")
+    for size in BATCH_SIZES:
+        stats = payload["batch"][str(size)]
+        print(f"  batch {size:>3}: {stats['requests_per_sec']:9.1f} req/s")
+    print(f"  speedup_32_vs_1: {payload['speedup_32_vs_1']:.2f}x")
+    # run_load already asserted batched == scalar bit-identity; here we
+    # only smoke the direction, the hard >=3x gate runs on the CLI sizing.
+    assert payload["speedup_32_vs_1"] > 1.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=256,
+        help="requests per batch-size replay (default: 256)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke sizing (64 requests)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--out", default="BENCH_serve.json", help="output JSON path")
+    args = parser.parse_args(argv)
+    requests = 64 if args.quick else args.requests
+    payload = run_study(requests, seed=args.seed)
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(payload, indent=2))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,11 @@ Data tooling (CSV read-record workflow, see repro.datasets.io)::
     lion estimators                # list registered estimation methods
     lion calibrate scan.csv --physical-center 0,0.8,0 --scenario three-line
 
+Serving (docs/serving.md)::
+
+    lion serve-bench --quick                       # engine load test, CI sizing
+    lion serve-bench --batch-sizes 1,8,32 --out BENCH_serve.json
+
 Observability (docs/observability.md)::
 
     lion run fig13a --trace                     # print the span tree
@@ -161,6 +166,37 @@ def _build_parser() -> argparse.ArgumentParser:
         "estimators",
         help="list registered estimation methods and their config keys",
         parents=[obs_parent],
+    )
+
+    serve_bench_parser = subparsers.add_parser(
+        "serve-bench",
+        help="load-test the micro-batching serving engine (docs/serving.md)",
+        parents=[obs_parent],
+    )
+    serve_bench_parser.add_argument(
+        "--requests", type=int, default=256, help="requests per batch-size replay"
+    )
+    serve_bench_parser.add_argument(
+        "--reads", type=int, default=400, help="reads per scan (paper scale: 400)"
+    )
+    serve_bench_parser.add_argument(
+        "--batch-sizes",
+        default="1,8,32",
+        metavar="N,N,...",
+        help="max_batch_size settings to measure (default: 1,8,32)",
+    )
+    serve_bench_parser.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="batching window in milliseconds (default: 2.0)",
+    )
+    serve_bench_parser.add_argument("--seed", type=int, default=0, help="random seed")
+    serve_bench_parser.add_argument(
+        "--quick", action="store_true", help="CI smoke sizing (64 requests)"
+    )
+    serve_bench_parser.add_argument(
+        "--out", metavar="PATH", help="also write the payload as JSON to PATH"
     )
 
     calibrate_parser = subparsers.add_parser(
@@ -358,6 +394,45 @@ def _command_estimators() -> int:
     return 0
 
 
+def _command_serve_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve.bench import run_load
+
+    try:
+        batch_sizes = tuple(int(part) for part in args.batch_sizes.split(",") if part)
+    except ValueError:
+        _logger.error("--batch-sizes must be comma-separated integers, got %r", args.batch_sizes)
+        return 2
+    if not batch_sizes or any(size <= 0 for size in batch_sizes):
+        _logger.error("--batch-sizes must be positive integers, got %r", args.batch_sizes)
+        return 2
+    requests = 64 if args.quick else args.requests
+    payload = run_load(
+        requests=requests,
+        reads=args.reads,
+        batch_sizes=batch_sizes,
+        seed=args.seed,
+        max_wait_s=args.max_wait_ms / 1e3,
+    )
+    print(f"== serve-bench: {requests} requests x {args.reads} reads ==")
+    for size in batch_sizes:
+        stats = payload["batch"][str(size)]
+        print(
+            f"  batch {size:>3}: {stats['requests_per_sec']:9.1f} req/s   "
+            f"p50 {stats['p50_ms']:8.2f} ms   p99 {stats['p99_ms']:8.2f} ms"
+        )
+    for key, value in sorted(payload.items()):
+        if key.startswith("speedup_"):
+            print(f"  {key}: {value:.2f}x")
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _command_calibrate(args: argparse.Namespace) -> int:
     from repro.core.calibration import calibrate_antenna
     from repro.datasets.io import read_records_csv
@@ -422,6 +497,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _command_locate(args)
     if args.command == "estimators":
         return _command_estimators()
+    if args.command == "serve-bench":
+        return _command_serve_bench(args)
     if args.command == "calibrate":
         return _command_calibrate(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -289,6 +289,37 @@ class LionLocalizer:
                 single straight line for a 3D target).
             ValueError: on shape mismatches or other solve failures.
         """
+        prepared = self.prepare(
+            positions,
+            wrapped_phase_rad,
+            segment_ids=segment_ids,
+            exclude_mask=exclude_mask,
+            reference_index=reference_index,
+            assume_preprocessed=assume_preprocessed,
+        )
+        return self._solve_prepared(prepared, pairs=pairs, interval_m=interval_m)
+
+    def prepare(
+        self,
+        positions: np.ndarray,
+        wrapped_phase_rad: np.ndarray,
+        segment_ids: np.ndarray | None = None,
+        exclude_mask: np.ndarray | None = None,
+        reference_index: int | None = None,
+        assume_preprocessed: bool = False,
+    ) -> PreparedScan:
+        """Validate, preprocess, and reduce one scan to its solve-ready pieces.
+
+        This is exactly the front half of :meth:`locate` — input validation,
+        phase preprocessing, and :meth:`_prepare_scan` — split out so batch
+        engines (:mod:`repro.serve`) can run it per request and then fuse the
+        remaining pair/assemble/solve work across requests. ``locate`` is
+        ``prepare`` + ``_solve_prepared``, so results stay bit-identical.
+
+        Raises:
+            TooFewReadsError / DegenerateGeometryError / ValueError: as on
+                :meth:`locate`.
+        """
         points = np.asarray(positions, dtype=float)
         phases = np.asarray(wrapped_phase_rad, dtype=float)
         if points.ndim != 2 or points.shape[1] not in (2, 3):
@@ -316,10 +347,9 @@ class LionLocalizer:
                 else None,
             )
 
-        prepared = self._prepare_scan(
+        return self._prepare_scan(
             points, profile, segment_ids, exclude_mask, reference_index
         )
-        return self._solve_prepared(prepared, pairs=pairs, interval_m=interval_m)
 
     def _prepare_scan(
         self,

@@ -157,6 +157,37 @@ def _digest(array: np.ndarray) -> bytes:
     return hasher.digest()
 
 
+def content_digest(array: np.ndarray | None) -> bytes:
+    """Content digest of an array for cross-call cache keys.
+
+    ``None`` digests to ``b""`` so optional inputs (segments, masks) can be
+    keyed uniformly. Shared by the fused adaptive sweep and the serving
+    engine (:mod:`repro.serve`), which both key geometry-only caches on
+    scan content rather than object identity.
+    """
+    return _digest(array) if array is not None else b""
+
+
+def cached_assembly_recipe(
+    localizer: LionLocalizer,
+    prepared: PreparedScan,
+    interval_m: float,
+    scan_key: Tuple[bytes, bytes],
+    mask_key: bytes,
+) -> "_AssemblyRecipe":
+    """Public entry to the cross-call pairing/assembly cache.
+
+    Used by :mod:`repro.serve` to share pair selection and the
+    phase-independent radical-row geometry across concurrent requests that
+    observe the same trajectory — the dominant serving pattern, where many
+    devices re-read one deployment geometry with fresh phases. The returned
+    recipe's :meth:`_AssemblyRecipe.assemble` completes a
+    :class:`~repro.core.system.LinearSystem` bit-identical to
+    ``build_system`` from one request's ``delta_d``.
+    """
+    return _cached_recipe(localizer, prepared, interval_m, scan_key, mask_key)
+
+
 def _cached_recipe(
     localizer: LionLocalizer,
     prepared: PreparedScan,

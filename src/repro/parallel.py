@@ -134,6 +134,18 @@ def _apply_chunk(fn: Callable[[ItemT], ResultT], chunk: List[ItemT]) -> List[Res
     return [fn(item) for item in chunk]
 
 
+def _call_catching(fn: Callable[[ItemT], ResultT], item: ItemT) -> Tuple[bool, Any]:
+    """Run ``fn`` on one item, capturing the exception instead of raising.
+
+    Module-level (and wrapped via :func:`functools.partial`) so the process
+    backend can pickle it when ``fn`` itself is picklable.
+    """
+    try:
+        return True, fn(item)
+    except Exception as error:  # noqa: BLE001 - isolation is the point
+        return False, error
+
+
 #: What an observed chunk returns: (results, metrics snapshot or None,
 #: serialized spans or None, busy seconds, worker pid).
 ObservedChunk = Tuple[List[Any], Dict[str, Any] | None, List[Dict[str, Any]] | None, float, int]
@@ -189,6 +201,20 @@ class Executor(ABC):
         The first exception raised by ``fn`` propagates (for parallel
         backends, after in-flight work completes).
         """
+
+    def map_catching(
+        self, fn: Callable[[ItemT], ResultT], items: Sequence[ItemT]
+    ) -> List[Tuple[bool, Any]]:
+        """Apply ``fn`` to every item, capturing per-item exceptions.
+
+        Returns ``(ok, payload)`` pairs in item order: ``(True, result)``
+        for items that succeeded and ``(False, exception)`` for items whose
+        call raised. Unlike :meth:`map`, one failing item never aborts the
+        rest — the isolation the serving layer (:mod:`repro.serve`) needs
+        so a degenerate request degrades alone instead of poisoning its
+        dispatch group.
+        """
+        return self.map(functools.partial(_call_catching, fn), items)
 
     def map_reduce(
         self,

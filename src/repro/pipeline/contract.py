@@ -16,6 +16,7 @@ that).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Protocol, Sequence, Tuple, runtime_checkable
 
@@ -120,6 +121,39 @@ class EstimationRequest:
         }
         fields.update(overrides)
         return cls(**fields)
+
+    def fingerprint(self) -> str:
+        """Content digest of every request field, for result caching.
+
+        Two requests with equal field *values* (array contents, not object
+        identity) share a fingerprint, so the serving layer
+        (:mod:`repro.serve`) can key its LRU result cache on
+        ``(estimator, config_hash, request.fingerprint())`` and serve
+        repeated scans without re-solving. Arrays are digested over shape,
+        dtype, and bytes; scalars over their ``repr``.
+        """
+        hasher = hashlib.blake2b(digest_size=16)
+        for name in (
+            "positions",
+            "phases_rad",
+            "segment_ids",
+            "exclude_mask",
+            "run_ids",
+            "angles_rad",
+            "initial_guess",
+            "offset_corrections_rad",
+        ):
+            value = getattr(self, name)
+            if value is None:
+                hasher.update(b"\x00")
+            else:
+                array = np.ascontiguousarray(value)
+                hasher.update(repr((name, array.shape, array.dtype.str)).encode())
+                hasher.update(array.tobytes())
+        hasher.update(
+            repr((self.radius_m, self.bounds, self.reference_index)).encode()
+        )
+        return hasher.hexdigest()
 
     def require(self, *names: str) -> None:
         """Raise if any of the named request fields is missing.

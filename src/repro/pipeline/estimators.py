@@ -33,7 +33,7 @@ import numpy as np
 
 from repro.constants import DEFAULT_WAVELENGTH_M
 from repro.core.adaptive import ParameterGrid, _adaptive_localize_impl
-from repro.core.localizer import LionLocalizer, PreprocessConfig
+from repro.core.localizer import LionLocalizer, LocalizationResult, PreprocessConfig
 from repro.core.multiantenna import _differential_hologram_impl
 from repro.core.multiref import _locate_multireference_impl
 from repro.core.online import OnlineLionLocalizer
@@ -120,6 +120,11 @@ class LionEstimator:
         self.config = config
         self._localizer = config.build_localizer()
 
+    @property
+    def localizer(self) -> LionLocalizer:
+        """The configured core localizer (serving layer batches through it)."""
+        return self._localizer
+
     def estimate(self, request: EstimationRequest) -> EstimationReport:
         """Locate from one continuous scan (honors segments/exclusions)."""
         request.require("positions", "phases_rad")
@@ -130,6 +135,15 @@ class LionEstimator:
             exclude_mask=request.exclude_mask,
             reference_index=request.reference_index,
         )
+        return self.report(result)
+
+    def report(self, result: LocalizationResult) -> EstimationReport:
+        """Wrap a core localization result in the contract report.
+
+        Split from :meth:`estimate` so the serving engine
+        (:mod:`repro.serve`) can run the solve through the fused batch path
+        and still emit reports field-identical to the scalar path.
+        """
         return build_report(
             self.name,
             self.config,

@@ -1,0 +1,48 @@
+"""In-process serving engine with dynamic micro-batching.
+
+The ROADMAP's serving tier: concurrent :class:`EstimationRequest`
+traffic enters a bounded admission queue, a batcher thread groups
+compatible requests by ``(estimator, config_hash, dim)`` inside a
+max-wait/max-batch window, and batchable groups (batch LION with the
+WLS solver) execute as one fused stacked-IRLS dispatch — bit-identical
+to the scalar path, several times the throughput at paper-scale batch
+sizes. See ``docs/serving.md`` for architecture and tuning, and
+``lion serve-bench`` / ``benchmarks/bench_serve.py`` for the load
+generator behind ``BENCH_serve.json``.
+"""
+
+from repro.serve.batching import GroupKey, execute_batch, group_key, is_batchable
+from repro.serve.cache import CacheKey, ResultCache
+from repro.serve.engine import (
+    BATCH_SIZE_BUCKETS,
+    ServeConfig,
+    ServeEngine,
+    Ticket,
+)
+from repro.serve.errors import (
+    DeadlineExceededError,
+    EngineClosedError,
+    QueueFullError,
+    ServeError,
+)
+
+__all__ = [
+    # engine
+    "ServeEngine",
+    "ServeConfig",
+    "Ticket",
+    "BATCH_SIZE_BUCKETS",
+    # batching
+    "GroupKey",
+    "group_key",
+    "is_batchable",
+    "execute_batch",
+    # cache
+    "CacheKey",
+    "ResultCache",
+    # errors
+    "ServeError",
+    "QueueFullError",
+    "DeadlineExceededError",
+    "EngineClosedError",
+]

@@ -1,0 +1,531 @@
+"""The dynamic micro-batching serving engine.
+
+Request path::
+
+    submit() ──► result cache ──► bounded admission queue ──► batcher
+                                                                 │
+                       ┌─────────────────────────────────────────┤
+                       ▼                                         ▼
+               fused batch dispatch                    per-request dispatch
+          (lion/wls groups, one stacked IRLS)      (everything else, executor)
+
+``submit`` resolves the estimator config (failing fast on unknown names
+or bad configs), consults the LRU result cache, and enqueues into a
+bounded queue — at depth it raises :class:`QueueFullError` instead of
+buffering unboundedly, making backpressure the caller's explicit
+decision. A single batcher thread pops the head-of-line group
+``(estimator, config_hash, dim)``, waits up to ``max_wait_s`` for the
+group to fill to ``max_batch_size`` (batchable groups only; scalar
+groups dispatch immediately), then executes: batchable groups through
+the fused path of :mod:`repro.serve.batching`, scalar groups through a
+:mod:`repro.parallel` executor with per-member exception isolation.
+Members whose fused slot failed — or whose whole batch raised
+unexpectedly — are retried individually on the scalar path, so one bad
+request degrades alone and the error a caller sees is exactly the
+scalar path's error.
+
+Deadlines are enforced at dispatch time: an expired ticket gets
+:class:`DeadlineExceededError` without consuming solve time, and a
+ticket cancelled while queued (``Ticket.cancel``) is skipped. All
+instrumentation (queue-depth gauge, batch-size/wait histograms, spans,
+per-result counters) rides the :mod:`repro.obs` flag-guards, so a
+disabled-observability engine pays one flag check per event.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    cast,
+)
+
+from repro.obs import (
+    LATENCY_BUCKETS_S,
+    config_fingerprint,
+    get_registry,
+    metrics_enabled,
+    span,
+)
+from repro.parallel import Executor, get_executor
+from repro.pipeline.config import EstimatorConfig
+from repro.pipeline.contract import EstimationReport, EstimationRequest
+from repro.pipeline.estimators import LionEstimator
+from repro.pipeline.registry import create_estimator, resolve_config
+from repro.serve.batching import GroupKey, execute_batch, group_key, is_batchable
+from repro.serve.cache import CacheKey, ResultCache
+from repro.serve.errors import DeadlineExceededError, EngineClosedError, QueueFullError
+
+#: Histogram buckets for micro-batch occupancy (requests per dispatch).
+BATCH_SIZE_BUCKETS: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tuning knobs of one :class:`ServeEngine`.
+
+    Attributes:
+        max_queue_depth: admission-queue bound; ``submit`` beyond it
+            raises :class:`QueueFullError`.
+        max_batch_size: requests fused into one dispatch, and the fill
+            target the batcher waits for.
+        max_wait_s: how long the batcher holds an unfilled *batchable*
+            group open for more compatible arrivals. The throughput/
+            latency dial: larger windows fill bigger batches, every
+            member pays the wait. Scalar groups never wait.
+        cache_entries: LRU result-cache capacity; ``0`` disables caching.
+        scalar_executor: :mod:`repro.parallel` backend name for
+            per-request groups (``"serial"`` or ``"thread"``;
+            ``"process"`` is rejected — request closures are unpicklable).
+        jobs: worker count for the scalar executor, ``None`` for the
+            session default.
+        default_deadline_s: deadline applied to requests submitted
+            without one; ``None`` means no deadline.
+    """
+
+    max_queue_depth: int = 256
+    max_batch_size: int = 32
+    max_wait_s: float = 0.002
+    cache_entries: int = 128
+    scalar_executor: str = "serial"
+    jobs: Optional[int] = None
+    default_deadline_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth <= 0:
+            raise ValueError(f"max_queue_depth must be positive, got {self.max_queue_depth}")
+        if self.max_batch_size <= 0:
+            raise ValueError(f"max_batch_size must be positive, got {self.max_batch_size}")
+        if self.max_wait_s < 0.0:
+            raise ValueError(f"max_wait_s must be non-negative, got {self.max_wait_s}")
+        if self.cache_entries < 0:
+            raise ValueError(f"cache_entries must be non-negative, got {self.cache_entries}")
+        if self.scalar_executor not in ("serial", "thread"):
+            raise ValueError(
+                f"scalar_executor must be 'serial' or 'thread', got {self.scalar_executor!r}"
+            )
+        if self.default_deadline_s is not None and self.default_deadline_s <= 0.0:
+            raise ValueError(
+                f"default_deadline_s must be positive, got {self.default_deadline_s}"
+            )
+
+
+class Ticket:
+    """Caller-side handle to one submitted request.
+
+    A thin, typed wrapper over :class:`concurrent.futures.Future`:
+    :meth:`result` blocks for the report (re-raising the request's
+    failure), :meth:`cancel` withdraws a still-queued request. Tickets
+    resolved from the result cache are born completed.
+    """
+
+    __slots__ = ("_future",)
+
+    def __init__(self, future: "Future[EstimationReport]") -> None:
+        self._future = future
+
+    def result(self, timeout: Optional[float] = None) -> EstimationReport:
+        """Block until the report is ready; re-raises the failure if any."""
+        return self._future.result(timeout)
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        """Block until resolution; the failure, or ``None`` on success."""
+        return self._future.exception(timeout)
+
+    def done(self) -> bool:
+        """Whether the ticket has resolved (report, failure, or cancel)."""
+        return self._future.done()
+
+    def cancel(self) -> bool:
+        """Withdraw the request if the batcher has not started it."""
+        return self._future.cancel()
+
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` won the race against dispatch."""
+        return self._future.cancelled()
+
+    def add_done_callback(self, fn: "Callable[[Future[EstimationReport]], object]") -> None:
+        """Invoke ``fn`` at resolution (load generators timestamp here)."""
+        self._future.add_done_callback(fn)
+
+
+@dataclass
+class _Item:
+    """One queued request with everything its dispatch needs."""
+
+    name: str
+    config: EstimatorConfig
+    key: GroupKey
+    cache_key: CacheKey
+    batchable: bool
+    request: EstimationRequest
+    future: "Future[EstimationReport]"
+    enqueued: float
+    deadline: Optional[float]
+
+
+@dataclass
+class _Stats:
+    """Always-on plain counters (independent of :mod:`repro.obs` flags)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    expired: int = 0
+    cancelled: int = 0
+    cache_hits: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    scalar_requests: int = 0
+    scalar_fallbacks: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "expired": self.expired,
+            "cancelled": self.cancelled,
+            "cache_hits": self.cache_hits,
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "scalar_requests": self.scalar_requests,
+            "scalar_fallbacks": self.scalar_fallbacks,
+        }
+
+
+class ServeEngine:
+    """In-process serving engine with dynamic micro-batching.
+
+    Use as a context manager (``with ServeEngine() as engine:``) or call
+    :meth:`close` explicitly; close drains the queue before the batcher
+    exits, so accepted requests always resolve. Constructing with
+    ``start=False`` leaves the batcher stopped — queued items then only
+    dispatch on :meth:`drain_once`, which tests use to pin batching
+    decisions deterministically.
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None, start: bool = True) -> None:
+        self.config = config or ServeConfig()
+        self._queue: Deque[_Item] = deque()
+        self._cv = threading.Condition()
+        self._closed = False
+        self._stats = _Stats()
+        self._cache = ResultCache(self.config.cache_entries)
+        self._executor: Executor = get_executor(
+            self.config.scalar_executor, jobs=self.config.jobs
+        )
+        self._thread: Optional[threading.Thread] = None
+        if start:
+            self.start()
+
+    def start(self) -> None:
+        """Start the batcher thread (idempotent).
+
+        Deferred starts (``ServeEngine(config, start=False)`` … ``start()``)
+        let load generators pre-fill the admission queue and then measure
+        pure dispatch throughput with deterministic batch occupancy.
+
+        Raises:
+            EngineClosedError: the engine was already closed.
+        """
+        with self._cv:
+            if self._closed:
+                raise EngineClosedError("engine is closed")
+            if self._thread is not None:
+                return
+            self._thread = threading.Thread(
+                target=self._run, name="repro-serve-batcher", daemon=True
+            )
+            self._thread.start()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        name: str,
+        request: EstimationRequest,
+        config: EstimatorConfig | Mapping[str, Any] | None = None,
+        deadline_s: Optional[float] = None,
+    ) -> Ticket:
+        """Admit one request; returns immediately with its :class:`Ticket`.
+
+        Config resolution happens synchronously so unknown estimators and
+        malformed configs fail in the caller, not the batcher.
+
+        Raises:
+            EngineClosedError: the engine no longer admits requests.
+            QueueFullError: the admission queue is at depth.
+            KeyError / TypeError / ValueError: config resolution failures,
+                exactly as from :func:`repro.pipeline.resolve_config`.
+        """
+        if self._closed:
+            raise EngineClosedError("engine is closed")
+        resolved = resolve_config(name, config)
+        config_hash = config_fingerprint({"estimator": name, **resolved.to_dict()})
+        cache_key: CacheKey = (name, config_hash, request.fingerprint())
+        future: "Future[EstimationReport]" = Future()
+
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            with self._cv:
+                self._stats.submitted += 1
+                self._stats.cache_hits += 1
+            self._count_result("cache_hit")
+            future.set_result(cached)
+            return Ticket(future)
+
+        if deadline_s is None:
+            deadline_s = self.config.default_deadline_s
+        now = time.monotonic()
+        item = _Item(
+            name=name,
+            config=resolved,
+            key=group_key(name, resolved, config_hash),
+            cache_key=cache_key,
+            batchable=is_batchable(name, resolved),
+            request=request,
+            future=future,
+            enqueued=now,
+            deadline=now + deadline_s if deadline_s is not None else None,
+        )
+        with self._cv:
+            if self._closed:
+                raise EngineClosedError("engine is closed")
+            if len(self._queue) >= self.config.max_queue_depth:
+                self._stats.rejected += 1
+                self._count_result("rejected")
+                raise QueueFullError(
+                    f"admission queue full at depth {self.config.max_queue_depth}"
+                )
+            self._queue.append(item)
+            self._stats.submitted += 1
+            depth = len(self._queue)
+            self._cv.notify_all()
+        if metrics_enabled():
+            get_registry().gauge("serve.queue_depth").set(depth)
+        return Ticket(future)
+
+    def estimate(
+        self,
+        name: str,
+        request: EstimationRequest,
+        config: EstimatorConfig | Mapping[str, Any] | None = None,
+        deadline_s: Optional[float] = None,
+    ) -> EstimationReport:
+        """Blocking convenience: :meth:`submit` then wait for the report."""
+        return self.submit(name, request, config=config, deadline_s=deadline_s).result()
+
+    # ------------------------------------------------------------------
+    # lifecycle / introspection
+    # ------------------------------------------------------------------
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Stop admitting, drain accepted requests, join the batcher."""
+        with self._cv:
+            if self._closed and self._thread is None:
+                return
+            self._closed = True
+            self._cv.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+        else:
+            # Never-started engine (tests): resolve what was accepted.
+            while self.drain_once():
+                pass
+
+    def __enter__(self) -> "ServeEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def stats(self) -> Dict[str, Any]:
+        """Always-on counters plus queue depth and cache info."""
+        with self._cv:
+            payload: Dict[str, Any] = self._stats.as_dict()
+            payload["queue_depth"] = len(self._queue)
+        payload["cache"] = self._cache.info()
+        return payload
+
+    def clear_cache(self) -> None:
+        """Drop every cached report (benchmark hygiene between phases)."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # batcher
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        """Batcher thread: group, window-wait, dispatch, repeat."""
+        while True:
+            group = self._next_group(block=True)
+            if group is None:
+                return
+            self._dispatch(group)
+
+    def drain_once(self) -> int:
+        """Dispatch one ready group without the batcher thread.
+
+        Deterministic single-step used by tests (``start=False``) and the
+        closing drain. Returns the number of requests dispatched (0 when
+        the queue is empty).
+        """
+        group = self._next_group(block=False)
+        if group is None:
+            return 0
+        self._dispatch(group)
+        return len(group)
+
+    def _next_group(self, block: bool) -> Optional[List[_Item]]:
+        """Pop the head-of-line group, window-waiting to fill batchables.
+
+        Only the batcher pops, so the head item is stable across waits.
+        Returns ``None`` when closed with an empty queue (``block=True``)
+        or immediately on an empty queue (``block=False``).
+        """
+        with self._cv:
+            if block:
+                while not self._queue and not self._closed:
+                    self._cv.wait()
+            if not self._queue:
+                return None
+            head = self._queue[0]
+            if block and head.batchable and self.config.max_wait_s > 0.0:
+                window_end = head.enqueued + self.config.max_wait_s
+                while not self._closed:
+                    matched = sum(1 for item in self._queue if item.key == head.key)
+                    if matched >= self.config.max_batch_size:
+                        break
+                    remaining = window_end - time.monotonic()
+                    if remaining <= 0.0:
+                        break
+                    self._cv.wait(remaining)
+            group: List[_Item] = []
+            kept: List[_Item] = []
+            for item in self._queue:
+                if item.key == head.key and len(group) < self.config.max_batch_size:
+                    group.append(item)
+                else:
+                    kept.append(item)
+            self._queue = deque(kept)
+            depth = len(self._queue)
+        if metrics_enabled():
+            registry = get_registry()
+            registry.gauge("serve.queue_depth").set(depth)
+            registry.histogram(
+                "serve.batch_size", buckets=BATCH_SIZE_BUCKETS, estimator=head.name
+            ).observe(float(len(group)))
+            registry.histogram(
+                "serve.batch_wait_seconds", buckets=LATENCY_BUCKETS_S, estimator=head.name
+            ).observe(time.monotonic() - head.enqueued)
+        return group
+
+    def _dispatch(self, group: List[_Item]) -> None:
+        """Execute one popped group, resolving every member's future."""
+        live: List[_Item] = []
+        now = time.monotonic()
+        for item in group:
+            if item.deadline is not None and now > item.deadline:
+                with self._cv:
+                    self._stats.expired += 1
+                self._count_result("expired")
+                item.future.set_exception(
+                    DeadlineExceededError(
+                        f"deadline exceeded after {now - item.enqueued:.4f}s in queue"
+                    )
+                )
+                continue
+            if not item.future.set_running_or_notify_cancel():
+                with self._cv:
+                    self._stats.cancelled += 1
+                self._count_result("cancelled")
+                continue
+            live.append(item)
+        if not live:
+            return
+        with self._cv:
+            self._stats.batches += 1
+        if live[0].batchable and len(live) > 1:
+            self._dispatch_batched(live)
+        else:
+            self._dispatch_scalar(live)
+
+    def _dispatch_batched(self, live: List[_Item]) -> None:
+        """Fused dispatch with per-member scalar fallback."""
+        with self._cv:
+            self._stats.batched_requests += len(live)
+        estimator = cast(LionEstimator, create_estimator(live[0].name, live[0].config))
+        with span("serve.batch", estimator=live[0].name, size=len(live)):
+            try:
+                outcomes: Sequence[EstimationReport | BaseException] = execute_batch(
+                    estimator, [item.request for item in live]
+                )
+            except Exception:
+                # Unexpected whole-batch failure: every member retries
+                # alone so the error surfaced is the scalar path's own.
+                self._fallback_scalar(live)
+                return
+        for item, outcome in zip(live, outcomes):
+            if isinstance(outcome, EstimationReport):
+                self._resolve(item, outcome)
+            else:
+                self._fallback_scalar([item])
+
+    def _fallback_scalar(self, items: List[_Item]) -> None:
+        """Re-run members individually; scalar truth for errors too."""
+        with self._cv:
+            self._stats.scalar_fallbacks += len(items)
+        if metrics_enabled():
+            get_registry().counter("serve.scalar_fallback_total").inc(len(items))
+        self._execute_scalar(items)
+
+    def _dispatch_scalar(self, live: List[_Item]) -> None:
+        """Per-request dispatch for non-batchable (or singleton) groups."""
+        with self._cv:
+            self._stats.scalar_requests += len(live)
+        self._execute_scalar(live)
+
+    def _execute_scalar(self, items: List[_Item]) -> None:
+        """Run each member through its own estimator, isolating failures."""
+
+        def run_one(item: _Item) -> EstimationReport:
+            with span("serve.scalar", estimator=item.name):
+                return create_estimator(item.name, item.config).estimate(item.request)
+
+        outcomes = self._executor.map_catching(run_one, items)
+        for item, (ok, payload) in zip(items, outcomes):
+            if ok:
+                self._resolve(item, payload)
+            else:
+                with self._cv:
+                    self._stats.failed += 1
+                self._count_result("error")
+                item.future.set_exception(payload)
+
+    def _resolve(self, item: _Item, report: EstimationReport) -> None:
+        """Cache and deliver one successful report."""
+        self._cache.put(item.cache_key, report)
+        with self._cv:
+            self._stats.completed += 1
+        self._count_result("ok")
+        item.future.set_result(report)
+
+    @staticmethod
+    def _count_result(result: str) -> None:
+        if metrics_enabled():
+            get_registry().counter("serve.requests_total", result=result).inc()

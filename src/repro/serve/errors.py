@@ -1,0 +1,38 @@
+"""Typed failure modes of the serving engine.
+
+Every rejection a caller can hit has its own exception class so callers
+can branch on *kind* — retry-with-backoff on :class:`QueueFullError`,
+give up on :class:`DeadlineExceededError`, re-create the engine on
+:class:`EngineClosedError` — instead of parsing messages. Solver-side
+failures (``DegenerateGeometryError``, ``TooFewReadsError``, shape
+errors) are *not* wrapped: the engine surfaces exactly the exception the
+scalar path would have raised, so moving a caller behind the engine
+never changes its error handling.
+"""
+
+from __future__ import annotations
+
+
+class ServeError(RuntimeError):
+    """Base class of every engine-originated failure."""
+
+
+class QueueFullError(ServeError):
+    """The bounded admission queue is at depth; the request was rejected.
+
+    Explicit backpressure: the caller — not an unbounded buffer — decides
+    whether to retry, shed, or block. Raised synchronously from
+    ``submit``; nothing was enqueued.
+    """
+
+
+class DeadlineExceededError(ServeError):
+    """The request's deadline passed before its batch was dispatched.
+
+    Set as the ticket's exception; the request consumed queue space but
+    no solve time.
+    """
+
+
+class EngineClosedError(ServeError):
+    """The engine is closed (or closing) and admits no new requests."""

@@ -39,11 +39,13 @@ def moving_average(values: np.ndarray, window: int) -> np.ndarray:
     cumsum = np.concatenate(([0.0], np.cumsum(arr)))
     half = min(window // 2, arr.size - 1)
     n = arr.size
-    out = np.empty(n, dtype=float)
-    for i in range(n):
-        reach = min(half, i, n - 1 - i)
-        out[i] = (cumsum[i + reach + 1] - cumsum[i - reach]) / (2 * reach + 1)
-    return out
+    # Vectorized form of the per-sample window sum: each element performs
+    # the same cumsum difference and division the scalar loop did, so the
+    # output is bit-identical — only the loop overhead is gone (this sits
+    # on the per-request serving path, where it was the hottest fixed cost).
+    index = np.arange(n)
+    reach = np.minimum(half, np.minimum(index, n - 1 - index))
+    return (cumsum[index + reach + 1] - cumsum[index - reach]) / (2 * reach + 1)
 
 
 def smooth_phase_profile(unwrapped_rad: np.ndarray, window: int = 9) -> np.ndarray:

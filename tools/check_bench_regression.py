@@ -15,6 +15,14 @@ CI machines are noisy and differ from the machines baselines were
 recorded on, so the default tolerance is deliberately loose (20%): the
 gate catches algorithmic regressions (an accidental fallback to the slow
 path), not scheduling jitter.
+
+``--min`` gates against an absolute floor instead of (or in addition to)
+a baseline — machine-independent invariants like "micro-batching is at
+least 3x single-request dispatch" live here, since a ratio of two
+same-machine measurements needs no baseline file::
+
+    python tools/check_bench_regression.py \
+        --current BENCH_serve.json --metric speedup_32_vs_1 --min 3.0
 """
 
 from __future__ import annotations
@@ -52,10 +60,20 @@ def check(
     return now >= floor, line
 
 
+def check_min(current: dict, metric: str, minimum: float) -> tuple[bool, str]:
+    """Absolute-floor gate: (ok, human-readable report line)."""
+    now = resolve_metric(current, metric)
+    line = f"{metric}: current={now:.2f} (absolute floor {minimum:.2f})"
+    return now >= minimum, line
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--current", required=True, help="fresh benchmark JSON")
-    parser.add_argument("--baseline", required=True, help="committed baseline JSON")
+    parser.add_argument(
+        "--baseline",
+        help="committed baseline JSON (optional when --min is given)",
+    )
     parser.add_argument(
         "--metric",
         default="cells_per_sec.fused",
@@ -67,15 +85,31 @@ def main(argv: list[str] | None = None) -> int:
         default=0.20,
         help="tolerated fractional drop before failing (default: %(default)s)",
     )
+    parser.add_argument(
+        "--min",
+        type=float,
+        default=None,
+        dest="minimum",
+        help="absolute floor the metric must meet (machine-independent gate)",
+    )
     args = parser.parse_args(argv)
     if not 0.0 <= args.tolerance < 1.0:
         parser.error(f"tolerance must be in [0, 1), got {args.tolerance}")
+    if args.baseline is None and args.minimum is None:
+        parser.error("provide --baseline, --min, or both")
     with open(args.current) as handle:
         current = json.load(handle)
-    with open(args.baseline) as handle:
-        baseline = json.load(handle)
-    ok, line = check(current, baseline, args.metric, args.tolerance)
-    print(("OK  " if ok else "FAIL ") + line)
+    ok = True
+    if args.minimum is not None:
+        floor_ok, line = check_min(current, args.metric, args.minimum)
+        print(("OK  " if floor_ok else "FAIL ") + line)
+        ok = ok and floor_ok
+    if args.baseline is not None:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        base_ok, line = check(current, baseline, args.metric, args.tolerance)
+        print(("OK  " if base_ok else "FAIL ") + line)
+        ok = ok and base_ok
     return 0 if ok else 1
 
 

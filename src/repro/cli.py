@@ -17,6 +17,7 @@ Data tooling (CSV read-record workflow, see repro.datasets.io)::
 
 Serving (docs/serving.md)::
 
+    lion serve --port 8321 --shards 4              # networked sharded front end
     lion serve-bench --quick                       # engine load test, CI sizing
     lion serve-bench --batch-sizes 1,8,32 --out BENCH_serve.json
 
@@ -166,6 +167,56 @@ def _build_parser() -> argparse.ArgumentParser:
         "estimators",
         help="list registered estimation methods and their config keys",
         parents=[obs_parent],
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="networked sharded serving front end (docs/serving.md)",
+        parents=[obs_parent],
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="listen address (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8321, help="listen port; 0 picks an ephemeral port"
+    )
+    serve_parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="worker count; requests route by (estimator, config_hash)",
+    )
+    serve_parser.add_argument(
+        "--worker-mode",
+        choices=("process", "thread"),
+        default="process",
+        help="worker hosting mode (thread is for tests/debugging)",
+    )
+    serve_parser.add_argument(
+        "--max-batch-size", type=int, default=32, help="per-shard fused batch bound"
+    )
+    serve_parser.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="per-shard batching window in milliseconds (default: 2.0)",
+    )
+    serve_parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=256,
+        help="per-shard load-shedding bound; beyond it requests get 429",
+    )
+    serve_parser.add_argument(
+        "--drain-grace-s",
+        type=float,
+        default=0.0,
+        help="seconds /readyz reports draining before the listener closes",
+    )
+    serve_parser.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="disable the /metrics exporter and per-shard instrumentation",
     )
 
     serve_bench_parser = subparsers.add_parser(
@@ -433,6 +484,30 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serve.engine import ServeConfig
+    from repro.serve.net import NetServeConfig, run_server
+
+    try:
+        config = NetServeConfig(
+            host=args.host,
+            port=args.port,
+            shards=args.shards,
+            engine=ServeConfig(
+                max_batch_size=args.max_batch_size,
+                max_wait_s=args.max_wait_ms / 1e3,
+            ),
+            worker_mode=args.worker_mode,
+            max_inflight_per_shard=args.max_inflight,
+            drain_grace_s=args.drain_grace_s,
+            metrics=not args.no_metrics,
+        )
+    except ValueError as error:
+        _logger.error("bad serve configuration: %s", error)
+        return 2
+    return run_server(config)
+
+
 def _command_calibrate(args: argparse.Namespace) -> int:
     from repro.core.calibration import calibrate_antenna
     from repro.datasets.io import read_records_csv
@@ -497,6 +572,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _command_locate(args)
     if args.command == "estimators":
         return _command_estimators()
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command == "serve-bench":
         return _command_serve_bench(args)
     if args.command == "calibrate":

@@ -470,12 +470,20 @@ def attach_shared_arrays(
     """Worker-side inverse of :class:`SharedArrayBundle`: specs -> arrays.
 
     Attachments are cached per process (a worker serves many chunks of
-    one map), and each segment is deregistered from the resource tracker:
-    the parent owns the segment's lifetime, and Python 3.11's tracker
-    would otherwise unlink it a second time at worker exit and warn
-    (python/cpython#82300). Returned views are read-only — workers share
-    one mapping.
+    one map). Python 3.11 registers every attachment with the resource
+    tracker (python/cpython#82300); when this process runs its *own*
+    tracker, that registration would unlink the parent-owned segment a
+    second time at exit, so it is undone. Workers spawned through
+    ``multiprocessing`` share the parent's tracker — there the parent's
+    single registration must survive the attach, so nothing is undone.
+    Returned views are read-only — workers share one mapping.
     """
+    try:  # pragma: no cover - tracker plumbing is start-method dependent
+        from multiprocessing import resource_tracker
+
+        tracker_inherited = resource_tracker._resource_tracker._fd is not None
+    except Exception:
+        tracker_inherited = True
     arrays: Dict[str, np.ndarray | None] = {}
     for key, spec in specs.items():
         if spec is None:
@@ -484,18 +492,36 @@ def attach_shared_arrays(
         cached = _ATTACHED_SEGMENTS.get(spec.name)
         if cached is None:
             segment = shared_memory.SharedMemory(name=spec.name)
-            try:  # pragma: no cover - tracker registration is start-method dependent
-                from multiprocessing import resource_tracker
-
-                resource_tracker.unregister(segment._name, "shared_memory")
-            except Exception:
-                pass
+            if not tracker_inherited:
+                try:  # pragma: no cover - own-tracker processes only
+                    resource_tracker.unregister(segment._name, "shared_memory")
+                except Exception:
+                    pass
             view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf)
             view.flags.writeable = False
             cached = (segment, view)
             _ATTACHED_SEGMENTS[spec.name] = cached
         arrays[key] = cached[1]
     return arrays
+
+
+def detach_shared_arrays(specs: Mapping[str, SharedArraySpec | None]) -> None:
+    """Drop the worker-side attachments of the given specs (idempotent).
+
+    The attachment cache in :func:`attach_shared_arrays` assumes long-
+    lived segments reused across many chunks of one map. Callers that
+    attach a *fresh* bundle per work item — the network serving layer
+    ships every request's arrays through its own short-lived bundle —
+    must detach after copying out, or the cache grows by one mapping per
+    request for the worker's lifetime. Views returned for these specs
+    become invalid; copy first (``np.array(view)``).
+    """
+    for spec in specs.values():
+        if spec is None:
+            continue
+        cached = _ATTACHED_SEGMENTS.pop(spec.name, None)
+        if cached is not None:
+            cached[0].close()
 
 
 def get_executor(

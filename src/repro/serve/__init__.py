@@ -9,6 +9,10 @@ to the scalar path, several times the throughput at paper-scale batch
 sizes. See ``docs/serving.md`` for architecture and tuning, and
 ``lion serve-bench`` / ``benchmarks/bench_serve.py`` for the load
 generator behind ``BENCH_serve.json``.
+
+The network tier lives in :mod:`repro.serve.net`: an asyncio HTTP front
+end sharding requests by ``(estimator, config_hash)`` across worker
+processes that each host one of these engines (``lion serve``).
 """
 
 from repro.serve.batching import GroupKey, execute_batch, group_key, is_batchable
@@ -23,7 +27,9 @@ from repro.serve.errors import (
     DeadlineExceededError,
     EngineClosedError,
     QueueFullError,
+    RemoteEstimationError,
     ServeError,
+    WorkerDiedError,
 )
 
 __all__ = [
@@ -45,4 +51,6 @@ __all__ = [
     "QueueFullError",
     "DeadlineExceededError",
     "EngineClosedError",
+    "WorkerDiedError",
+    "RemoteEstimationError",
 ]

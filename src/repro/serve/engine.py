@@ -34,8 +34,10 @@ disabled-observability engine pays one flag check per event.
 
 from __future__ import annotations
 
+import atexit
 import threading
 import time
+import weakref
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass
@@ -70,6 +72,27 @@ from repro.serve.errors import DeadlineExceededError, EngineClosedError, QueueFu
 
 #: Histogram buckets for micro-batch occupancy (requests per dispatch).
 BATCH_SIZE_BUCKETS: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+#: Engines whose batcher thread is running and not yet closed. The batcher
+#: is a daemon thread (a forgotten engine must never hang interpreter
+#: exit), which means it can die *silently mid-batch* when the interpreter
+#: finalizes — accepted tickets would never resolve. The module-level
+#: atexit hook below drains every still-live engine first, so accepted
+#: requests resolve even when the caller forgot ``close()``.
+_LIVE_ENGINES: "weakref.WeakSet[ServeEngine]" = weakref.WeakSet()
+
+#: How long the atexit drain waits per engine before giving up.
+_ATEXIT_DRAIN_TIMEOUT_S = 10.0
+
+
+@atexit.register
+def _drain_live_engines() -> None:
+    """Drain every engine still running at interpreter exit (best effort)."""
+    for engine in list(_LIVE_ENGINES):
+        try:
+            engine.close(timeout=_ATEXIT_DRAIN_TIMEOUT_S)
+        except Exception:  # pragma: no cover - never block interpreter exit
+            pass
 
 
 @dataclass(frozen=True)
@@ -252,6 +275,7 @@ class ServeEngine:
                 target=self._run, name="repro-serve-batcher", daemon=True
             )
             self._thread.start()
+        _LIVE_ENGINES.add(self)
 
     # ------------------------------------------------------------------
     # submission
@@ -334,20 +358,42 @@ class ServeEngine:
     # ------------------------------------------------------------------
     # lifecycle / introspection
     # ------------------------------------------------------------------
-    def close(self, timeout: Optional[float] = None) -> None:
-        """Stop admitting, drain accepted requests, join the batcher."""
+    def close(self, timeout: Optional[float] = None) -> bool:
+        """Stop admitting, drain accepted requests, join the batcher.
+
+        Returns ``True`` when the engine is fully drained and its batcher
+        thread has exited (or never existed). Returns ``False`` when the
+        join timed out — the batcher is still mid-dispatch, tickets may
+        still be unresolved, and :attr:`drained` stays ``False``; calling
+        ``close`` again retries the join. The network drain path relies
+        on this signal instead of assuming the daemon thread finished.
+        """
         with self._cv:
             if self._closed and self._thread is None:
-                return
+                return True
             self._closed = True
             self._cv.notify_all()
         if self._thread is not None:
             self._thread.join(timeout)
+            if self._thread.is_alive():
+                return False
             self._thread = None
         else:
             # Never-started engine (tests): resolve what was accepted.
             while self.drain_once():
                 pass
+        _LIVE_ENGINES.discard(self)
+        return True
+
+    @property
+    def drained(self) -> bool:
+        """Whether the engine is closed with an empty queue and no batcher.
+
+        ``close()`` returning ``True`` implies this; a timed-out close
+        leaves it ``False`` until a retry succeeds.
+        """
+        with self._cv:
+            return self._closed and not self._queue and self._thread is None
 
     def __enter__(self) -> "ServeEngine":
         return self

@@ -35,4 +35,35 @@ class DeadlineExceededError(ServeError):
 
 
 class EngineClosedError(ServeError):
-    """The engine is closed (or closing) and admits no new requests."""
+    """The engine is closed (or closing) and admits no new requests.
+
+    The network layer reuses this for a draining server: once SIGTERM
+    flips readiness, new submissions are refused with exactly the error
+    an in-process caller of a closing engine would see.
+    """
+
+
+class WorkerDiedError(ServeError):
+    """A shard's worker process exited without draining.
+
+    Raised for requests that were in flight to the dead worker and for
+    new requests routed to its shard; the front end maps it to 503 so a
+    load balancer retries elsewhere while ``/readyz`` reports not-ready.
+    """
+
+
+class RemoteEstimationError(ServeError):
+    """An estimation failed inside a worker process.
+
+    Solver-side failures (``TooFewReadsError``, shape errors, ...) cross
+    the process boundary as this wrapper because the original exception
+    class may not be picklable or importable in the parent. The original
+    type name and message are preserved verbatim.
+
+    Attributes:
+        exc_type: class name of the worker-side exception.
+    """
+
+    def __init__(self, exc_type: str, message: str) -> None:
+        super().__init__(f"{exc_type}: {message}")
+        self.exc_type = exc_type

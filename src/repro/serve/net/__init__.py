@@ -1,0 +1,62 @@
+"""Networked sharded serving front end.
+
+``repro.serve`` hosts one in-process micro-batching engine;
+``repro.serve.net`` puts N of them behind a socket. An asyncio HTTP
+server (:class:`NetServer`) parses ``POST /v1/locate`` bodies, a
+:class:`ShardSupervisor` routes each request to the worker owning its
+``(estimator, config_hash)`` group (stable :func:`shard_for` digest),
+and every worker process hosts its own :class:`repro.serve.ServeEngine`
+— so micro-batches stay compact per group while groups proceed in
+parallel across shards. Large request arrays ship through
+:class:`repro.parallel.SharedArrayBundle` shared memory instead of the
+pickle pipe.
+
+Operational surface: ``/healthz`` / ``/readyz`` probes, merged
+Prometheus ``/metrics`` across shards, load shedding (429 with
+``Retry-After``; 504 on deadline breaches), and graceful drain on
+SIGTERM that loses no accepted request. Start one with ``lion serve``,
+embed one with :class:`ServerHandle`, or await :class:`NetServer`
+inside an existing loop. See ``docs/serving.md``.
+"""
+
+from repro.serve.net.config import WORKER_MODES, NetServeConfig
+from repro.serve.net.http import NetServer, ServerHandle, run_server
+from repro.serve.net.protocol import (
+    ARRAY_FIELDS,
+    SCALAR_FIELDS,
+    BadRequestError,
+    LocateCall,
+    classify_error,
+    encode_report_payload,
+    error_body,
+    parse_locate_body,
+)
+from repro.serve.net.supervisor import ShardSupervisor, shard_for
+from repro.serve.net.worker import WireRequest, WireResponse, WorkerConfig, worker_main
+
+__all__ = [
+    # config
+    "NetServeConfig",
+    "WORKER_MODES",
+    # http
+    "NetServer",
+    "ServerHandle",
+    "run_server",
+    # protocol
+    "ARRAY_FIELDS",
+    "SCALAR_FIELDS",
+    "BadRequestError",
+    "LocateCall",
+    "parse_locate_body",
+    "encode_report_payload",
+    "classify_error",
+    "error_body",
+    # supervisor
+    "ShardSupervisor",
+    "shard_for",
+    # worker
+    "WorkerConfig",
+    "WireRequest",
+    "WireResponse",
+    "worker_main",
+]

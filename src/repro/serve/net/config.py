@@ -1,0 +1,103 @@
+"""Tuning knobs of the network serving front end.
+
+One frozen dataclass configures the whole stack — listener, supervisor,
+and the per-shard :class:`repro.serve.ServeConfig` every worker's engine
+is built from — so a server is reproducible from a single picklable
+value (workers receive it at spawn, manifests can hash it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.serve.engine import ServeConfig
+
+#: Worker hosting modes. ``"process"`` is the real deployment shape:
+#: spawned worker processes, true per-shard isolation, shared-memory
+#: request shipping. ``"thread"`` hosts each worker loop in a daemon
+#: thread of the server process — no isolation, but instant startup and
+#: in-process coverage, which tests and debugging want.
+WORKER_MODES = ("process", "thread")
+
+
+@dataclass(frozen=True)
+class NetServeConfig:
+    """Configuration of one :class:`repro.serve.net.NetServer`.
+
+    Attributes:
+        host: listen address (loopback by default; this is a front end
+            for a trusted LAN/load balancer, not the open internet).
+        port: listen port; ``0`` binds an ephemeral port (tests and the
+            benchmark read it back from ``NetServer.port``).
+        shards: worker count; requests route to ``shard_for(estimator,
+            config_hash, shards)`` so one config group always lands on
+            one engine and batches compactly.
+        engine: per-shard :class:`repro.serve.ServeConfig` (queue bound,
+            batch size, wait window, deadlines).
+        worker_mode: ``"process"`` (default) or ``"thread"`` (tests).
+        max_inflight_per_shard: supervisor-side load-shedding bound on
+            requests in flight to one shard; beyond it ``/v1/locate``
+            sheds with 429 before paying the worker round trip.
+        shm_threshold_bytes: request array payloads at least this large
+            ship via :class:`repro.parallel.SharedArrayBundle` segments;
+            smaller ones are pickled inline (a segment per tiny request
+            costs more than it saves).
+        retry_after_s: hint returned with 429 responses (JSON field and
+            the integer-rounded ``Retry-After`` header).
+        max_deadline_s: cap on client-supplied ``deadline_ms`` (and the
+            default when the engine has none); ``None`` means no cap.
+        drain_grace_s: pause between flipping ``/readyz`` to 503 and
+            closing the listener, so load balancers observe not-ready
+            while the socket still accepts.
+        drain_timeout_s: how long drain waits for in-flight requests and
+            worker engine drains before force-terminating.
+        ready_timeout_s: how long ``start`` waits for every worker's
+            ready handshake.
+        metrics: enable :mod:`repro.obs` metrics in the server process
+            and every worker; ``GET /metrics`` merges them (process
+            workers are labelled ``shard="i"``).
+        max_body_bytes: request-body cap; larger bodies get 413.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8321
+    shards: int = 1
+    engine: ServeConfig = field(default_factory=ServeConfig)
+    worker_mode: str = "process"
+    max_inflight_per_shard: int = 256
+    shm_threshold_bytes: int = 8192
+    retry_after_s: float = 0.05
+    max_deadline_s: float | None = None
+    drain_grace_s: float = 0.0
+    drain_timeout_s: float = 30.0
+    ready_timeout_s: float = 60.0
+    metrics: bool = True
+    max_body_bytes: int = 8 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.shards <= 0:
+            raise ValueError(f"shards must be positive, got {self.shards}")
+        if self.worker_mode not in WORKER_MODES:
+            raise ValueError(
+                f"worker_mode must be one of {WORKER_MODES}, got {self.worker_mode!r}"
+            )
+        if self.max_inflight_per_shard <= 0:
+            raise ValueError(
+                f"max_inflight_per_shard must be positive, got {self.max_inflight_per_shard}"
+            )
+        if self.shm_threshold_bytes < 0:
+            raise ValueError(
+                f"shm_threshold_bytes must be non-negative, got {self.shm_threshold_bytes}"
+            )
+        if self.retry_after_s < 0:
+            raise ValueError(f"retry_after_s must be non-negative, got {self.retry_after_s}")
+        if self.max_deadline_s is not None and self.max_deadline_s <= 0:
+            raise ValueError(f"max_deadline_s must be positive, got {self.max_deadline_s}")
+        if self.drain_grace_s < 0:
+            raise ValueError(f"drain_grace_s must be non-negative, got {self.drain_grace_s}")
+        if self.drain_timeout_s <= 0:
+            raise ValueError(f"drain_timeout_s must be positive, got {self.drain_timeout_s}")
+        if self.ready_timeout_s <= 0:
+            raise ValueError(f"ready_timeout_s must be positive, got {self.ready_timeout_s}")
+        if self.max_body_bytes <= 0:
+            raise ValueError(f"max_body_bytes must be positive, got {self.max_body_bytes}")

@@ -1,0 +1,477 @@
+"""Asyncio HTTP front end over the shard supervisor.
+
+The server is a deliberately small hand-rolled HTTP/1.1 implementation
+on ``asyncio`` streams — no web framework, because the surface is five
+routes and the dependency budget is zero:
+
+- ``POST /v1/locate`` — parse, route via the supervisor, answer JSON.
+- ``GET /healthz``    — liveness: 200 while the process runs.
+- ``GET /readyz``     — readiness: 503 the moment draining starts (and
+  while any shard is down), so load balancers stop sending *before* the
+  listener closes (``drain_grace_s`` holds that window open).
+- ``GET /metrics``    — merged Prometheus text across all shards.
+- ``GET /statz``      — JSON per-shard engine stats.
+
+Shutdown is a strict sequence — flip readiness, grace sleep, close the
+listener, wait for in-flight HTTP exchanges, then drain the supervisor
+(which flushes every worker engine). Requests that were read off a
+socket before the listener closed always get real answers: the
+supervisor only starts refusing after the in-flight set is empty.
+
+Three entry points share :class:`NetServer`: ``await``-able use inside
+an existing loop, :class:`ServerHandle` for tests and the benchmark
+(loop in a background thread, synchronous start/stop), and
+:func:`run_server` for the CLI (signal-driven, blocks until drained).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import threading
+import time
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.obs import enable_metrics, get_registry, metrics_enabled
+from repro.serve.net.config import NetServeConfig
+from repro.serve.net.protocol import (
+    BadRequestError,
+    classify_error,
+    encode_report_payload,
+    error_body,
+    parse_locate_body,
+)
+from repro.serve.net.supervisor import ShardSupervisor
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Shard-index buckets for the routing histogram: supports up to 64
+#: shards with exact per-index counts at small shard counts.
+_SHARD_BUCKETS = tuple(float(i) for i in range(17)) + (24.0, 32.0, 48.0, 64.0)
+
+
+class _HttpError(Exception):
+    """Terminate one exchange with a fixed status (parser-level errors)."""
+
+    def __init__(self, status: int, kind: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.body = error_body(kind, message)
+
+
+class NetServer:
+    """The asyncio server; owns the listener and one :class:`ShardSupervisor`."""
+
+    def __init__(self, config: NetServeConfig) -> None:
+        self.config = config
+        self._supervisor = ShardSupervisor(config)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: "Set[asyncio.StreamWriter]" = set()
+        self._inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._draining = False
+        self._drained = False
+        self._drain_stats: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the ephemeral choice)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        sockets = self._server.sockets
+        return int(sockets[0].getsockname()[1])
+
+    @property
+    def supervisor(self) -> ShardSupervisor:
+        return self._supervisor
+
+    @property
+    def drain_stats(self) -> List[Dict[str, Any]]:
+        """Per-shard final engine stats; populated by :meth:`shutdown`."""
+        return self._drain_stats
+
+    async def start(self) -> None:
+        """Boot the workers, then bind and start serving."""
+        if self.config.metrics:
+            enable_metrics()
+        # Worker startup blocks on ready handshakes; keep the loop free.
+        await asyncio.to_thread(self._supervisor.start)
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=self.config.max_body_bytes + 65536,
+        )
+
+    async def shutdown(self) -> List[Dict[str, Any]]:
+        """Graceful drain; returns per-shard final engine stats.
+
+        Sequence: flip ``/readyz`` to 503 -> ``drain_grace_s`` (load
+        balancers observe not-ready while the socket still accepts) ->
+        close the listener -> wait for in-flight exchanges (bounded by
+        ``drain_timeout_s``) -> drain the supervisor and workers.
+        Idempotent: a second call returns the recorded stats.
+        """
+        if self._draining:
+            if not self._drained:
+                await self._wait_drained()
+            return self._drain_stats
+        self._draining = True
+        if self.config.drain_grace_s > 0:
+            await asyncio.sleep(self.config.drain_grace_s)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        try:
+            await asyncio.wait_for(self._idle.wait(), self.config.drain_timeout_s)
+        except asyncio.TimeoutError:
+            pass
+        for writer in list(self._connections):
+            writer.close()
+        self._drain_stats = await asyncio.to_thread(self._supervisor.drain)
+        self._supervisor.close()
+        self._drained = True
+        return self._drain_stats
+
+    async def _wait_drained(self) -> None:
+        """Second ``shutdown`` caller: poll until the first finishes."""
+        deadline = time.monotonic() + self.config.drain_timeout_s
+        while not self._drained and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One client connection: HTTP/1.1 exchanges with keep-alive."""
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    parsed = await self._read_request(reader)
+                except _HttpError as error:
+                    await self._write_response(
+                        writer, error.status, error.body, close=True
+                    )
+                    break
+                if parsed is None:
+                    break
+                method, path, headers, body = parsed
+                self._inflight += 1
+                self._idle.clear()
+                started = time.perf_counter()
+                try:
+                    status, response, extra = await self._dispatch(method, path, body)
+                finally:
+                    self._inflight -= 1
+                    if self._inflight == 0:
+                        self._idle.set()
+                self._observe(path, status, time.perf_counter() - started)
+                close = (
+                    self._draining
+                    or headers.get("connection", "").lower() == "close"
+                )
+                await self._write_response(
+                    writer, status, response, extra_headers=extra, close=close
+                )
+                if close:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        """Parse one request; ``None`` on a cleanly closed connection."""
+        try:
+            request_line = await reader.readline()
+        except (ValueError, asyncio.LimitOverrunError) as error:
+            raise _HttpError(400, "bad_request", "request line too long") from error
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise _HttpError(400, "bad_request", "malformed request line")
+        method, path = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length_text = headers.get("content-length", "0")
+        try:
+            length = int(length_text)
+        except ValueError as error:
+            raise _HttpError(
+                400, "bad_request", f"bad Content-Length: {length_text!r}"
+            ) from error
+        if length > self.config.max_body_bytes:
+            raise _HttpError(
+                413,
+                "payload_too_large",
+                f"body of {length} bytes exceeds the {self.config.max_body_bytes} limit",
+            )
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: Any,
+        extra_headers: Optional[Dict[str, str]] = None,
+        close: bool = False,
+    ) -> None:
+        """Serialize and flush one response (JSON dict or str payloads)."""
+        if isinstance(body, (dict, list)):
+            payload = json.dumps(body).encode()
+            content_type = "application/json"
+        else:
+            payload = str(body).encode()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        head = [
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(payload)}",
+            f"Connection: {'close' if close else 'keep-alive'}",
+        ]
+        for name, value in (extra_headers or {}).items():
+            head.append(f"{name}: {value}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + payload)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # routes
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Any, Optional[Dict[str, str]]]:
+        """Route one request; returns ``(status, body, extra headers)``."""
+        path = path.split("?", 1)[0]
+        routes: Dict[
+            Tuple[str, str], Callable[[], Awaitable[Tuple[int, Any, Optional[Dict[str, str]]]]]
+        ] = {
+            ("GET", "/healthz"): self._healthz,
+            ("GET", "/readyz"): self._readyz,
+            ("GET", "/metrics"): self._metrics,
+            ("GET", "/statz"): self._statz,
+            ("POST", "/v1/locate"): lambda: self._locate(body),
+        }
+        handler = routes.get((method, path))
+        if handler is None:
+            if any(route_path == path for _, route_path in routes):
+                return 405, error_body("method_not_allowed", f"{method} {path}"), None
+            return 404, error_body("not_found", path), None
+        try:
+            return await handler()
+        except Exception as error:  # noqa: BLE001 - total mapping to HTTP
+            status, payload = classify_error(error, self.config.retry_after_s)
+            extra: Optional[Dict[str, str]] = None
+            if status == 429:
+                # RFC 9110 Retry-After is delta-seconds (an integer);
+                # the JSON body carries the precise float hint.
+                extra = {"Retry-After": str(max(1, math.ceil(self.config.retry_after_s)))}
+            return status, payload, extra
+
+    async def _healthz(self) -> Tuple[int, Any, Optional[Dict[str, str]]]:
+        return 200, {"status": "ok"}, None
+
+    async def _readyz(self) -> Tuple[int, Any, Optional[Dict[str, str]]]:
+        if self._draining:
+            return 503, {"status": "draining"}, None
+        ok, reason = self._supervisor.ready()
+        if ok:
+            return 200, {"status": "ok", "shards": self.config.shards}, None
+        return 503, {"status": "unready", "reason": reason}, None
+
+    async def _metrics(self) -> Tuple[int, Any, Optional[Dict[str, str]]]:
+        if not self.config.metrics:
+            return 200, "# metrics disabled\n", None
+        text = await asyncio.to_thread(self._supervisor.prometheus_text)
+        return 200, text, None
+
+    async def _statz(self) -> Tuple[int, Any, Optional[Dict[str, str]]]:
+        stats = await asyncio.to_thread(self._supervisor.shard_stats)
+        return (
+            200,
+            {
+                "shards": self.config.shards,
+                "worker_mode": self.config.worker_mode,
+                "draining": self._draining,
+                "per_shard": stats,
+            },
+            None,
+        )
+
+    async def _locate(self, body: bytes) -> Tuple[int, Any, Optional[Dict[str, str]]]:
+        """The request path: parse -> route -> await the shard's answer."""
+        started = time.perf_counter()
+        call = parse_locate_body(body, max_deadline_s=self.config.max_deadline_s)
+        future, shard = self._supervisor.submit(call)
+        if metrics_enabled():
+            get_registry().histogram(
+                "serve.net.shard_route", buckets=_SHARD_BUCKETS
+            ).observe(float(shard))
+        payload = await asyncio.wrap_future(future)
+        server_ms = (time.perf_counter() - started) * 1e3
+        return 200, encode_report_payload(payload, shard, server_ms), None
+
+    def _observe(self, path: str, status: int, elapsed_s: float) -> None:
+        if not metrics_enabled():
+            return
+        registry = get_registry()
+        registry.counter(
+            "serve.net.requests_total", route=path, status=status
+        ).inc()
+        registry.histogram("serve.net.request_seconds", route=path).observe(elapsed_s)
+
+
+class ServerHandle:
+    """Run a :class:`NetServer` on a background-thread event loop.
+
+    Synchronous facade for tests, the benchmark, and notebooks::
+
+        with ServerHandle(NetServeConfig(port=0, shards=2)) as handle:
+            url = f"http://127.0.0.1:{handle.port}"
+            ...
+
+    ``stop()`` performs the full graceful drain and returns the
+    per-shard final engine stats.
+    """
+
+    def __init__(self, config: NetServeConfig) -> None:
+        self.config = config
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[NetServer] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._port: Optional[int] = None
+        self._drain_stats: List[Dict[str, Any]] = []
+
+    @property
+    def port(self) -> int:
+        if self._port is None:
+            raise RuntimeError("server is not started")
+        return self._port
+
+    @property
+    def server(self) -> NetServer:
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server
+
+    def start(self) -> "ServerHandle":
+        """Boot the loop thread; blocks until the listener is bound."""
+        if self._thread is not None:
+            raise RuntimeError("handle already started")
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._amain()),
+            name="repro-serve-net-loop",
+            daemon=True,
+        )
+        self._thread.start()
+        if not self._ready.wait(self.config.ready_timeout_s + 30.0):
+            raise RuntimeError("server did not come up in time")
+        if self._error is not None:
+            self._thread.join(timeout=5.0)
+            raise RuntimeError(f"server failed to start: {self._error}") from self._error
+        return self
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        server = NetServer(self.config)
+        try:
+            await server.start()
+        except BaseException as error:  # noqa: BLE001 - surfaced in start()
+            self._error = error
+            self._ready.set()
+            return
+        self._server = server
+        self._port = server.port
+        self._ready.set()
+        await self._stop_event.wait()
+        self._drain_stats = await server.shutdown()
+
+    def request_shutdown(self) -> None:
+        """Start the graceful drain without waiting for it (signal-style)."""
+        if self._loop is not None and self._stop_event is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:  # loop already closed: stop() is idempotent
+                pass
+
+    def stop(self, timeout: float = 120.0) -> List[Dict[str, Any]]:
+        """Graceful drain and join; returns per-shard final engine stats."""
+        self.request_shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            if self._thread.is_alive():
+                raise RuntimeError("server loop did not stop in time")
+        return self._drain_stats
+
+    def __enter__(self) -> "ServerHandle":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+async def _serve_until_signalled(config: NetServeConfig) -> List[Dict[str, Any]]:
+    """CLI body: serve until SIGTERM/SIGINT, then drain gracefully."""
+    import signal
+
+    server = NetServer(config)
+    await server.start()
+    print(
+        f"lion serve: listening on http://{config.host}:{server.port} "
+        f"shards={config.shards} worker_mode={config.worker_mode}",
+        flush=True,
+    )
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-POSIX loop
+            signal.signal(signum, lambda *_: stop.set())
+    await stop.wait()
+    print("lion serve: draining", flush=True)
+    stats = await server.shutdown()
+    print(f"lion serve: drained {json.dumps(stats, default=str)}", flush=True)
+    return stats
+
+
+def run_server(config: NetServeConfig) -> int:
+    """Blocking entry point for ``lion serve``; returns an exit code."""
+    asyncio.run(_serve_until_signalled(config))
+    return 0

@@ -1,0 +1,155 @@
+"""Tests for the benchmark gate (tools/check_bench_regression.py).
+
+The gate guards every committed performance floor in CI, so its own
+semantics are pinned here: metric-spec parsing (``path[:down][:min=V]
+[:max=V]``), baseline drift in both directions (higher-is-better floors
+vs lower-is-better ceilings), absolute bounds without a baseline, and
+the original single-metric invocations CI already uses staying valid.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TOOL = REPO_ROOT / "tools" / "check_bench_regression.py"
+
+spec = importlib.util.spec_from_file_location("check_bench_regression", TOOL)
+gate = importlib.util.module_from_spec(spec)
+sys.modules.setdefault("check_bench_regression", gate)
+spec.loader.exec_module(gate)
+
+
+class TestParseMetricSpec:
+    def test_bare_path(self):
+        parsed = gate.parse_metric_spec("cells_per_sec.fused")
+        assert parsed == gate.MetricSpec(path="cells_per_sec.fused")
+
+    def test_all_qualifiers(self):
+        parsed = gate.parse_metric_spec("open_loop.4.p99_ms:down:min=1:max=900")
+        assert parsed.path == "open_loop.4.p99_ms"
+        assert parsed.down is True
+        assert parsed.minimum == 1.0
+        assert parsed.maximum == 900.0
+
+    @pytest.mark.parametrize("text", ["", ":down", "a.b:up", "a.b:min", "a.b:min=x"])
+    def test_malformed_specs_rejected(self, text):
+        with pytest.raises(ValueError):
+            gate.parse_metric_spec(text)
+
+
+class TestResolveMetric:
+    def test_walks_nested_dicts(self):
+        payload = {"closed_loop": {"4": {"requests_per_sec": 150}}}
+        assert gate.resolve_metric(payload, "closed_loop.4.requests_per_sec") == 150.0
+
+    def test_missing_path_raises(self):
+        with pytest.raises(KeyError):
+            gate.resolve_metric({"a": {}}, "a.b")
+
+    def test_non_numeric_raises(self):
+        with pytest.raises(TypeError):
+            gate.resolve_metric({"a": True}, "a")
+        with pytest.raises(TypeError):
+            gate.resolve_metric({"a": "fast"}, "a")
+
+
+class TestChecks:
+    def test_up_direction_floor(self):
+        ok, _ = gate.check({"m": 85.0}, {"m": 100.0}, "m", tolerance=0.20)
+        assert ok
+        ok, _ = gate.check({"m": 79.0}, {"m": 100.0}, "m", tolerance=0.20)
+        assert not ok
+
+    def test_down_direction_ceiling(self):
+        # Lower-is-better: shrinking is never a regression, growth
+        # beyond tolerance is.
+        ok, _ = gate.check({"m": 10.0}, {"m": 100.0}, "m", tolerance=0.20, down=True)
+        assert ok
+        ok, _ = gate.check({"m": 119.0}, {"m": 100.0}, "m", tolerance=0.20, down=True)
+        assert ok
+        ok, line = gate.check({"m": 121.0}, {"m": 100.0}, "m", tolerance=0.20, down=True)
+        assert not ok
+        assert "lower-is-better" in line
+
+    def test_absolute_bounds(self):
+        assert gate.check_min({"m": 2.51}, "m", 2.5)[0]
+        assert not gate.check_min({"m": 2.49}, "m", 2.5)[0]
+        assert gate.check_max({"m": 0.9}, "m", 0.98)[0]
+        assert not gate.check_max({"m": 0.99}, "m", 0.98)[0]
+
+
+class TestMain:
+    @pytest.fixture()
+    def artifacts(self, tmp_path):
+        current = tmp_path / "current.json"
+        baseline = tmp_path / "baseline.json"
+        current.write_text(
+            json.dumps(
+                {
+                    "cells_per_sec": {"fused": 90.0},
+                    "speedup_4_vs_1": 3.4,
+                    "p99_ms": 140.0,
+                }
+            )
+        )
+        baseline.write_text(
+            json.dumps(
+                {
+                    "cells_per_sec": {"fused": 100.0},
+                    "speedup_4_vs_1": 4.0,
+                    "p99_ms": 100.0,
+                }
+            )
+        )
+        return str(current), str(baseline)
+
+    def test_legacy_single_metric_invocation(self, artifacts):
+        current, baseline = artifacts
+        argv = ["--current", current, "--baseline", baseline, "--tolerance", "0.20"]
+        assert gate.main(argv) == 0
+        assert gate.main(argv[:-1] + ["0.05"]) == 1
+
+    def test_legacy_min_only_invocation(self, artifacts):
+        current, _ = artifacts
+        base = ["--current", current, "--metric", "speedup_4_vs_1"]
+        assert gate.main(base + ["--min", "3.0"]) == 0
+        assert gate.main(base + ["--min", "3.5"]) == 1
+
+    def test_multi_metric_mixed_directions(self, artifacts):
+        current, baseline = artifacts
+        argv = [
+            "--current", current, "--baseline", baseline, "--tolerance", "0.20",
+            "--metric", "speedup_4_vs_1:min=2.5",
+            "--metric", "cells_per_sec.fused",
+            "--metric", "p99_ms:down:max=150",
+        ]
+        assert gate.main(argv) == 1  # p99 grew 40% past the +20% ceiling
+        argv[5] = "0.50"
+        assert gate.main(argv) == 0
+
+    def test_down_metric_skips_bare_min(self, artifacts):
+        # A bare --min is an up-direction floor; applying it to a
+        # lower-is-better metric would be nonsense, so it is skipped.
+        current, _ = artifacts
+        argv = [
+            "--current", current, "--min", "2.5",
+            "--metric", "speedup_4_vs_1",
+            "--metric", "p99_ms:down:max=150",
+        ]
+        assert gate.main(argv) == 0
+
+    def test_requires_some_gate(self, artifacts, capsys):
+        current, _ = artifacts
+        with pytest.raises(SystemExit):
+            gate.main(["--current", current, "--metric", "speedup_4_vs_1"])
+        capsys.readouterr()
+
+    def test_rejects_bad_tolerance(self, artifacts, capsys):
+        current, baseline = artifacts
+        with pytest.raises(SystemExit):
+            gate.main(["--current", current, "--baseline", baseline, "--tolerance", "1.5"])
+        capsys.readouterr()

@@ -9,8 +9,13 @@ deterministic single-stepping (``start=False`` + ``drain_once``) plus a
 concurrent end-to-end load test.
 """
 
+import os
+import subprocess
+import sys
+import textwrap
 import threading
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -265,6 +270,66 @@ class TestConcurrency:
         engine.close()
         assert all(ticket.done() for ticket in tickets)
         assert engine.stats()["completed"] == 6
+
+
+class TestLifecycle:
+    def test_close_reports_clean_join(self):
+        engine = ServeEngine(ServeConfig())
+        engine.submit("lion", _request(0))
+        assert engine.close() is True
+        assert engine.drained
+        # Closing again is a cheap no-op that still reports success.
+        assert engine.close() is True
+
+    def test_close_never_started_engine(self):
+        engine = ServeEngine(ServeConfig(), start=False)
+        ticket = engine.submit("lion", _request(1))
+        assert engine.close() is True
+        assert ticket.done()
+
+    def test_atexit_drains_forgotten_engine(self):
+        # The batcher is a daemon thread, so a forgotten engine used to
+        # die *silently mid-batch* at interpreter exit, leaving accepted
+        # tickets unresolved. The module-level atexit hook must drain it.
+        # atexit runs LIFO, so a checker registered *before* the engine
+        # module is imported runs *after* the module's drain hook.
+        script = textwrap.dedent(
+            """
+            import atexit
+            import sys
+
+            state = {}
+
+            def check():
+                ticket = state["ticket"]
+                assert ticket.done(), "atexit drain left an accepted ticket unresolved"
+                report = ticket.result(timeout=0)
+                assert report.position.shape == (2,)
+                sys.stdout.write("ATEXIT_DRAIN_OK")
+
+            atexit.register(check)
+
+            import numpy as np
+
+            from repro.serve import ServeConfig, ServeEngine
+            from repro.serve.bench import build_requests
+
+            engine = ServeEngine(ServeConfig(max_wait_s=0.5, max_batch_size=64))
+            state["ticket"] = engine.submit("lion", build_requests(1, 64, seed=3)[0])
+            # Exit immediately, while the batcher still holds the window
+            # open waiting for more arrivals — no close(), no drain.
+            """
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=str(Path(__file__).resolve().parent.parent),
+        )
+        assert result.returncode == 0, result.stderr
+        assert "ATEXIT_DRAIN_OK" in result.stdout
 
 
 class TestConfigValidation:

@@ -1,10 +1,10 @@
 #!/usr/bin/env python
 """Gate a benchmark JSON against a committed baseline.
 
-Compares one numeric metric (dotted path into the JSON payload) between a
+Compares numeric metrics (dotted paths into the JSON payload) between a
 current benchmark artifact and a committed baseline, and exits non-zero
-when the current value has regressed — dropped, for higher-is-better
-metrics — by more than the tolerated fraction::
+when any metric has regressed — dropped, for higher-is-better metrics —
+by more than the tolerated fraction::
 
     python tools/check_bench_regression.py \
         --current BENCH_adaptive_sweep.json \
@@ -23,6 +23,23 @@ same-machine measurements needs no baseline file::
 
     python tools/check_bench_regression.py \
         --current BENCH_serve.json --metric speedup_32_vs_1 --min 3.0
+
+``--metric`` is repeatable, and each occurrence takes optional
+``:``-separated qualifiers, so one invocation gates several keys of one
+artifact — including lower-is-better ones::
+
+    python tools/check_bench_regression.py \
+        --current BENCH_serve_net.json \
+        --baseline benchmarks/baselines/BENCH_serve_net.json \
+        --metric open_loop.4.requests_per_sec \
+        --metric open_loop.4.p99_ms:down \
+        --metric speedup_4_vs_1:min=2.5
+
+Qualifiers: ``down`` marks the metric lower-is-better (a baseline
+regression is *growth* beyond tolerance); ``min=V`` / ``max=V`` add
+absolute bounds checked with or without a baseline. A bare ``--min``
+keeps its original meaning — an absolute floor applied to every
+higher-is-better metric without its own ``min=``.
 """
 
 from __future__ import annotations
@@ -30,7 +47,42 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Any
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One ``--metric`` occurrence: a path plus its gate qualifiers."""
+
+    path: str
+    down: bool = False
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+
+
+def parse_metric_spec(text: str) -> MetricSpec:
+    """Parse ``path[:down][:min=V][:max=V]`` into a :class:`MetricSpec`."""
+    parts = text.split(":")
+    path = parts[0]
+    if not path:
+        raise ValueError(f"empty metric path in {text!r}")
+    down = False
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+    for qualifier in parts[1:]:
+        if qualifier == "down":
+            down = True
+        elif qualifier.startswith("min="):
+            minimum = float(qualifier[4:])
+        elif qualifier.startswith("max="):
+            maximum = float(qualifier[4:])
+        else:
+            raise ValueError(
+                f"unknown metric qualifier {qualifier!r} in {text!r} "
+                "(expected 'down', 'min=V', or 'max=V')"
+            )
+    return MetricSpec(path=path, down=down, minimum=minimum, maximum=maximum)
 
 
 def resolve_metric(payload: Any, dotted: str) -> float:
@@ -46,13 +98,24 @@ def resolve_metric(payload: Any, dotted: str) -> float:
 
 
 def check(
-    current: dict, baseline: dict, metric: str, tolerance: float
+    current: dict, baseline: dict, metric: str, tolerance: float, down: bool = False
 ) -> tuple[bool, str]:
-    """Return (ok, human-readable report line)."""
+    """Baseline gate: return (ok, human-readable report line).
+
+    Higher-is-better metrics fail below ``baseline * (1 - tolerance)``;
+    ``down`` metrics fail above ``baseline * (1 + tolerance)``.
+    """
     now = resolve_metric(current, metric)
     then = resolve_metric(baseline, metric)
-    floor = then * (1.0 - tolerance)
     ratio = now / then if then else float("inf")
+    if down:
+        ceiling = then * (1.0 + tolerance)
+        line = (
+            f"{metric}: current={now:.2f} baseline={then:.2f} "
+            f"({ratio:.2f}x, ceiling={ceiling:.2f} at +{tolerance:.0%}, lower-is-better)"
+        )
+        return now <= ceiling, line
+    floor = then * (1.0 - tolerance)
     line = (
         f"{metric}: current={now:.2f} baseline={then:.2f} "
         f"({ratio:.2f}x, floor={floor:.2f} at -{tolerance:.0%})"
@@ -67,49 +130,82 @@ def check_min(current: dict, metric: str, minimum: float) -> tuple[bool, str]:
     return now >= minimum, line
 
 
+def check_max(current: dict, metric: str, maximum: float) -> tuple[bool, str]:
+    """Absolute-ceiling gate: (ok, human-readable report line)."""
+    now = resolve_metric(current, metric)
+    line = f"{metric}: current={now:.2f} (absolute ceiling {maximum:.2f})"
+    return now <= maximum, line
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--current", required=True, help="fresh benchmark JSON")
     parser.add_argument(
         "--baseline",
-        help="committed baseline JSON (optional when --min is given)",
+        help="committed baseline JSON (optional when absolute bounds are given)",
     )
     parser.add_argument(
         "--metric",
-        default="cells_per_sec.fused",
-        help="dotted path to the higher-is-better metric (default: %(default)s)",
+        action="append",
+        dest="metrics",
+        metavar="PATH[:down][:min=V][:max=V]",
+        help=(
+            "dotted path to a metric, repeatable; qualifiers mark it "
+            "lower-is-better and/or add absolute bounds "
+            "(default: cells_per_sec.fused)"
+        ),
     )
     parser.add_argument(
         "--tolerance",
         type=float,
         default=0.20,
-        help="tolerated fractional drop before failing (default: %(default)s)",
+        help="tolerated fractional drift from baseline before failing (default: %(default)s)",
     )
     parser.add_argument(
         "--min",
         type=float,
         default=None,
         dest="minimum",
-        help="absolute floor the metric must meet (machine-independent gate)",
+        help=(
+            "absolute floor applied to every higher-is-better metric without "
+            "its own min= qualifier (machine-independent gate)"
+        ),
     )
     args = parser.parse_args(argv)
     if not 0.0 <= args.tolerance < 1.0:
         parser.error(f"tolerance must be in [0, 1), got {args.tolerance}")
-    if args.baseline is None and args.minimum is None:
-        parser.error("provide --baseline, --min, or both")
+    try:
+        specs = [parse_metric_spec(text) for text in (args.metrics or ["cells_per_sec.fused"])]
+    except ValueError as error:
+        parser.error(str(error))
+    has_bounds = args.minimum is not None or any(
+        spec.minimum is not None or spec.maximum is not None for spec in specs
+    )
+    if args.baseline is None and not has_bounds:
+        parser.error("provide --baseline, --min, a min=/max= qualifier, or several")
     with open(args.current) as handle:
         current = json.load(handle)
-    ok = True
-    if args.minimum is not None:
-        floor_ok, line = check_min(current, args.metric, args.minimum)
-        print(("OK  " if floor_ok else "FAIL ") + line)
-        ok = ok and floor_ok
+    baseline = None
     if args.baseline is not None:
         with open(args.baseline) as handle:
             baseline = json.load(handle)
-        base_ok, line = check(current, baseline, args.metric, args.tolerance)
-        print(("OK  " if base_ok else "FAIL ") + line)
-        ok = ok and base_ok
+    ok = True
+    for spec in specs:
+        minimum = spec.minimum
+        if minimum is None and not spec.down:
+            minimum = args.minimum
+        if minimum is not None:
+            floor_ok, line = check_min(current, spec.path, minimum)
+            print(("OK  " if floor_ok else "FAIL ") + line)
+            ok = ok and floor_ok
+        if spec.maximum is not None:
+            ceil_ok, line = check_max(current, spec.path, spec.maximum)
+            print(("OK  " if ceil_ok else "FAIL ") + line)
+            ok = ok and ceil_ok
+        if baseline is not None:
+            base_ok, line = check(current, baseline, spec.path, args.tolerance, down=spec.down)
+            print(("OK  " if base_ok else "FAIL ") + line)
+            ok = ok and base_ok
     return 0 if ok else 1
 
 

@@ -16,13 +16,29 @@ hit both sides equally. Per-side min-of-rounds times are reported
 alongside, and the report embeds the run manifest so CI artifacts are
 traceable to a commit.
 
+A second contract covers the *enabled* mode on the serving path: with
+tracing on, every engine dispatch records spans, stamps request ids,
+and files completed roots into the request-span store for stitching
+(``docs/observability.md``). That work must cost under a few percent of
+serving throughput, or nobody runs with tracing in production. The
+serve study replays one closed burst through :class:`ServeEngine` with
+tracing off and on (alternating per round, request ids and span-store
+claims included on the traced side — the full per-request stitching
+path) and reports the median throughput ratio. Metrics stay enabled on
+*both* sides, matching the serving workers (``lion serve`` always runs
+with metrics on; tracing is the toggle) — so the ratio isolates the
+span/stitching cost rather than re-charging tracing for the shared
+``obs_enabled()`` solver diagnostics.
+
 Run directly for the JSON report::
 
     PYTHONPATH=src python benchmarks/bench_obs_overhead.py --out BENCH_obs_overhead.json
     PYTHONPATH=src python benchmarks/bench_obs_overhead.py --quick --check
 
-``--check`` exits non-zero when the measured overhead exceeds the
-threshold (default 2%), which is how CI enforces the contract.
+``--check`` exits non-zero when the disabled-mode overhead exceeds
+``--threshold`` (default 2%) or the serve-path tracing overhead exceeds
+``--serve-threshold`` (default 5%), which is how CI enforces both
+contracts.
 """
 
 from __future__ import annotations
@@ -46,7 +62,11 @@ from repro.obs import (
     collect_manifest,
     disable_metrics,
     disable_tracing,
+    enable_tracing,
+    reset_request_spans,
+    reset_tracing,
     span,
+    take_request_spans,
     tracing_enabled,
 )
 
@@ -164,6 +184,93 @@ def measure_disabled_span_cost(calls: int = 100_000, rounds: int = 5) -> float:
     return _time_rounds(burst, rounds=rounds, reps=1) / calls
 
 
+def _serve_replay(requests: List, tracing: bool) -> float:
+    """One closed-burst replay through the engine; returns requests/sec.
+
+    With ``tracing`` on, the burst exercises the full stitched-trace
+    path: spans record on the batcher thread, request ids stamp the
+    dispatch spans, and every request claims its subtree from the span
+    store afterwards — exactly what a traced worker does per response.
+    """
+    from repro.core.sweep import clear_pair_cache
+    from repro.serve.engine import ServeConfig, ServeEngine
+
+    clear_pair_cache()
+    if tracing:
+        enable_tracing()
+    config = ServeConfig(
+        max_queue_depth=max(2 * len(requests), 64),
+        max_batch_size=32,
+        max_wait_s=0.002,
+        cache_entries=0,
+    )
+    try:
+        with ServeEngine(config, start=False) as engine:
+            tickets = [
+                engine.submit(
+                    "lion",
+                    request,
+                    request_id=f"bench-{index}" if tracing else None,
+                )
+                for index, request in enumerate(requests)
+            ]
+            start = time.perf_counter()
+            engine.start()
+            for index, ticket in enumerate(tickets):
+                ticket.result()
+                if tracing:
+                    take_request_spans(f"bench-{index}")
+            wall = time.perf_counter() - start
+    finally:
+        if tracing:
+            disable_tracing()
+            reset_tracing()
+            reset_request_spans()
+    return len(requests) / wall
+
+
+def run_serve_study(
+    rounds: int, requests: int = 192, reads: int = 120
+) -> Dict[str, object]:
+    """Tracing-on vs tracing-off serving throughput, alternating per round.
+
+    Metrics are enabled for both sides — production workers always run
+    them — so the off/on ratio charges tracing only for what tracing
+    adds on top of the standing metrics instrumentation.
+    """
+    from repro.obs import enable_metrics, get_registry
+    from repro.serve.bench import build_requests
+
+    stream = build_requests(requests, reads, seed=1)
+    enable_metrics()
+    try:
+        _serve_replay(stream, tracing=False)  # warm caches/threads for both sides
+        ratios: List[float] = []
+        best_off = best_on = 0.0
+        for round_index in range(rounds):
+            if round_index % 2 == 0:
+                off = _serve_replay(stream, tracing=False)
+                on = _serve_replay(stream, tracing=True)
+            else:
+                on = _serve_replay(stream, tracing=True)
+                off = _serve_replay(stream, tracing=False)
+            best_off = max(best_off, off)
+            best_on = max(best_on, on)
+            ratios.append(off / on)
+    finally:
+        disable_metrics()
+        get_registry().reset()
+    overhead = _median(ratios) - 1.0
+    return {
+        "requests": requests,
+        "reads": reads,
+        "rounds": rounds,
+        "tracing_off_rps": round(best_off, 2),
+        "tracing_on_rps": round(best_on, 2),
+        "overhead_fraction": round(overhead, 5),
+    }
+
+
 def run_study(rounds: int) -> Dict[str, object]:
     """Measure both solvers and assemble the JSON payload."""
     # The contract under test is the *disabled* mode; make it explicit.
@@ -231,23 +338,52 @@ def main(argv=None) -> int:
         help="max tolerated overhead fraction for --check (default: 0.02)",
     )
     parser.add_argument(
+        "--serve-rounds",
+        type=int,
+        default=7,
+        help="serve-path replay rounds per side (default: 7)",
+    )
+    parser.add_argument(
+        "--serve-threshold",
+        type=float,
+        default=0.05,
+        help="max tolerated serve-path tracing overhead for --check (default: 0.05)",
+    )
+    parser.add_argument(
+        "--no-serve",
+        action="store_true",
+        help="skip the serve-path tracing study",
+    )
+    parser.add_argument(
         "--out", default="BENCH_obs_overhead.json", help="output JSON path"
     )
     args = parser.parse_args(argv)
     rounds = 25 if args.quick else args.rounds
     payload = run_study(rounds)
+    if not args.no_serve:
+        serve_rounds = 5 if args.quick else args.serve_rounds
+        payload["serve_tracing"] = run_serve_study(serve_rounds)
     with open(args.out, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
     print(json.dumps(payload, indent=2))
     print(f"wrote {args.out}")
+    failed = False
     if args.check and payload["overhead_fraction"] > args.threshold:
         print(
             f"FAIL: overhead {payload['overhead_fraction']:.2%} exceeds "
             f"threshold {args.threshold:.2%}"
         )
-        return 1
-    return 0
+        failed = True
+    if args.check and not args.no_serve:
+        serve_overhead = payload["serve_tracing"]["overhead_fraction"]
+        if serve_overhead > args.serve_threshold:
+            print(
+                f"FAIL: serve tracing overhead {serve_overhead:.2%} exceeds "
+                f"threshold {args.serve_threshold:.2%}"
+            )
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -26,6 +26,7 @@ Observability (docs/observability.md)::
     lion run fig13a --trace                     # print the span tree
     lion run fig13a --metrics-out metrics.json  # metrics + RunManifest
     lion run all --fast --log-level info        # structured repro.* logs
+    lion top http://127.0.0.1:8321              # live serving telemetry + SLOs
 
 ``python -m repro ...`` is equivalent to ``lion ...``.
 """
@@ -217,6 +218,53 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-metrics",
         action="store_true",
         help="disable the /metrics exporter and per-shard instrumentation",
+    )
+    serve_parser.add_argument(
+        "--no-tracing",
+        action="store_true",
+        help="disable request tracing (stitched traces, /debug/traces)",
+    )
+    serve_parser.add_argument(
+        "--trace-slow-ms",
+        type=float,
+        default=250.0,
+        help=(
+            "flight-recorder slow threshold in milliseconds; successful "
+            "requests at least this slow are retained (0 records all)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--slo-p99-ms",
+        type=float,
+        default=250.0,
+        help="latency SLO: p99 of /v1/locate must stay at or under this (ms)",
+    )
+    serve_parser.add_argument(
+        "--slo-error-rate",
+        type=float,
+        default=0.01,
+        help="error SLO: max allowed 5xx fraction of /v1/locate responses",
+    )
+
+    top_parser = subparsers.add_parser(
+        "top",
+        help="live serving telemetry: poll /debug/timeseries and /slo",
+        parents=[obs_parent],
+    )
+    top_parser.add_argument(
+        "url", help="server base URL, e.g. http://127.0.0.1:8321"
+    )
+    top_parser.add_argument(
+        "--interval", type=float, default=1.0, help="poll interval in seconds"
+    )
+    top_parser.add_argument(
+        "--window",
+        type=float,
+        default=60.0,
+        help="trailing history window to render (seconds)",
+    )
+    top_parser.add_argument(
+        "--once", action="store_true", help="print one snapshot and exit (no loop)"
     )
 
     serve_bench_parser = subparsers.add_parser(
@@ -501,11 +549,97 @@ def _command_serve(args: argparse.Namespace) -> int:
             max_inflight_per_shard=args.max_inflight,
             drain_grace_s=args.drain_grace_s,
             metrics=not args.no_metrics,
+            tracing=not args.no_tracing,
+            recorder_slow_ms=args.trace_slow_ms,
+            slo_p99_ms=args.slo_p99_ms,
+            slo_error_rate=args.slo_error_rate,
         )
     except ValueError as error:
         _logger.error("bad serve configuration: %s", error)
         return 2
     return run_server(config)
+
+
+def _fetch_json(url: str, timeout: float = 5.0) -> dict:
+    import json as json_module
+    import urllib.request
+
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json_module.loads(response.read())
+
+
+def _render_top(
+    url: str, timeseries: dict, slo: dict, window_s: float
+) -> str:
+    """One ``lion top`` frame from /debug/timeseries and /slo payloads."""
+    from repro.viz import sparkline
+
+    samples = timeseries.get("samples", [])
+    lines = [
+        f"lion top — {url}  window={window_s:g}s  "
+        f"samples={len(samples)}  slo={slo.get('state', '?')}"
+    ]
+    latest = samples[-1] if samples else {}
+
+    def series(key: str) -> list:
+        return [s[key] or 0.0 for s in samples]
+
+    if samples:
+        for key, label, unit in (
+            ("req_s", "req/s ", ""),
+            ("err_s", "err/s ", ""),
+            ("shed_s", "shed/s", ""),
+            ("p99_ms", "p99   ", " ms"),
+            ("inflight", "infl  ", ""),
+            ("queue_depth", "queue ", ""),
+        ):
+            values = series(key)
+            current = latest.get(key)
+            shown = "-" if current is None else f"{current:g}{unit}"
+            lines.append(f"  {label} {sparkline(values, width=48)}  {shown}")
+    else:
+        lines.append("  (no samples yet — is the server receiving traffic?)")
+    for objective in slo.get("objectives", []):
+        hot = [w for w in objective.get("windows", []) if w.get("burning")]
+        burn = max((w["burn_rate"] for w in objective.get("windows", [])), default=0.0)
+        lines.append(
+            f"  slo {objective['name']}: {objective['state']}  "
+            f"budget_remaining={objective.get('budget_remaining')}  "
+            f"max_burn={burn:g}"
+            + (f"  burning_windows={[w['window_s'] for w in hot]}" if hot else "")
+        )
+    return "\n".join(lines)
+
+
+def _command_top(args: argparse.Namespace) -> int:
+    # URLError subclasses OSError, so one except arm covers refused
+    # connections, timeouts, and DNS failures alike.
+    import time
+
+    if args.interval <= 0:
+        _logger.error("--interval must be positive, got %s", args.interval)
+        return 2
+    if args.window <= 0:
+        _logger.error("--window must be positive, got %s", args.window)
+        return 2
+    base = args.url.rstrip("/")
+    while True:
+        try:
+            timeseries = _fetch_json(f"{base}/debug/timeseries?window={args.window:g}")
+            slo = _fetch_json(f"{base}/slo")
+        except OSError as error:
+            _logger.error("cannot reach %s: %s", base, error)
+            return 1
+        frame = _render_top(base, timeseries, slo, args.window)
+        if args.once:
+            print(frame)
+            return 0
+        # ANSI clear + home keeps the frame in place like top(1).
+        print(f"\x1b[2J\x1b[H{frame}", flush=True)
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def _command_calibrate(args: argparse.Namespace) -> int:
@@ -574,6 +708,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _command_estimators()
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "top":
+        return _command_top(args)
     if args.command == "serve-bench":
         return _command_serve_bench(args)
     if args.command == "calibrate":

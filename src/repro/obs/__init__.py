@@ -9,7 +9,15 @@ Zero-dependency instrumentation for the solver/sweep/parallel stack:
 - :mod:`repro.obs.manifest` — :class:`RunManifest` provenance records
   (git SHA, seed, jobs, config hash, package versions).
 - :mod:`repro.obs.logs` — structured logging on the ``repro.*`` logger
-  hierarchy.
+  hierarchy, with a bound per-request id field.
+- :mod:`repro.obs.request` — request ids (``X-Request-Id`` /
+  ``traceparent``), the cross-process span store that stitches worker
+  spans into per-request traces, and the slow/errored-request flight
+  recorder.
+- :mod:`repro.obs.history` — ring-buffer telemetry history built from
+  registry snapshots at a fixed cadence, with rate/quantile helpers.
+- :mod:`repro.obs.slo` — declarative latency/error objectives evaluated
+  as multi-window burn rates over the history buffer.
 
 Both tracing and metrics are off by default; instrumented hot paths guard
 on :func:`obs_enabled` (one flag check) so the disabled-mode overhead is
@@ -18,6 +26,18 @@ the layer via ``--trace``, ``--metrics-out PATH``, and ``--log-level``;
 conventions are documented in ``docs/observability.md``.
 """
 
+from repro.obs.history import (
+    HistDelta,
+    HistorySampler,
+    MetricsHistory,
+    Sample,
+    count_le,
+    counter_delta,
+    gauge_values,
+    histogram_delta,
+    merge_hist_deltas,
+    quantile,
+)
 from repro.obs.logs import configure_logging, get_logger
 from repro.obs.manifest import RunManifest, collect_manifest, config_fingerprint
 from repro.obs.metrics import (
@@ -34,6 +54,25 @@ from repro.obs.metrics import (
     get_registry,
     metrics_enabled,
     scoped_registry,
+)
+from repro.obs.request import (
+    FlightRecorder,
+    RequestSpanStore,
+    bind_request_id,
+    current_request_id,
+    ingest_request_spans,
+    new_request_id,
+    parse_traceparent,
+    request_id_from_headers,
+    reset_request_spans,
+    take_request_spans,
+)
+from repro.obs.slo import (
+    DEFAULT_BURN_WINDOWS,
+    SloObjective,
+    SloTracker,
+    error_rate_slo,
+    latency_slo,
 )
 from repro.obs.trace import (
     NULL_SPAN,
@@ -98,4 +137,32 @@ __all__ = [
     # logging
     "get_logger",
     "configure_logging",
+    # request identity / stitching
+    "new_request_id",
+    "parse_traceparent",
+    "request_id_from_headers",
+    "bind_request_id",
+    "current_request_id",
+    "RequestSpanStore",
+    "take_request_spans",
+    "ingest_request_spans",
+    "reset_request_spans",
+    "FlightRecorder",
+    # telemetry history
+    "MetricsHistory",
+    "HistorySampler",
+    "Sample",
+    "HistDelta",
+    "counter_delta",
+    "gauge_values",
+    "histogram_delta",
+    "merge_hist_deltas",
+    "quantile",
+    "count_le",
+    # SLOs
+    "SloObjective",
+    "SloTracker",
+    "latency_slo",
+    "error_rate_slo",
+    "DEFAULT_BURN_WINDOWS",
 ]

@@ -1,0 +1,336 @@
+"""Telemetry history: a ring buffer of per-interval metric deltas.
+
+``GET /metrics`` is a point-in-time snapshot — a p99 spike that ended
+thirty seconds ago is invisible. :class:`MetricsHistory` turns the
+registry into a time series: feed it a :meth:`MetricsRegistry.snapshot`
+at a fixed cadence (:class:`HistorySampler` owns the thread) and it
+stores one :class:`Sample` per interval holding the *deltas* since the
+previous snapshot — counter increments, histogram bucket increments,
+gauge values — keyed by metric name with full label detail. Derived
+views (request rates, bucket-quantile latency, SLO burn rates) are
+computed from the deltas by the helpers below; the buffer itself is a
+bounded ``deque`` under a short lock, so sampling stays cheap no matter
+how long the server runs.
+
+Counter/histogram deltas follow Prometheus ``rate()`` reset semantics:
+a value that went *down* since the last sample means the source process
+restarted, so the current value is taken as the whole delta instead of
+producing a negative rate.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+__all__ = [
+    "HistDelta",
+    "Sample",
+    "MetricsHistory",
+    "HistorySampler",
+    "counter_delta",
+    "gauge_values",
+    "histogram_delta",
+    "merge_hist_deltas",
+    "quantile",
+    "count_le",
+]
+
+Labels = Dict[str, str]
+LabelPredicate = Callable[[Labels], bool]
+
+
+@dataclass(frozen=True)
+class HistDelta:
+    """Histogram increments over one interval (or a merged window).
+
+    ``counts[i]`` is the non-cumulative increment of bucket ``i``; the
+    final slot is the implicit ``+Inf`` bucket, mirroring
+    :class:`repro.obs.metrics.Histogram`.
+    """
+
+    buckets: Tuple[float, ...]
+    counts: Tuple[int, ...]
+    sum: float
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts)
+
+
+@dataclass(frozen=True)
+class Sample:
+    """Metric deltas (and gauge values) for one sampling interval."""
+
+    t: float
+    dt: float
+    counters: Dict[str, List[Tuple[Labels, float]]]
+    gauges: Dict[str, List[Tuple[Labels, float]]]
+    histograms: Dict[str, List[Tuple[Labels, HistDelta]]]
+
+
+def _series_key(entry: Dict[str, Any]) -> Tuple[str, Tuple[Tuple[str, str], ...]]:
+    return entry["name"], tuple(sorted(entry.get("labels", {}).items()))
+
+
+def _delta(current: float, previous: Optional[float]) -> float:
+    """Monotonic delta with Prometheus reset semantics."""
+    if previous is None or current < previous:
+        return current
+    return current - previous
+
+
+class MetricsHistory:
+    """Bounded ring of :class:`Sample` records built from raw snapshots."""
+
+    def __init__(self, capacity: int = 600) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._lock = threading.Lock()
+        self._samples: Deque[Sample] = deque(maxlen=capacity)
+        self._prev: Optional[Dict[str, Any]] = None
+        self._prev_t: Optional[float] = None
+
+    def observe(
+        self, snapshot: Dict[str, List[Dict[str, Any]]], now: Optional[float] = None
+    ) -> Optional[Sample]:
+        """Fold one registry snapshot in; returns the new sample.
+
+        The first observation only establishes the baseline and returns
+        ``None`` (there is no interval to delta over yet).
+        """
+        t = time.time() if now is None else now
+        with self._lock:
+            prev, prev_t = self._prev, self._prev_t
+            self._prev, self._prev_t = snapshot, t
+            if prev is None or prev_t is None:
+                return None
+            sample = _build_sample(prev, snapshot, t, max(t - prev_t, 0.0))
+            self._samples.append(sample)
+            return sample
+
+    def window(self, seconds: float, now: Optional[float] = None) -> List[Sample]:
+        """Samples whose timestamp falls within the trailing window."""
+        cutoff = (time.time() if now is None else now) - seconds
+        with self._lock:
+            return [sample for sample in self._samples if sample.t >= cutoff]
+
+    def latest(self) -> Optional[Sample]:
+        with self._lock:
+            return self._samples[-1] if self._samples else None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._samples.clear()
+            self._prev = None
+            self._prev_t = None
+
+
+def _build_sample(
+    prev: Dict[str, Any], curr: Dict[str, Any], t: float, dt: float
+) -> Sample:
+    prev_counters = {_series_key(e): float(e["value"]) for e in prev.get("counters", [])}
+    counters: Dict[str, List[Tuple[Labels, float]]] = {}
+    for entry in curr.get("counters", []):
+        delta = _delta(float(entry["value"]), prev_counters.get(_series_key(entry)))
+        counters.setdefault(entry["name"], []).append(
+            (dict(entry.get("labels", {})), delta)
+        )
+
+    gauges: Dict[str, List[Tuple[Labels, float]]] = {}
+    for entry in curr.get("gauges", []):
+        gauges.setdefault(entry["name"], []).append(
+            (dict(entry.get("labels", {})), float(entry["value"]))
+        )
+
+    prev_hists = {
+        _series_key(e): (list(e["counts"]), float(e["sum"]))
+        for e in prev.get("histograms", [])
+    }
+    histograms: Dict[str, List[Tuple[Labels, HistDelta]]] = {}
+    for entry in curr.get("histograms", []):
+        before = prev_hists.get(_series_key(entry))
+        counts = [int(c) for c in entry["counts"]]
+        total = float(entry["sum"])
+        if before is not None and len(before[0]) == len(counts):
+            prev_counts, prev_sum = before
+            if all(c >= p for c, p in zip(counts, prev_counts)):
+                counts = [c - p for c, p in zip(counts, prev_counts)]
+                total = max(total - prev_sum, 0.0)
+        histograms.setdefault(entry["name"], []).append(
+            (
+                dict(entry.get("labels", {})),
+                HistDelta(
+                    buckets=tuple(float(b) for b in entry["buckets"]),
+                    counts=tuple(counts),
+                    sum=total,
+                ),
+            )
+        )
+    return Sample(t=t, dt=dt, counters=counters, gauges=gauges, histograms=histograms)
+
+
+# ----------------------------------------------------------------------
+# derived views
+# ----------------------------------------------------------------------
+def counter_delta(
+    samples: "Sample | List[Sample]",
+    name: str,
+    where: Optional[LabelPredicate] = None,
+) -> float:
+    """Summed counter increments for ``name`` over one or more samples."""
+    total = 0.0
+    for sample in [samples] if isinstance(samples, Sample) else samples:
+        for labels, delta in sample.counters.get(name, []):
+            if where is None or where(labels):
+                total += delta
+    return total
+
+
+def gauge_values(sample: Sample, name: str) -> List[Tuple[Labels, float]]:
+    """The gauge series for ``name`` in one sample (labels, value)."""
+    return list(sample.gauges.get(name, []))
+
+
+def merge_hist_deltas(deltas: List[HistDelta]) -> Optional[HistDelta]:
+    """Sum histogram deltas sharing one bucket ladder (others skipped)."""
+    if not deltas:
+        return None
+    buckets = deltas[0].buckets
+    counts = [0] * (len(buckets) + 1)
+    total = 0.0
+    for delta in deltas:
+        if delta.buckets != buckets:
+            continue
+        for index, count in enumerate(delta.counts):
+            counts[index] += count
+        total += delta.sum
+    return HistDelta(buckets=buckets, counts=tuple(counts), sum=total)
+
+
+def histogram_delta(
+    samples: "Sample | List[Sample]",
+    name: str,
+    where: Optional[LabelPredicate] = None,
+) -> Optional[HistDelta]:
+    """Merged histogram increments for ``name`` over one or more samples."""
+    deltas: List[HistDelta] = []
+    for sample in [samples] if isinstance(samples, Sample) else samples:
+        for labels, delta in sample.histograms.get(name, []):
+            if where is None or where(labels):
+                deltas.append(delta)
+    return merge_hist_deltas(deltas)
+
+
+def quantile(delta: Optional[HistDelta], q: float) -> Optional[float]:
+    """Bucket-interpolated quantile of one delta, ``None`` when empty.
+
+    Standard Prometheus ``histogram_quantile`` estimation: find the
+    bucket containing the target rank and interpolate linearly inside
+    it. Observations in the ``+Inf`` bucket clamp to the last finite
+    edge.
+    """
+    if delta is None or delta.count == 0:
+        return None
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    target = q * delta.count
+    cumulative = 0
+    for index, count in enumerate(delta.counts[:-1]):
+        previous = cumulative
+        cumulative += count
+        if cumulative >= target and count > 0:
+            low = delta.buckets[index - 1] if index > 0 else 0.0
+            high = delta.buckets[index]
+            fraction = (target - previous) / count
+            return low + (high - low) * min(max(fraction, 0.0), 1.0)
+    return delta.buckets[-1]
+
+
+def count_le(delta: Optional[HistDelta], threshold: float) -> Optional[Tuple[int, float]]:
+    """Observations at or below ``threshold``, snapped to a bucket edge.
+
+    Returns ``(count, snapped_edge)`` using the smallest edge >=
+    ``threshold`` (exact Prometheus ``le`` semantics need an edge; the
+    snap is reported so callers can surface it). A threshold beyond the
+    last edge counts everything (``+Inf``). ``None`` for an empty delta.
+    """
+    if delta is None or delta.count == 0:
+        return None
+    index = bisect.bisect_left(delta.buckets, threshold)
+    if index >= len(delta.buckets):
+        return delta.count, float("inf")
+    return sum(delta.counts[: index + 1]), delta.buckets[index]
+
+
+class HistorySampler:
+    """Daemon thread feeding a :class:`MetricsHistory` at a fixed cadence.
+
+    ``source`` returns one registry snapshot (e.g.
+    ``supervisor.merged_metrics().snapshot``); ``on_sample`` (optional)
+    runs after each successful observation — the serving stack hangs SLO
+    evaluation there so budget-burn transitions are logged even when
+    nobody polls ``/slo``. Exceptions from either callback are swallowed
+    after the first (logged) occurrence rather than killing the thread.
+    """
+
+    def __init__(
+        self,
+        source: Callable[[], Dict[str, List[Dict[str, Any]]]],
+        history: MetricsHistory,
+        cadence_s: float = 1.0,
+        on_sample: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if cadence_s <= 0:
+            raise ValueError(f"cadence_s must be positive, got {cadence_s}")
+        self._source = source
+        self._history = history
+        self._cadence_s = cadence_s
+        self._on_sample = on_sample
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._failed = False
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        # Baseline immediately: traffic between start and the first tick
+        # would otherwise fold into the baseline and be unattributable.
+        self.sample_once()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-history-sampler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._cadence_s):
+            self.sample_once()
+
+    def sample_once(self) -> Optional[Sample]:
+        """One synchronous sampling step (tests drive this directly)."""
+        try:
+            sample = self._history.observe(self._source())
+            if self._on_sample is not None:
+                self._on_sample()
+            return sample
+        except Exception:
+            if not self._failed:
+                self._failed = True
+                from repro.obs.logs import get_logger
+
+                get_logger("obs.history").exception("telemetry sampling failed")
+            return None

@@ -10,6 +10,15 @@ The handler is tagged so repeated configuration (each CLI invocation,
 each test) replaces it instead of stacking duplicates, and the ``repro``
 logger does not propagate to the root logger, so library users keep
 full control of their own logging tree.
+
+When a request id is bound (:func:`repro.obs.request.bind_request_id`,
+which the serving stack does around every dispatch) — or passed
+explicitly via ``extra={"request_id": ...}`` — the formatter appends
+``request_id=<id>`` to the line, so worker and batcher log output
+correlates with the request's stitched trace::
+
+    2026-08-05T12:34:56 WARNING repro.serve.net locate request failed:
+    status=422 kind=estimation_failed request_id=5f2f64f0...
 """
 
 from __future__ import annotations
@@ -27,6 +36,26 @@ DATE_FORMAT = "%Y-%m-%dT%H:%M:%S"
 
 #: Attribute marking handlers installed by :func:`configure_logging`.
 _HANDLER_TAG = "_repro_obs_handler"
+
+
+class _RequestIdFormatter(logging.Formatter):
+    """Structured formatter appending the bound (or explicit) request id.
+
+    Lines without a request context are formatted exactly as before, so
+    CLI output stays unchanged and the field only appears where it
+    carries information.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = super().format(record)
+        request_id = getattr(record, "request_id", None)
+        if not request_id:
+            from repro.obs.request import current_request_id
+
+            request_id = current_request_id()
+        if request_id:
+            return f"{base} request_id={request_id}"
+        return base
 
 
 def get_logger(name: str | None = None) -> logging.Logger:
@@ -69,7 +98,7 @@ def configure_logging(
             logger.removeHandler(handler)
             handler.close()
     handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
-    handler.setFormatter(logging.Formatter(LOG_FORMAT, datefmt=DATE_FORMAT))
+    handler.setFormatter(_RequestIdFormatter(LOG_FORMAT, datefmt=DATE_FORMAT))
     setattr(handler, _HANDLER_TAG, True)
     logger.addHandler(handler)
     logger.propagate = False

@@ -69,6 +69,15 @@ RESIDUAL_BUCKETS_M: Tuple[float, ...] = (
 LabelsKey = Tuple[Tuple[str, str], ...]
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus exposition-format label-value escaping.
+
+    Backslash, double quote, and newline are the three characters the
+    text format requires escaping inside a quoted label value.
+    """
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
 def _labels_key(labels: Dict[str, Any]) -> LabelsKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
@@ -272,7 +281,9 @@ class MetricsRegistry:
                 merged.update(extra)
             if not merged:
                 return ""
-            body = ",".join(f'{k}="{v}"' for k, v in sorted(merged.items()))
+            body = ",".join(
+                f'{k}="{_escape_label_value(v)}"' for k, v in sorted(merged.items())
+            )
             return "{" + body + "}"
 
         def emit_type(name: str, kind: str) -> None:

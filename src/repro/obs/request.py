@@ -1,0 +1,309 @@
+"""Request identity, cross-process trace stitching, and the flight recorder.
+
+The serving stack (:mod:`repro.serve.net`) gives every HTTP request one
+``request_id`` at ingress — honoring an inbound ``X-Request-Id`` or W3C
+``traceparent`` header, minting a fresh id otherwise — and threads it
+through the supervisor's worker pipe protocol into the engine, where the
+batcher stamps it on its spans. This module holds the pieces that are
+not HTTP-specific:
+
+- :func:`request_id_from_headers` / :func:`new_request_id` — id minting
+  and header parsing (``X-Request-Id`` wins, then the trace-id field of
+  a valid ``traceparent``, then a generated UUID hex).
+- :func:`bind_request_id` / :func:`current_request_id` — a
+  ``contextvars`` binding that structured logging
+  (:mod:`repro.obs.logs`) appends to every line, so worker/batcher log
+  lines correlate with traces.
+- :class:`RequestSpanStore` / :func:`take_request_spans` — the stitching
+  half: engine spans complete as *roots* on the batcher thread (tagged
+  ``request_id=...`` for scalar dispatches, ``request_ids=[...]`` for
+  fused batches — the batch span's links to every member). The store
+  drains those roots and hands each request its matching subtrees, so a
+  worker can ship them back on the response and the HTTP layer can graft
+  them under the ingress span of one stitched, cross-process trace tree.
+- :class:`FlightRecorder` — a bounded ring of the last N slow/errored
+  stitched traces, served at ``GET /debug/traces`` and dumped to disk on
+  SIGUSR2.
+
+Everything here is zero-dependency and safe to import with tracing
+disabled; the store is a no-op until spans actually exist.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.obs.trace import SpanNode, drain_spans
+
+__all__ = [
+    "new_request_id",
+    "parse_traceparent",
+    "request_id_from_headers",
+    "bind_request_id",
+    "current_request_id",
+    "RequestSpanStore",
+    "take_request_spans",
+    "ingest_request_spans",
+    "reset_request_spans",
+    "FlightRecorder",
+]
+
+#: ``version-traceid-spanid-flags``, lowercase hex per the W3C spec.
+_TRACEPARENT_RE = re.compile(
+    r"^([0-9a-f]{2})-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})$"
+)
+
+#: Accepted caller-supplied request ids: a sane token, bounded length.
+_REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9._:/-]{1,128}$")
+
+_bound_request_id: "ContextVar[Optional[str]]" = ContextVar(
+    "repro_request_id", default=None
+)
+
+
+def new_request_id() -> str:
+    """Mint a fresh request id (32 lowercase hex chars, UUID4 entropy)."""
+    return uuid.uuid4().hex
+
+
+def parse_traceparent(value: str) -> Optional[str]:
+    """The trace-id of a valid W3C ``traceparent`` header, else ``None``.
+
+    The all-zero trace-id is invalid per the spec and rejected.
+    """
+    match = _TRACEPARENT_RE.match(value.strip().lower())
+    if match is None:
+        return None
+    trace_id = match.group(2)
+    if trace_id == "0" * 32:
+        return None
+    return trace_id
+
+
+def request_id_from_headers(headers: Mapping[str, str]) -> Tuple[str, str]:
+    """Resolve one request's id from its (lowercase-keyed) headers.
+
+    Precedence: a well-formed ``X-Request-Id`` token, then the trace-id
+    of a valid ``traceparent``, then a freshly minted id. Returns
+    ``(request_id, source)`` with source one of ``"x-request-id"`` /
+    ``"traceparent"`` / ``"generated"``.
+    """
+    supplied = headers.get("x-request-id", "").strip()
+    if supplied and _REQUEST_ID_RE.match(supplied):
+        return supplied, "x-request-id"
+    trace_id = parse_traceparent(headers.get("traceparent", ""))
+    if trace_id is not None:
+        return trace_id, "traceparent"
+    return new_request_id(), "generated"
+
+
+@contextmanager
+def bind_request_id(request_id: Optional[str]) -> Iterator[None]:
+    """Bind ``request_id`` to the current context for the ``with`` body.
+
+    Structured log lines emitted inside the block carry the id (see
+    :mod:`repro.obs.logs`). Binding ``None`` is a no-op, so call sites
+    don't need to branch on "do I have an id".
+    """
+    if not request_id:
+        yield
+        return
+    token = _bound_request_id.set(request_id)
+    try:
+        yield
+    finally:
+        _bound_request_id.reset(token)
+
+
+def current_request_id() -> Optional[str]:
+    """The request id bound to the current context, if any."""
+    return _bound_request_id.get()
+
+
+def _span_request_ids(payload: Dict[str, Any]) -> List[str]:
+    """Request ids a span dict is linked to (root attributes only)."""
+    attributes = payload.get("attributes", {})
+    ids: List[str] = []
+    single = attributes.get("request_id")
+    if isinstance(single, str) and single:
+        ids.append(single)
+    many = attributes.get("request_ids")
+    if isinstance(many, (list, tuple)):
+        ids.extend(str(rid) for rid in many if rid)
+    return ids
+
+
+class RequestSpanStore:
+    """Completed root spans, claimable by the requests they belong to.
+
+    The engine's dispatch spans finish as trace *roots* on the batcher
+    thread. ``take(request_id)`` drains those roots (via
+    :func:`repro.obs.trace.drain_spans`), files each one under every
+    request id it is linked to, and returns the subtrees linked to the
+    given id. A fused-batch span is linked to every member, so each
+    member's ``take`` returns it once; the entry is dropped after the
+    last member claims it. Roots with no request links are discarded,
+    and the store is bounded (oldest entries evicted), so enabling
+    tracing on a long-lived worker never grows memory with traffic.
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        # Each entry: [set of unclaimed request ids, span payload dict].
+        self._entries: List[List[Any]] = []
+
+    def ingest(self, payloads: List[Dict[str, Any]]) -> None:
+        """File completed root spans under their linked request ids."""
+        linked = [
+            (set(ids), payload)
+            for payload in payloads
+            if (ids := _span_request_ids(payload))
+        ]
+        if not linked:
+            return
+        with self._lock:
+            for ids, payload in linked:
+                self._entries.append([ids, payload])
+            overflow = len(self._entries) - self.capacity
+            if overflow > 0:
+                del self._entries[:overflow]
+
+    def take(self, request_id: str) -> List[Dict[str, Any]]:
+        """Drain new roots, then claim this request's span subtrees."""
+        self.ingest(drain_spans())
+        if not request_id:
+            return []
+        claimed: List[Dict[str, Any]] = []
+        with self._lock:
+            kept: List[List[Any]] = []
+            for entry in self._entries:
+                ids, payload = entry
+                if request_id in ids:
+                    claimed.append(payload)
+                    ids.discard(request_id)
+                if ids:
+                    kept.append(entry)
+            self._entries = kept
+        return claimed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+#: Process-global store: one per worker process (and one in the server
+#: process for thread-mode workers, which all share it safely).
+_store = RequestSpanStore()
+
+
+def take_request_spans(request_id: str) -> List[Dict[str, Any]]:
+    """Claim the global store's span subtrees for one request id."""
+    return _store.take(request_id)
+
+
+def ingest_request_spans() -> None:
+    """Drain completed roots into the global store without claiming."""
+    _store.ingest(drain_spans())
+
+
+def reset_request_spans() -> None:
+    """Drop everything in the global store (test hygiene)."""
+    _store.clear()
+
+
+class FlightRecorder:
+    """Bounded ring of the last N slow/errored stitched request traces.
+
+    ``consider`` is called once per traced request with the assembled
+    ingress span tree; requests slower than ``slow_threshold_s`` or with
+    an error status are retained (newest first on read). The ring is a
+    plain list under a short lock — recording is one append, far off the
+    request path's critical section.
+    """
+
+    def __init__(self, capacity: int = 64, slow_threshold_s: float = 0.25) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if slow_threshold_s < 0:
+            raise ValueError(
+                f"slow_threshold_s must be non-negative, got {slow_threshold_s}"
+            )
+        self.capacity = capacity
+        self.slow_threshold_s = slow_threshold_s
+        self._lock = threading.Lock()
+        self._entries: List[Dict[str, Any]] = []
+        self._seen = 0
+        self._recorded = 0
+
+    def consider(
+        self,
+        trace: SpanNode,
+        *,
+        status: int,
+        request_id: str,
+        route: str,
+    ) -> bool:
+        """Record the trace when it is slow or errored; returns whether."""
+        duration_s = trace.wall_s
+        with self._lock:
+            self._seen += 1
+            if status < 400 and duration_s < self.slow_threshold_s:
+                return False
+            self._entries.append(
+                {
+                    "request_id": request_id,
+                    "route": route,
+                    "status": status,
+                    "duration_ms": round(duration_s * 1e3, 3),
+                    "recorded_at": time.time(),
+                    "trace": trace.to_dict(),
+                }
+            )
+            self._recorded += 1
+            overflow = len(self._entries) - self.capacity
+            if overflow > 0:
+                del self._entries[:overflow]
+        return True
+
+    def snapshot(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Retained traces, newest first (optionally capped at ``limit``)."""
+        with self._lock:
+            entries = list(reversed(self._entries))
+        if limit is not None and limit >= 0:
+            entries = entries[:limit]
+        return entries
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "considered": self._seen,
+                "recorded": self._recorded,
+                "retained": len(self._entries),
+                "capacity": self.capacity,
+            }
+
+    def dump(self, path: str) -> int:
+        """Write the retained traces to ``path`` as JSON; returns the count."""
+        entries = self.snapshot()
+        payload = {"dumped_at": time.time(), "traces": entries}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        return len(entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,219 @@
+"""Declarative SLOs evaluated as multi-window burn rates over history.
+
+An objective declares the *good fraction* of requests it targets —
+``p99 <= 250 ms`` is "99% of requests at or under 250 ms", an error-rate
+bound of 1% is "99% of requests succeed". The error *budget* is the
+allowed bad fraction (``1 - target``), and the **burn rate** over a
+window is ``bad_fraction / budget``: burn 1.0 consumes the budget
+exactly as fast as allowed, burn 14.4 exhausts a 30-day budget in ~2
+days. Evaluating the same objective over several windows with paired
+burn thresholds (the multiwindow alert pattern from the Google SRE
+workbook, scaled down to serving-test horizons) distinguishes a sharp
+regression (short window burning hot) from slow leakage (long window
+burning above 1).
+
+Latency objectives are evaluated from the request-latency histogram's
+bucket deltas, so the threshold snaps to the nearest bucket edge >= the
+requested value (the snap is reported in the evaluation payload). Error
+objectives count 5xx responses against total responses.
+
+:class:`SloTracker` binds objectives to a
+:class:`repro.obs.history.MetricsHistory`, evaluates on demand
+(``GET /slo``) or per sampler tick, and emits one structured log event
+per ok->burning transition (and the recovery), so a burning budget is
+visible in the log stream even when nothing polls the endpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.history import (
+    Labels,
+    MetricsHistory,
+    count_le,
+    counter_delta,
+    histogram_delta,
+)
+from repro.obs.logs import get_logger
+
+__all__ = [
+    "SloObjective",
+    "latency_slo",
+    "error_rate_slo",
+    "DEFAULT_BURN_WINDOWS",
+    "SloTracker",
+]
+
+#: ``(window_seconds, burn_threshold)`` pairs — short/fast, mid, long/slow.
+DEFAULT_BURN_WINDOWS: Tuple[Tuple[float, float], ...] = (
+    (30.0, 14.4),
+    (120.0, 6.0),
+    (300.0, 1.0),
+)
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One declarative objective.
+
+    Attributes:
+        name: stable identifier surfaced in ``/slo`` and log events.
+        kind: ``"latency"`` or ``"error_rate"``.
+        target: good fraction of requests (e.g. ``0.99``); the error
+            budget is ``1 - target``.
+        threshold_s: latency objectives only — a request is *good* when
+            at or under this many seconds.
+    """
+
+    name: str
+    kind: str
+    target: float
+    threshold_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("latency", "error_rate"):
+            raise ValueError(f"kind must be 'latency' or 'error_rate', got {self.kind!r}")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {self.target}")
+        if self.kind == "latency" and (self.threshold_s is None or self.threshold_s <= 0):
+            raise ValueError(f"latency objectives need threshold_s > 0, got {self.threshold_s}")
+
+
+def latency_slo(
+    threshold_ms: float, quantile: float = 0.99, name: Optional[str] = None
+) -> SloObjective:
+    """``p<quantile> <= threshold_ms``: that fraction must be at/under it."""
+    label = name or f"latency_p{quantile * 100:g}_le_{threshold_ms:g}ms"
+    return SloObjective(
+        name=label, kind="latency", target=quantile, threshold_s=threshold_ms / 1e3
+    )
+
+
+def error_rate_slo(max_error_rate: float, name: Optional[str] = None) -> SloObjective:
+    """At most ``max_error_rate`` of responses may be 5xx."""
+    label = name or f"error_rate_le_{max_error_rate * 100:g}pct"
+    return SloObjective(name=label, kind="error_rate", target=1.0 - max_error_rate)
+
+
+def _is_error_status(labels: Labels) -> bool:
+    return labels.get("status", "").startswith("5")
+
+
+class SloTracker:
+    """Evaluates objectives over burn-rate windows from the ring buffer."""
+
+    def __init__(
+        self,
+        history: MetricsHistory,
+        objectives: List[SloObjective],
+        *,
+        windows: Tuple[Tuple[float, float], ...] = DEFAULT_BURN_WINDOWS,
+        latency_metric: str = "serve.net.request_seconds",
+        requests_metric: str = "serve.net.requests_total",
+        route: str = "/v1/locate",
+    ) -> None:
+        if not windows:
+            raise ValueError("at least one (window_s, burn_threshold) pair is required")
+        self.objectives = list(objectives)
+        self.windows = tuple(sorted(windows))
+        self._history = history
+        self._latency_metric = latency_metric
+        self._requests_metric = requests_metric
+        self._route = route
+        self._logger = get_logger("obs.slo")
+        self._burning: Dict[str, bool] = {}
+
+    def _on_route(self, labels: Labels) -> bool:
+        return labels.get("route") == self._route
+
+    def _window_stats(
+        self, objective: SloObjective, window_s: float, now: Optional[float]
+    ) -> Tuple[float, float, Optional[float]]:
+        """``(total, bad, snapped_threshold_s)`` over one trailing window."""
+        samples = self._history.window(window_s, now)
+        if objective.kind == "latency":
+            merged = histogram_delta(samples, self._latency_metric, self._on_route)
+            if merged is None or merged.count == 0:
+                return 0.0, 0.0, objective.threshold_s
+            assert objective.threshold_s is not None
+            good = count_le(merged, objective.threshold_s)
+            assert good is not None
+            good_count, snapped = good
+            return float(merged.count), float(merged.count - good_count), snapped
+        total = counter_delta(samples, self._requests_metric, self._on_route)
+        bad = counter_delta(
+            samples,
+            self._requests_metric,
+            lambda labels: self._on_route(labels) and _is_error_status(labels),
+        )
+        return total, bad, None
+
+    def evaluate(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """One evaluation pass; logs budget-burn transitions as a side effect."""
+        payload: Dict[str, Any] = {"route": self._route, "objectives": []}
+        worst = "idle"
+        for objective in self.objectives:
+            budget = 1.0 - objective.target
+            windows: List[Dict[str, Any]] = []
+            burning = False
+            saw_traffic = False
+            long_burn = 0.0
+            for window_s, burn_threshold in self.windows:
+                total, bad, snapped = self._window_stats(objective, window_s, now)
+                bad_fraction = bad / total if total > 0 else 0.0
+                burn = bad_fraction / budget if budget > 0 else 0.0
+                window_burning = total > 0 and burn >= burn_threshold
+                burning = burning or window_burning
+                saw_traffic = saw_traffic or total > 0
+                long_burn = burn  # windows are sorted; the last is longest
+                windows.append(
+                    {
+                        "window_s": window_s,
+                        "burn_threshold": burn_threshold,
+                        "total": total,
+                        "bad": bad,
+                        "bad_fraction": round(bad_fraction, 6),
+                        "burn_rate": round(burn, 4),
+                        "burning": window_burning,
+                    }
+                )
+            state = "burning" if burning else ("ok" if saw_traffic else "idle")
+            entry: Dict[str, Any] = {
+                "name": objective.name,
+                "kind": objective.kind,
+                "target": objective.target,
+                "budget": budget,
+                "state": state,
+                "windows": windows,
+                # Budget fraction left over the longest window (burn 1.0
+                # means exactly exhausted over that window).
+                "budget_remaining": round(max(1.0 - long_burn, 0.0), 4),
+            }
+            if objective.kind == "latency" and objective.threshold_s is not None:
+                entry["threshold_ms"] = objective.threshold_s * 1e3
+            payload["objectives"].append(entry)
+            self._log_transition(objective.name, burning, entry)
+            if state == "burning":
+                worst = "burning"
+            elif state == "ok" and worst != "burning":
+                worst = "ok"
+        payload["state"] = worst
+        return payload
+
+    def _log_transition(self, name: str, burning: bool, entry: Dict[str, Any]) -> None:
+        was = self._burning.get(name, False)
+        if burning and not was:
+            hot = [w for w in entry["windows"] if w["burning"]]
+            self._logger.warning(
+                "SLO budget burning: objective=%s burn_rate=%s window_s=%s "
+                "budget_remaining=%s",
+                name,
+                hot[0]["burn_rate"] if hot else None,
+                hot[0]["window_s"] if hot else None,
+                entry["budget_remaining"],
+            )
+        elif was and not burning:
+            self._logger.info("SLO budget recovered: objective=%s", name)
+        self._burning[name] = burning

@@ -18,13 +18,14 @@ degrades alone.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.localizer import PreparedScan
 from repro.core.solvers import solve_weighted_least_squares_batch
 from repro.core.sweep import cached_assembly_recipe, content_digest
 from repro.core.system import LinearSystem
 from repro.core.weights import gaussian_residual_weights
+from repro.obs import current_span, tracing_enabled
 from repro.pipeline.config import EstimatorConfig
 from repro.pipeline.contract import EstimationReport, EstimationRequest
 from repro.pipeline.estimators import LionEstimator
@@ -60,7 +61,9 @@ def is_batchable(name: str, config: EstimatorConfig) -> bool:
 
 
 def execute_batch(
-    estimator: LionEstimator, requests: Sequence[EstimationRequest]
+    estimator: LionEstimator,
+    requests: Sequence[EstimationRequest],
+    request_ids: Optional[Sequence[Optional[str]]] = None,
 ) -> List[MemberResult]:
     """Run one batchable group through the fused prepare/pair/solve path.
 
@@ -70,7 +73,25 @@ def execute_batch(
     member raised during validation, preparation, or assembly. The batch
     solver itself ejects rank-deficient members to the scalar IRLS
     internally, so a singular member never perturbs its neighbours.
+
+    ``request_ids`` (when given, one per request, ``None`` entries
+    allowed) annotates the enclosing span with a ``member_error`` event
+    per failed slot, so a stitched request trace shows *which* member of
+    a fused batch fell back and why.
     """
+
+    def _note_member_error(index: int, error: ValueError) -> None:
+        if request_ids is None or not tracing_enabled():
+            return
+        parent = current_span()
+        if parent is not None:
+            parent.add_event(
+                kind="member_error",
+                member=index,
+                request_id=request_ids[index],
+                error=type(error).__name__,
+            )
+
     localizer = estimator.localizer
     results: List[MemberResult | None] = [None] * len(requests)
     pending: List[Tuple[int, PreparedScan, LinearSystem]] = []
@@ -98,6 +119,7 @@ def execute_batch(
             system = recipe.assemble(prepared.delta_d)
         except ValueError as error:
             results[index] = error
+            _note_member_error(index, error)
             continue
         pending.append((index, prepared, system))
 
@@ -115,6 +137,7 @@ def execute_batch(
                 )
             except ValueError as error:
                 results[index] = error
+                _note_member_error(index, error)
     final: List[MemberResult] = []
     for result in results:
         if result is None:  # pragma: no cover - every slot is filled above

@@ -56,7 +56,9 @@ from typing import (
 
 from repro.obs import (
     LATENCY_BUCKETS_S,
+    bind_request_id,
     config_fingerprint,
+    get_logger,
     get_registry,
     metrics_enabled,
     span,
@@ -72,6 +74,8 @@ from repro.serve.errors import DeadlineExceededError, EngineClosedError, QueueFu
 
 #: Histogram buckets for micro-batch occupancy (requests per dispatch).
 BATCH_SIZE_BUCKETS: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+_logger = get_logger("serve.engine")
 
 #: Engines whose batcher thread is running and not yet closed. The batcher
 #: is a daemon thread (a forgotten engine must never hang interpreter
@@ -116,6 +120,12 @@ class ServeConfig:
             session default.
         default_deadline_s: deadline applied to requests submitted
             without one; ``None`` means no deadline.
+        fuse_singletons: dispatch batchable *singleton* groups through
+            the fused batch path too (identical answers — the batch
+            solver is pinned bit-identical). Off by default: a stacked
+            solve of one member carries setup overhead the scalar path
+            skips. Tracing-focused deployments turn it on so every
+            batchable request produces a ``serve.batch`` span.
     """
 
     max_queue_depth: int = 256
@@ -125,6 +135,7 @@ class ServeConfig:
     scalar_executor: str = "serial"
     jobs: Optional[int] = None
     default_deadline_s: Optional[float] = None
+    fuse_singletons: bool = False
 
     def __post_init__(self) -> None:
         if self.max_queue_depth <= 0:
@@ -197,6 +208,7 @@ class _Item:
     future: "Future[EstimationReport]"
     enqueued: float
     deadline: Optional[float]
+    request_id: Optional[str] = None
 
 
 @dataclass
@@ -286,11 +298,18 @@ class ServeEngine:
         request: EstimationRequest,
         config: EstimatorConfig | Mapping[str, Any] | None = None,
         deadline_s: Optional[float] = None,
+        request_id: Optional[str] = None,
     ) -> Ticket:
         """Admit one request; returns immediately with its :class:`Ticket`.
 
         Config resolution happens synchronously so unknown estimators and
         malformed configs fail in the caller, not the batcher.
+
+        ``request_id`` (optional, from the serving front end) is stamped
+        on the request's dispatch spans — ``request_id=`` on scalar
+        spans, a ``request_ids`` link list on fused batch spans — so the
+        cross-process span store can stitch them into one trace, and it
+        is bound to the logging context during dispatch.
 
         Raises:
             EngineClosedError: the engine no longer admits requests.
@@ -327,6 +346,7 @@ class ServeEngine:
             future=future,
             enqueued=now,
             deadline=now + deadline_s if deadline_s is not None else None,
+            request_id=request_id,
         )
         with self._cv:
             if self._closed:
@@ -506,7 +526,7 @@ class ServeEngine:
             return
         with self._cv:
             self._stats.batches += 1
-        if live[0].batchable and len(live) > 1:
+        if live[0].batchable and (len(live) > 1 or self.config.fuse_singletons):
             self._dispatch_batched(live)
         else:
             self._dispatch_scalar(live)
@@ -516,10 +536,18 @@ class ServeEngine:
         with self._cv:
             self._stats.batched_requests += len(live)
         estimator = cast(LionEstimator, create_estimator(live[0].name, live[0].config))
-        with span("serve.batch", estimator=live[0].name, size=len(live)):
+        request_ids = [item.request_id for item in live]
+        with span(
+            "serve.batch",
+            estimator=live[0].name,
+            size=len(live),
+            request_ids=tuple(rid for rid in request_ids if rid),
+        ):
             try:
                 outcomes: Sequence[EstimationReport | BaseException] = execute_batch(
-                    estimator, [item.request for item in live]
+                    estimator,
+                    [item.request for item in live],
+                    request_ids=request_ids,
                 )
             except Exception:
                 # Unexpected whole-batch failure: every member retries
@@ -550,8 +578,9 @@ class ServeEngine:
         """Run each member through its own estimator, isolating failures."""
 
         def run_one(item: _Item) -> EstimationReport:
-            with span("serve.scalar", estimator=item.name):
-                return create_estimator(item.name, item.config).estimate(item.request)
+            with bind_request_id(item.request_id):
+                with span("serve.scalar", estimator=item.name, request_id=item.request_id):
+                    return create_estimator(item.name, item.config).estimate(item.request)
 
         outcomes = self._executor.map_catching(run_one, items)
         for item, (ok, payload) in zip(items, outcomes):
@@ -561,6 +590,13 @@ class ServeEngine:
                 with self._cv:
                     self._stats.failed += 1
                 self._count_result("error")
+                with bind_request_id(item.request_id):
+                    _logger.debug(
+                        "request failed: estimator=%s error=%s: %s",
+                        item.name,
+                        type(payload).__name__,
+                        payload,
+                    )
                 item.future.set_exception(payload)
 
     def _resolve(self, item: _Item, report: EstimationReport) -> None:

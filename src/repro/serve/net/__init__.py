@@ -13,14 +13,18 @@ pickle pipe.
 
 Operational surface: ``/healthz`` / ``/readyz`` probes, merged
 Prometheus ``/metrics`` across shards, load shedding (429 with
-``Retry-After``; 504 on deadline breaches), and graceful drain on
-SIGTERM that loses no accepted request. Start one with ``lion serve``,
-embed one with :class:`ServerHandle`, or await :class:`NetServer`
-inside an existing loop. See ``docs/serving.md``.
+``Retry-After``; 504 on deadline breaches), graceful drain on SIGTERM
+that loses no accepted request, per-request ids (``X-Request-Id`` /
+``traceparent``) with cross-process trace stitching into a flight
+recorder (``/debug/traces``, dumped on SIGUSR2), ring-buffer telemetry
+history (``/debug/timeseries``, ``lion top``), and multi-window
+burn-rate SLOs (``/slo``). Start one with ``lion serve``, embed one
+with :class:`ServerHandle`, or await :class:`NetServer` inside an
+existing loop. See ``docs/serving.md`` and ``docs/observability.md``.
 """
 
 from repro.serve.net.config import WORKER_MODES, NetServeConfig
-from repro.serve.net.http import NetServer, ServerHandle, run_server
+from repro.serve.net.http import NetServer, ServerHandle, derive_serve_sample, run_server
 from repro.serve.net.protocol import (
     ARRAY_FIELDS,
     SCALAR_FIELDS,
@@ -42,6 +46,7 @@ __all__ = [
     "NetServer",
     "ServerHandle",
     "run_server",
+    "derive_serve_sample",
     # protocol
     "ARRAY_FIELDS",
     "SCALAR_FIELDS",

@@ -57,6 +57,24 @@ class NetServeConfig:
             and every worker; ``GET /metrics`` merges them (process
             workers are labelled ``shard="i"``).
         max_body_bytes: request-body cap; larger bodies get 413.
+        tracing: enable span recording in the server and every worker —
+            each ``/v1/locate`` request gets a stitched cross-process
+            trace (ingress -> shard route -> worker dispatch -> solver)
+            and the slow/errored ones land in the flight recorder at
+            ``GET /debug/traces``.
+        history_cadence_s: sampling interval of the telemetry ring
+            buffer behind ``GET /debug/timeseries`` and ``GET /slo``.
+        history_window_s: how much history the ring buffer retains (and
+            the default ``?window=`` of ``/debug/timeseries``).
+        recorder_capacity: flight-recorder depth (stitched traces kept).
+        recorder_slow_ms: a traced request at least this slow is
+            retained even when it succeeded; errored requests are always
+            retained. ``0`` records everything (tests, trace smokes).
+        trace_dump_path: where SIGUSR2 dumps the flight recorder.
+        slo_p99_ms: latency objective — p99 of ``/v1/locate`` must stay
+            at or under this many milliseconds.
+        slo_error_rate: error objective — the 5xx fraction of
+            ``/v1/locate`` responses must stay at or under this.
     """
 
     host: str = "127.0.0.1"
@@ -73,6 +91,14 @@ class NetServeConfig:
     ready_timeout_s: float = 60.0
     metrics: bool = True
     max_body_bytes: int = 8 * 1024 * 1024
+    tracing: bool = True
+    history_cadence_s: float = 1.0
+    history_window_s: float = 300.0
+    recorder_capacity: int = 64
+    recorder_slow_ms: float = 250.0
+    trace_dump_path: str = "lion-flight-recorder.json"
+    slo_p99_ms: float = 250.0
+    slo_error_rate: float = 0.01
 
     def __post_init__(self) -> None:
         if self.shards <= 0:
@@ -101,3 +127,26 @@ class NetServeConfig:
             raise ValueError(f"ready_timeout_s must be positive, got {self.ready_timeout_s}")
         if self.max_body_bytes <= 0:
             raise ValueError(f"max_body_bytes must be positive, got {self.max_body_bytes}")
+        if self.history_cadence_s <= 0:
+            raise ValueError(
+                f"history_cadence_s must be positive, got {self.history_cadence_s}"
+            )
+        if self.history_window_s < self.history_cadence_s:
+            raise ValueError(
+                f"history_window_s must be >= history_cadence_s, got "
+                f"{self.history_window_s} < {self.history_cadence_s}"
+            )
+        if self.recorder_capacity <= 0:
+            raise ValueError(
+                f"recorder_capacity must be positive, got {self.recorder_capacity}"
+            )
+        if self.recorder_slow_ms < 0:
+            raise ValueError(
+                f"recorder_slow_ms must be non-negative, got {self.recorder_slow_ms}"
+            )
+        if self.slo_p99_ms <= 0:
+            raise ValueError(f"slo_p99_ms must be positive, got {self.slo_p99_ms}")
+        if not 0.0 < self.slo_error_rate < 1.0:
+            raise ValueError(
+                f"slo_error_rate must be in (0, 1), got {self.slo_error_rate}"
+            )

@@ -1,7 +1,7 @@
 """Asyncio HTTP front end over the shard supervisor.
 
 The server is a deliberately small hand-rolled HTTP/1.1 implementation
-on ``asyncio`` streams — no web framework, because the surface is five
+on ``asyncio`` streams — no web framework, because the surface is eight
 routes and the dependency budget is zero:
 
 - ``POST /v1/locate`` — parse, route via the supervisor, answer JSON.
@@ -11,6 +11,21 @@ routes and the dependency budget is zero:
   listener closes (``drain_grace_s`` holds that window open).
 - ``GET /metrics``    — merged Prometheus text across all shards.
 - ``GET /statz``      — JSON per-shard engine stats.
+- ``GET /slo``        — latency/error objectives as multi-window burn rates.
+- ``GET /debug/timeseries`` — ring-buffer telemetry history (per-second
+  request/error/shed rates, bucket-quantile latency, inflight/queue
+  gauges), ``?window=<seconds>`` to narrow.
+- ``GET /debug/traces`` — the flight recorder: the last N slow/errored
+  stitched request traces (``?limit=<n>``); SIGUSR2 dumps it to disk.
+
+Every request gets a ``request_id`` at ingress — a well-formed caller
+``X-Request-Id`` wins, then the trace-id of a W3C ``traceparent``, then
+a minted UUID — echoed back as an ``X-Request-Id`` response header.
+With tracing on, ``/v1/locate`` assembles one stitched cross-process
+trace per request: a ``serve.net.ingress`` root, a ``serve.net.route``
+child for the shard round trip, and under it the worker's own dispatch
+spans (``serve.batch``/``serve.scalar`` down to the solver), shipped
+back on the wire response and grafted by request id.
 
 Shutdown is a strict sequence — flip readiness, grace sleep, close the
 listener, wait for in-flight HTTP exchanges, then drain the supervisor
@@ -29,11 +44,34 @@ from __future__ import annotations
 import asyncio
 import json
 import math
+import os
 import threading
 import time
 from typing import Any, Awaitable, Callable, Dict, List, Optional, Set, Tuple
+from urllib.parse import parse_qs
 
-from repro.obs import enable_metrics, get_registry, metrics_enabled
+from repro.obs import (
+    FlightRecorder,
+    HistorySampler,
+    MetricsHistory,
+    Sample,
+    SloTracker,
+    SpanNode,
+    bind_request_id,
+    counter_delta,
+    enable_metrics,
+    enable_tracing,
+    error_rate_slo,
+    gauge_values,
+    get_logger,
+    get_registry,
+    histogram_delta,
+    latency_slo,
+    metrics_enabled,
+    quantile,
+    request_id_from_headers,
+    tracing_enabled,
+)
 from repro.serve.net.config import NetServeConfig
 from repro.serve.net.protocol import (
     BadRequestError,
@@ -61,6 +99,45 @@ _STATUS_TEXT = {
 #: shards with exact per-index counts at small shard counts.
 _SHARD_BUCKETS = tuple(float(i) for i in range(17)) + (24.0, 32.0, 48.0, 64.0)
 
+_logger = get_logger("serve.net")
+
+
+def derive_serve_sample(sample: Sample, route: str = "/v1/locate") -> Dict[str, Any]:
+    """Dashboard-ready serving stats from one telemetry sample.
+
+    The shape ``GET /debug/timeseries`` serves (and ``lion top`` renders):
+    per-second request/error/shed rates over the sample interval,
+    bucket-interpolated latency quantiles (``None`` when the interval saw
+    no requests), and the summed inflight/queue-depth gauges.
+    """
+
+    def on_route(labels: Dict[str, str]) -> bool:
+        return labels.get("route") == route
+
+    def on_route_error(labels: Dict[str, str]) -> bool:
+        return on_route(labels) and labels.get("status", "").startswith(("4", "5"))
+
+    dt = max(sample.dt, 1e-9)
+    requests = counter_delta(sample, "serve.net.requests_total", on_route)
+    errors = counter_delta(sample, "serve.net.requests_total", on_route_error)
+    shed = counter_delta(sample, "serve.net.shed_total")
+    latency = histogram_delta(sample, "serve.net.request_seconds", on_route)
+    p50 = quantile(latency, 0.5)
+    p99 = quantile(latency, 0.99)
+    inflight = sum(value for _, value in gauge_values(sample, "serve.net.shard_inflight"))
+    queue_depth = sum(value for _, value in gauge_values(sample, "serve.queue_depth"))
+    return {
+        "t": sample.t,
+        "dt": round(sample.dt, 6),
+        "req_s": round(requests / dt, 3),
+        "err_s": round(errors / dt, 3),
+        "shed_s": round(shed / dt, 3),
+        "p50_ms": None if p50 is None else round(p50 * 1e3, 3),
+        "p99_ms": None if p99 is None else round(p99 * 1e3, 3),
+        "inflight": inflight,
+        "queue_depth": queue_depth,
+    }
+
 
 class _HttpError(Exception):
     """Terminate one exchange with a fixed status (parser-level errors)."""
@@ -85,6 +162,26 @@ class NetServer:
         self._draining = False
         self._drained = False
         self._drain_stats: List[Dict[str, Any]] = []
+        capacity = int(math.ceil(config.history_window_s / config.history_cadence_s)) + 8
+        self._history = MetricsHistory(capacity=capacity)
+        self._recorder = FlightRecorder(
+            capacity=config.recorder_capacity,
+            slow_threshold_s=config.recorder_slow_ms / 1e3,
+        )
+        self._slo = SloTracker(
+            self._history,
+            [latency_slo(config.slo_p99_ms), error_rate_slo(config.slo_error_rate)],
+        )
+        self._sampler = HistorySampler(
+            source=lambda: self._supervisor.merged_metrics().snapshot(),
+            history=self._history,
+            cadence_s=config.history_cadence_s,
+            on_sample=self._evaluate_slo,
+        )
+
+    def _evaluate_slo(self) -> None:
+        """Per-sample SLO pass so budget-burn transitions hit the log."""
+        self._slo.evaluate()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -102,6 +199,27 @@ class NetServer:
         return self._supervisor
 
     @property
+    def recorder(self) -> FlightRecorder:
+        """The slow/errored-request flight recorder behind ``/debug/traces``."""
+        return self._recorder
+
+    @property
+    def history(self) -> MetricsHistory:
+        """The telemetry ring buffer behind ``/debug/timeseries``."""
+        return self._history
+
+    @property
+    def sampler(self) -> HistorySampler:
+        """The cadence thread feeding :attr:`history` (tests drive it)."""
+        return self._sampler
+
+    def dump_traces(self, path: Optional[str] = None) -> Tuple[str, int]:
+        """Dump the flight recorder to disk; returns ``(path, count)``."""
+        target = path or self.config.trace_dump_path
+        count = self._recorder.dump(target)
+        return target, count
+
+    @property
     def drain_stats(self) -> List[Dict[str, Any]]:
         """Per-shard final engine stats; populated by :meth:`shutdown`."""
         return self._drain_stats
@@ -110,6 +228,8 @@ class NetServer:
         """Boot the workers, then bind and start serving."""
         if self.config.metrics:
             enable_metrics()
+        if self.config.tracing:
+            enable_tracing()
         # Worker startup blocks on ready handshakes; keep the loop free.
         await asyncio.to_thread(self._supervisor.start)
         self._server = await asyncio.start_server(
@@ -118,6 +238,8 @@ class NetServer:
             port=self.config.port,
             limit=self.config.max_body_bytes + 65536,
         )
+        if self.config.metrics:
+            self._sampler.start()
 
     async def shutdown(self) -> List[Dict[str, Any]]:
         """Graceful drain; returns per-shard final engine stats.
@@ -133,6 +255,7 @@ class NetServer:
                 await self._wait_drained()
             return self._drain_stats
         self._draining = True
+        await asyncio.to_thread(self._sampler.stop)
         if self.config.drain_grace_s > 0:
             await asyncio.sleep(self.config.drain_grace_s)
         if self._server is not None:
@@ -179,7 +302,9 @@ class NetServer:
                 self._idle.clear()
                 started = time.perf_counter()
                 try:
-                    status, response, extra = await self._dispatch(method, path, body)
+                    status, response, extra = await self._dispatch(
+                        method, path, headers, body
+                    )
                 finally:
                     self._inflight -= 1
                     if self._inflight == 0:
@@ -271,10 +396,19 @@ class NetServer:
     # routes
     # ------------------------------------------------------------------
     async def _dispatch(
-        self, method: str, path: str, body: bytes
+        self, method: str, path: str, headers: Dict[str, str], body: bytes
     ) -> Tuple[int, Any, Optional[Dict[str, str]]]:
-        """Route one request; returns ``(status, body, extra headers)``."""
-        path = path.split("?", 1)[0]
+        """Route one request; returns ``(status, body, extra headers)``.
+
+        Resolves the request id from the inbound headers, binds it for
+        structured logging across the handler, and — with tracing on —
+        assembles the stitched trace of every ``/v1/locate`` exchange
+        for the flight recorder. The id is echoed back on every response
+        as ``X-Request-Id``.
+        """
+        path, _, query = path.partition("?")
+        request_id, id_source = request_id_from_headers(headers)
+        trace_children: List[SpanNode] = []
         routes: Dict[
             Tuple[str, str], Callable[[], Awaitable[Tuple[int, Any, Optional[Dict[str, str]]]]]
         ] = {
@@ -282,23 +416,81 @@ class NetServer:
             ("GET", "/readyz"): self._readyz,
             ("GET", "/metrics"): self._metrics,
             ("GET", "/statz"): self._statz,
-            ("POST", "/v1/locate"): lambda: self._locate(body),
+            ("GET", "/slo"): self._slo_route,
+            ("GET", "/debug/timeseries"): lambda: self._debug_timeseries(query),
+            ("GET", "/debug/traces"): lambda: self._debug_traces(query),
+            ("POST", "/v1/locate"): lambda: self._locate(body, request_id, trace_children),
         }
         handler = routes.get((method, path))
         if handler is None:
             if any(route_path == path for _, route_path in routes):
                 return 405, error_body("method_not_allowed", f"{method} {path}"), None
             return 404, error_body("not_found", path), None
+        traced = tracing_enabled() and path == "/v1/locate"
+        started_epoch = time.time()
+        started = time.perf_counter()
+        extra: Optional[Dict[str, str]]
         try:
-            return await handler()
+            with bind_request_id(request_id):
+                status, payload, extra = await handler()
         except Exception as error:  # noqa: BLE001 - total mapping to HTTP
             status, payload = classify_error(error, self.config.retry_after_s)
-            extra: Optional[Dict[str, str]] = None
+            extra = None
             if status == 429:
                 # RFC 9110 Retry-After is delta-seconds (an integer);
                 # the JSON body carries the precise float hint.
                 extra = {"Retry-After": str(max(1, math.ceil(self.config.retry_after_s)))}
-            return status, payload, extra
+            if path == "/v1/locate":
+                # Server-side failures are warnings; client/backpressure
+                # outcomes (4xx) stay at debug so shedding under load
+                # does not flood the log.
+                log = _logger.warning if status >= 500 else _logger.debug
+                log(
+                    "locate request failed: status=%s kind=%s: %s",
+                    status,
+                    payload.get("error", {}).get("kind", "unknown"),
+                    error,
+                    extra={"request_id": request_id},
+                )
+        if traced:
+            self._record_trace(
+                request_id,
+                id_source,
+                path,
+                status,
+                started_epoch,
+                time.perf_counter() - started,
+                trace_children,
+            )
+        extra = dict(extra) if extra else {}
+        extra["X-Request-Id"] = request_id
+        return status, payload, extra
+
+    def _record_trace(
+        self,
+        request_id: str,
+        id_source: str,
+        path: str,
+        status: int,
+        started_epoch: float,
+        elapsed_s: float,
+        children: List[SpanNode],
+    ) -> None:
+        """Assemble the ingress root span and offer it to the recorder."""
+        ingress = SpanNode(
+            name="serve.net.ingress",
+            attributes={
+                "request_id": request_id,
+                "id_source": id_source,
+                "route": path,
+                "status": status,
+            },
+            start_s=started_epoch,
+            end_s=started_epoch + elapsed_s,
+            pid=os.getpid(),
+            children=children,
+        )
+        self._recorder.consider(ingress, status=status, request_id=request_id, route=path)
 
     async def _healthz(self) -> Tuple[int, Any, Optional[Dict[str, str]]]:
         return 200, {"status": "ok"}, None
@@ -330,18 +522,100 @@ class NetServer:
             None,
         )
 
-    async def _locate(self, body: bytes) -> Tuple[int, Any, Optional[Dict[str, str]]]:
-        """The request path: parse -> route -> await the shard's answer."""
+    async def _locate(
+        self, body: bytes, request_id: str, trace_children: List[SpanNode]
+    ) -> Tuple[int, Any, Optional[Dict[str, str]]]:
+        """The request path: parse -> route -> await the shard's answer.
+
+        With tracing on, the worker ships its dispatch spans back on the
+        response payload (keyed by ``request_id``); they are grafted
+        under a ``serve.net.route`` span appended to ``trace_children``
+        so :meth:`_dispatch` can hang the whole subtree off the ingress
+        root.
+        """
         started = time.perf_counter()
+        started_epoch = time.time()
+        traced = tracing_enabled()
         call = parse_locate_body(body, max_deadline_s=self.config.max_deadline_s)
-        future, shard = self._supervisor.submit(call)
+        future, shard = self._supervisor.submit(
+            call, request_id=request_id if traced else None
+        )
         if metrics_enabled():
             get_registry().histogram(
                 "serve.net.shard_route", buckets=_SHARD_BUCKETS
             ).observe(float(shard))
         payload = await asyncio.wrap_future(future)
         server_ms = (time.perf_counter() - started) * 1e3
-        return 200, encode_report_payload(payload, shard, server_ms), None
+        worker_trace = payload.pop("trace", None)
+        if traced:
+            trace_children.append(
+                SpanNode(
+                    name="serve.net.route",
+                    attributes={
+                        "request_id": request_id,
+                        "shard": shard,
+                        "estimator": call.estimator,
+                    },
+                    start_s=started_epoch,
+                    end_s=time.time(),
+                    pid=os.getpid(),
+                    children=[SpanNode.from_dict(p) for p in (worker_trace or [])],
+                )
+            )
+        return (
+            200,
+            encode_report_payload(payload, shard, server_ms, request_id=request_id),
+            None,
+        )
+
+    async def _slo_route(self) -> Tuple[int, Any, Optional[Dict[str, str]]]:
+        report = await asyncio.to_thread(self._slo.evaluate)
+        return 200, report, None
+
+    async def _debug_timeseries(
+        self, query: str
+    ) -> Tuple[int, Any, Optional[Dict[str, str]]]:
+        window_s = self.config.history_window_s
+        params = parse_qs(query)
+        if "window" in params:
+            try:
+                window_s = float(params["window"][0])
+            except ValueError:
+                return (
+                    400,
+                    error_body("bad_request", f"bad window: {params['window'][0]!r}"),
+                    None,
+                )
+            if window_s <= 0:
+                return 400, error_body("bad_request", "window must be positive"), None
+        samples = self._history.window(window_s)
+        return (
+            200,
+            {
+                "cadence_s": self.config.history_cadence_s,
+                "window_s": window_s,
+                "samples": [derive_serve_sample(sample) for sample in samples],
+            },
+            None,
+        )
+
+    async def _debug_traces(self, query: str) -> Tuple[int, Any, Optional[Dict[str, str]]]:
+        params = parse_qs(query)
+        limit: Optional[int] = None
+        if "limit" in params:
+            try:
+                limit = int(params["limit"][0])
+            except ValueError:
+                return (
+                    400,
+                    error_body("bad_request", f"bad limit: {params['limit'][0]!r}"),
+                    None,
+                )
+        return (
+            200,
+            {"stats": self._recorder.stats(), "traces": self._recorder.snapshot(limit)},
+            None,
+        )
 
     def _observe(self, path: str, status: int, elapsed_s: float) -> None:
         if not metrics_enabled():
@@ -464,6 +738,16 @@ async def _serve_until_signalled(config: NetServeConfig) -> List[Dict[str, Any]]
             loop.add_signal_handler(signum, stop.set)
         except NotImplementedError:  # pragma: no cover - non-POSIX loop
             signal.signal(signum, lambda *_: stop.set())
+
+    def _dump_traces() -> None:
+        path, count = server.dump_traces()
+        print(f"lion serve: dumped {count} traces to {path}", flush=True)
+
+    if hasattr(signal, "SIGUSR2"):
+        try:
+            loop.add_signal_handler(signal.SIGUSR2, _dump_traces)
+        except NotImplementedError:  # pragma: no cover - non-POSIX loop
+            pass
     await stop.wait()
     print("lion serve: draining", flush=True)
     stats = await server.shutdown()

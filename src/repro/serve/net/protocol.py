@@ -158,13 +158,17 @@ def parse_locate_body(raw: bytes, max_deadline_s: Optional[float] = None) -> Loc
 
 
 def encode_report_payload(
-    payload: Dict[str, Any], shard: int, server_ms: float
+    payload: Dict[str, Any],
+    shard: int,
+    server_ms: float,
+    request_id: Optional[str] = None,
 ) -> Dict[str, Any]:
     """JSON-safe success body from a worker's report payload.
 
     ``payload`` is the picklable report dict a worker ships back
     (:func:`repro.serve.net.worker.report_payload`); arrays become
-    lists, and the serving envelope (shard, timing) is stamped on.
+    lists, and the serving envelope (shard, timing, request id) is
+    stamped on.
     """
     body: Dict[str, Any] = {
         "estimator": payload["estimator"],
@@ -175,6 +179,8 @@ def encode_report_payload(
         "shard": shard,
         "server_ms": round(server_ms, 3),
     }
+    if request_id is not None:
+        body["request_id"] = request_id
     residuals = payload.get("residuals")
     if residuals is not None:
         body["residuals"] = np.asarray(residuals).tolist()

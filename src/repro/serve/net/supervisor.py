@@ -126,42 +126,8 @@ class ShardSupervisor:
         if self._started:
             return
         self._started = True
-        ctx = multiprocessing.get_context("spawn")
         for index in range(self.config.shards):
-            worker_config = WorkerConfig(
-                shard_index=index,
-                engine=self.config.engine,
-                metrics=self.config.metrics,
-                drain_timeout_s=self.config.drain_timeout_s,
-            )
-            parent_conn, child_conn = ctx.Pipe(duplex=True)
-            runner: Any
-            if self.config.worker_mode == "process":
-                runner = ctx.Process(
-                    target=worker_main,
-                    args=(child_conn, worker_config),
-                    name=f"repro-serve-net-worker-{index}",
-                    daemon=True,
-                )
-                runner.start()
-                child_conn.close()
-            else:
-                runner = threading.Thread(
-                    target=worker_main,
-                    args=(child_conn, worker_config),
-                    name=f"repro-serve-net-worker-{index}",
-                    daemon=True,
-                )
-                runner.start()
-            worker = _Worker(index=index, conn=parent_conn, runner=runner)
-            worker.receiver = threading.Thread(
-                target=self._recv_loop,
-                args=(worker,),
-                name=f"repro-serve-net-recv-{index}",
-                daemon=True,
-            )
-            worker.receiver.start()
-            self._workers.append(worker)
+            self._workers.append(self._spawn_worker(index))
         deadline = time.monotonic() + self.config.ready_timeout_s
         for worker in self._workers:
             if not worker.ready.wait(max(deadline - time.monotonic(), 0.0)):
@@ -170,6 +136,89 @@ class ShardSupervisor:
                     f"shard {worker.index} missed the ready handshake within "
                     f"{self.config.ready_timeout_s:.1f}s"
                 )
+
+    def _spawn_worker(self, index: int) -> _Worker:
+        """Spawn one shard worker (process or thread) and its receiver."""
+        ctx = multiprocessing.get_context("spawn")
+        worker_config = WorkerConfig(
+            shard_index=index,
+            engine=self.config.engine,
+            metrics=self.config.metrics,
+            tracing=self.config.tracing,
+            drain_timeout_s=self.config.drain_timeout_s,
+        )
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        runner: Any
+        if self.config.worker_mode == "process":
+            runner = ctx.Process(
+                target=worker_main,
+                args=(child_conn, worker_config),
+                name=f"repro-serve-net-worker-{index}",
+                daemon=True,
+            )
+            runner.start()
+            child_conn.close()
+        else:
+            runner = threading.Thread(
+                target=worker_main,
+                args=(child_conn, worker_config),
+                name=f"repro-serve-net-worker-{index}",
+                daemon=True,
+            )
+            runner.start()
+        worker = _Worker(index=index, conn=parent_conn, runner=runner)
+        worker.receiver = threading.Thread(
+            target=self._recv_loop,
+            args=(worker,),
+            name=f"repro-serve-net-recv-{index}",
+            daemon=True,
+        )
+        worker.receiver.start()
+        return worker
+
+    def restart_shard(self, index: int, timeout: Optional[float] = None) -> None:
+        """Replace one shard's worker with a fresh one.
+
+        In-flight requests to the old worker fail with
+        :class:`WorkerDiedError` (clients retry; the stable routing key
+        sends them back to the same shard). The old runner is torn down
+        — terminated when it is a process, abandoned to its EOF exit
+        when it is a thread — and a replacement spawns with the same
+        shard index, so metrics labels and routing are unchanged.
+
+        Raises:
+            RuntimeError: when the supervisor is not running, ``index``
+                is out of range, or the replacement misses its ready
+                handshake.
+        """
+        if not self._started or self._closed or self._draining:
+            raise RuntimeError("restart_shard requires a running supervisor")
+        if not 0 <= index < len(self._workers):
+            raise RuntimeError(
+                f"shard index {index} out of range 0..{len(self._workers) - 1}"
+            )
+        old = self._workers[index]
+        old.dead = True
+        self._fail_pending(old, WorkerDiedError(f"shard {index} restarting"))
+        try:
+            old.conn.close()
+        except OSError:
+            pass
+        if isinstance(old.runner, multiprocessing.process.BaseProcess):
+            if old.runner.is_alive():
+                old.runner.terminate()
+            old.runner.join(5.0)
+        if old.receiver is not None:
+            old.receiver.join(timeout=5.0)
+        replacement = self._spawn_worker(index)
+        self._workers[index] = replacement
+        budget = self.config.ready_timeout_s if timeout is None else timeout
+        if not replacement.ready.wait(budget):
+            replacement.dead = True
+            raise RuntimeError(
+                f"shard {index} replacement missed the ready handshake within "
+                f"{budget:.1f}s"
+            )
 
     def ready(self) -> Tuple[bool, str]:
         """Whether every shard accepts traffic, with a reason when not."""
@@ -242,7 +291,9 @@ class ShardSupervisor:
     # ------------------------------------------------------------------
     # request path
     # ------------------------------------------------------------------
-    def submit(self, call: LocateCall) -> "Tuple[Future[Dict[str, Any]], int]":
+    def submit(
+        self, call: LocateCall, request_id: Optional[str] = None
+    ) -> "Tuple[Future[Dict[str, Any]], int]":
         """Route one parsed call; returns ``(future, shard)``.
 
         The future resolves to the worker's report payload dict, or to
@@ -252,6 +303,10 @@ class ShardSupervisor:
         :class:`QueueFullError` at the inflight bound,
         :class:`EngineClosedError` when draining,
         :class:`WorkerDiedError` for a dead shard.
+
+        ``request_id`` rides the wire so the worker stamps it on its
+        dispatch spans and ships them back on the response payload
+        (``payload["trace"]``) for cross-process trace stitching.
         """
         if self._draining or self._closed:
             raise EngineClosedError("server is draining")
@@ -285,6 +340,7 @@ class ShardSupervisor:
                 scalars=call.scalars,
                 deadline_epoch=deadline_epoch,
                 include_residuals=call.include_residuals,
+                request_id=request_id or "",
             )
             worker.pending[req_id] = _Pending(future=future, bundle=bundle, shard=shard)
             try:

@@ -29,7 +29,14 @@ from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.obs import enable_metrics, get_registry, metrics_enabled
+from repro.obs import (
+    enable_metrics,
+    enable_tracing,
+    get_registry,
+    metrics_enabled,
+    take_request_spans,
+    tracing_enabled,
+)
 from repro.parallel import SharedArraySpec, attach_shared_arrays, detach_shared_arrays
 from repro.pipeline.contract import EstimationReport, EstimationRequest
 from repro.serve.engine import ServeConfig, ServeEngine
@@ -53,12 +60,16 @@ class WorkerConfig:
         shard_index: this worker's shard number (labels, logs).
         engine: the hosted engine's :class:`ServeConfig`.
         metrics: enable :mod:`repro.obs` metrics in the worker.
+        tracing: enable :mod:`repro.obs` span recording; dispatch spans
+            of traced requests ship back on the response payload so the
+            front end stitches them into one cross-process trace.
         drain_timeout_s: bound on the closing engine drain.
     """
 
     shard_index: int
     engine: ServeConfig = field(default_factory=ServeConfig)
     metrics: bool = True
+    tracing: bool = False
     drain_timeout_s: float = 30.0
 
 
@@ -76,6 +87,9 @@ class WireRequest:
             across processes) or ``None``.
         include_residuals: whether the response payload carries
             residuals.
+        request_id: end-to-end request id from the HTTP ingress (empty
+            when tracing is off); stamps the engine's dispatch span so
+            worker spans stitch back to this request.
     """
 
     req_id: int
@@ -86,6 +100,7 @@ class WireRequest:
     scalars: Dict[str, Any]
     deadline_epoch: Optional[float]
     include_residuals: bool
+    request_id: str = ""
 
 
 @dataclass(frozen=True)
@@ -173,7 +188,11 @@ def _submit(
             # the ticket resolves with the engine's own DeadlineExceededError.
             deadline_s = max(message.deadline_epoch - time.time(), 1e-9)
         ticket = engine.submit(
-            message.name, request, config=message.config, deadline_s=deadline_s
+            message.name,
+            request,
+            config=message.config,
+            deadline_s=deadline_s,
+            request_id=message.request_id or None,
         )
     except Exception as error:  # noqa: BLE001 - every failure must answer
         outbound.put(WireResponse(message.req_id, False, _error_payload(error)))
@@ -181,11 +200,16 @@ def _submit(
 
     req_id = message.req_id
     include_residuals = message.include_residuals
+    request_id = message.request_id
 
     def _done(future: Any) -> None:
         error = future.exception()
         if error is None:
             payload = report_payload(future.result(), include_residuals)
+            if request_id and tracing_enabled():
+                spans = take_request_spans(request_id)
+                if spans:
+                    payload["trace"] = spans
             outbound.put(WireResponse(req_id, True, payload))
         else:
             outbound.put(WireResponse(req_id, False, _error_payload(error)))
@@ -206,6 +230,8 @@ def worker_main(conn: Connection, config: WorkerConfig) -> None:
     """
     if config.metrics:
         enable_metrics()
+    if config.tracing:
+        enable_tracing()
     outbound: "queue.Queue[Optional[Any]]" = queue.Queue()
     sender = threading.Thread(
         target=_send_loop,

@@ -70,3 +70,80 @@ class TestDataTooling:
         main(["simulate", "--scenario", "three-line", "--out", csv_path])
         with pytest.raises(SystemExit):
             main(["calibrate", csv_path, "--physical-center", "nonsense"])
+
+
+class TestTopCommand:
+    def _timeseries(self, rows=3):
+        return {
+            "cadence_s": 1.0,
+            "window_s": 60.0,
+            "samples": [
+                {
+                    "t": float(i), "dt": 1.0, "req_s": 10.0 + i, "err_s": 0.0,
+                    "shed_s": 0.0, "p50_ms": 4.0, "p99_ms": 9.0 if i else None,
+                    "inflight": 1.0, "queue_depth": 0.0,
+                }
+                for i in range(rows)
+            ],
+        }
+
+    def _slo(self, state="ok"):
+        return {
+            "route": "/v1/locate",
+            "state": state,
+            "objectives": [
+                {
+                    "name": "latency_p99_le_250ms", "kind": "latency",
+                    "state": state, "budget_remaining": 1.0,
+                    "windows": [
+                        {"window_s": 30.0, "burn_rate": 0.0, "burning": False},
+                    ],
+                }
+            ],
+        }
+
+    def test_render_top_frame(self):
+        from repro.cli import _render_top
+
+        frame = _render_top("http://x", self._timeseries(), self._slo(), 60.0)
+        assert "lion top — http://x" in frame
+        assert "samples=3" in frame and "slo=ok" in frame
+        assert "req/s" in frame and "queue" in frame
+        assert "slo latency_p99_le_250ms: ok" in frame
+        assert "budget_remaining=1.0" in frame
+
+    def test_render_top_burning_and_empty(self):
+        from repro.cli import _render_top
+
+        slo = self._slo("burning")
+        slo["objectives"][0]["windows"][0].update(burn_rate=50.0, burning=True)
+        frame = _render_top("http://x", {"samples": []}, slo, 60.0)
+        assert "no samples yet" in frame
+        assert "burning_windows=[30.0]" in frame and "max_burn=50" in frame
+
+    def test_top_once_against_live_server(self, capsys):
+        from repro.serve import ServeConfig
+        from repro.serve.net import NetServeConfig, ServerHandle
+
+        config = NetServeConfig(
+            port=0, shards=1, worker_mode="thread",
+            engine=ServeConfig(max_wait_s=0.001), history_cadence_s=0.05,
+        )
+        with ServerHandle(config) as handle:
+            url = f"http://127.0.0.1:{handle.port}"
+            assert main(["top", url, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "lion top —" in out and "slo=" in out
+
+    def test_top_rejects_bad_interval_and_window(self):
+        assert main(["top", "http://127.0.0.1:1", "--interval", "0", "--once"]) == 2
+        assert main(["top", "http://127.0.0.1:1", "--window", "-5", "--once"]) == 2
+
+    def test_top_unreachable_server_exits_1(self):
+        import socket
+
+        # Grab a port that is definitely closed.
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        assert main(["top", f"http://127.0.0.1:{port}", "--once"]) == 1

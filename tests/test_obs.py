@@ -280,6 +280,20 @@ class TestPrometheusExport:
         text = registry.to_prometheus_text()
         assert text.count("# TYPE lion_c_total counter") == 1
 
+    def test_label_values_escaped(self):
+        # Exposition format requires backslash, quote, and newline
+        # escapes inside quoted label values — a raw estimator name like
+        # C:\scan or an error string with a quote must not corrupt the
+        # scrape.
+        registry = MetricsRegistry()
+        registry.counter("c_total", path="C:\\scan", note='say "hi"\nbye').inc()
+        text = registry.to_prometheus_text()
+        assert 'path="C:\\\\scan"' in text
+        assert 'note="say \\"hi\\"\\nbye"' in text
+        # A raw newline would split the series across two lines.
+        series_lines = [ln for ln in text.splitlines() if ln.startswith("lion_c_total{")]
+        assert len(series_lines) == 1
+
 
 # -- disabled-mode no-op ---------------------------------------------------
 
@@ -425,3 +439,18 @@ class TestLogging:
     def test_bad_level_raises(self):
         with pytest.raises(ValueError):
             configure_logging("chatty")
+
+    def test_bound_request_id_appended_to_log_lines(self, capsys):
+        from repro.obs import bind_request_id
+
+        configure_logging("info")
+        logger = get_logger("serve.net")
+        with bind_request_id("abc123"):
+            logger.info("inside request")
+        logger.info("outside request")
+        logger.info("explicit", extra={"request_id": "xyz789"})
+        captured = capsys.readouterr().err
+        lines = captured.splitlines()
+        assert any("inside request" in ln and "request_id=abc123" in ln for ln in lines)
+        assert any("outside request" in ln and "request_id" not in ln for ln in lines)
+        assert any("explicit" in ln and "request_id=xyz789" in ln for ln in lines)

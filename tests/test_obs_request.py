@@ -1,0 +1,366 @@
+"""Tests for the request-scoped observability layer.
+
+Covers the three modules behind the serving stack's request tracing:
+``repro.obs.request`` (id minting/parsing, context binding, the
+span store's claim semantics, the flight recorder),
+``repro.obs.history`` (delta ring buffer, reset semantics, derived
+quantiles, the sampler's synchronous baseline), and ``repro.obs.slo``
+(burn-rate evaluation and budget-burn transition logging).
+
+Histories are fed synthetic registry snapshots with explicit ``now``
+timestamps, so every windowed assertion is deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    configure_logging,
+    disable_tracing,
+    enable_tracing,
+    get_registry,
+    reset_tracing,
+    span,
+)
+from repro.obs.history import (
+    HistDelta,
+    HistorySampler,
+    MetricsHistory,
+    count_le,
+    counter_delta,
+    gauge_values,
+    histogram_delta,
+    quantile,
+)
+from repro.obs.request import (
+    FlightRecorder,
+    RequestSpanStore,
+    bind_request_id,
+    current_request_id,
+    parse_traceparent,
+    request_id_from_headers,
+    reset_request_spans,
+    take_request_spans,
+)
+from repro.obs.slo import (
+    SloObjective,
+    SloTracker,
+    error_rate_slo,
+    latency_slo,
+)
+from repro.obs.trace import SpanNode
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    disable_tracing()
+    reset_tracing()
+    reset_request_spans()
+    get_registry().reset()
+    yield
+    disable_tracing()
+    reset_tracing()
+    reset_request_spans()
+    get_registry().reset()
+
+
+# -- request ids -----------------------------------------------------------
+
+
+class TestRequestId:
+    def test_x_request_id_wins(self):
+        rid, source = request_id_from_headers(
+            {
+                "x-request-id": "abc-123",
+                "traceparent": "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+            }
+        )
+        assert (rid, source) == ("abc-123", "x-request-id")
+
+    def test_traceparent_fallback(self):
+        rid, source = request_id_from_headers(
+            {"traceparent": "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"}
+        )
+        assert (rid, source) == ("0af7651916cd43dd8448eb211c80319c", "traceparent")
+
+    def test_generated_when_absent_or_malformed(self):
+        for headers in (
+            {},
+            {"x-request-id": "bad id with spaces", "traceparent": "nonsense"},
+            {"x-request-id": "x" * 200},  # over the length bound
+        ):
+            rid, source = request_id_from_headers(headers)
+            assert source == "generated"
+            assert len(rid) == 32 and int(rid, 16) >= 0
+
+    def test_traceparent_rejects_zero_trace_id(self):
+        assert parse_traceparent("00-" + "0" * 32 + "-b7ad6b7169203331-01") is None
+        assert parse_traceparent("garbage") is None
+
+    def test_bind_request_id_scopes_and_nests(self):
+        assert current_request_id() is None
+        with bind_request_id("outer"):
+            assert current_request_id() == "outer"
+            with bind_request_id("inner"):
+                assert current_request_id() == "inner"
+            with bind_request_id(None):  # no-op binding
+                assert current_request_id() == "outer"
+        assert current_request_id() is None
+
+
+# -- span store ------------------------------------------------------------
+
+
+def _root(name: str, **attributes) -> dict:
+    return SpanNode(name=name, attributes=attributes).to_dict()
+
+
+class TestRequestSpanStore:
+    def test_scalar_claim_drops_entry(self):
+        store = RequestSpanStore()
+        store.ingest([_root("serve.scalar", request_id="r1")])
+        assert len(store) == 1
+        claimed = store.take("r1")
+        assert [c["name"] for c in claimed] == ["serve.scalar"]
+        assert len(store) == 0
+        assert store.take("r1") == []
+
+    def test_batch_span_claimed_once_per_member(self):
+        store = RequestSpanStore()
+        store.ingest([_root("serve.batch", request_ids=("r1", "r2"))])
+        assert [c["name"] for c in store.take("r1")] == ["serve.batch"]
+        assert len(store) == 1  # r2 has not claimed yet
+        assert [c["name"] for c in store.take("r2")] == ["serve.batch"]
+        assert len(store) == 0
+
+    def test_unlinked_roots_discarded_and_capacity_bounded(self):
+        store = RequestSpanStore(capacity=3)
+        store.ingest([_root("orphan")])
+        assert len(store) == 0
+        store.ingest([_root("s", request_id=f"r{i}") for i in range(5)])
+        assert len(store) == 3
+        assert store.take("r0") == []  # evicted oldest
+        assert len(store.take("r4")) == 1
+
+    def test_take_drains_live_trace_roots(self):
+        enable_tracing()
+        with span("serve.scalar", request_id="live-1"):
+            pass
+        claimed = take_request_spans("live-1")
+        assert [c["name"] for c in claimed] == ["serve.scalar"]
+        assert claimed[0]["attributes"]["request_id"] == "live-1"
+
+
+# -- flight recorder -------------------------------------------------------
+
+
+def _trace(wall_s: float) -> SpanNode:
+    return SpanNode(name="serve.net.ingress", start_s=100.0, end_s=100.0 + wall_s)
+
+
+class TestFlightRecorder:
+    def test_records_errors_and_slow_skips_fast_ok(self):
+        recorder = FlightRecorder(capacity=8, slow_threshold_s=0.5)
+        assert not recorder.consider(
+            _trace(0.01), status=200, request_id="fast", route="/v1/locate"
+        )
+        assert recorder.consider(
+            _trace(0.01), status=500, request_id="err", route="/v1/locate"
+        )
+        assert recorder.consider(
+            _trace(0.9), status=200, request_id="slow", route="/v1/locate"
+        )
+        stats = recorder.stats()
+        assert stats == {"considered": 3, "recorded": 2, "retained": 2, "capacity": 8}
+
+    def test_snapshot_newest_first_with_limit_and_eviction(self):
+        recorder = FlightRecorder(capacity=2, slow_threshold_s=0.0)
+        for index in range(4):
+            recorder.consider(
+                _trace(0.01), status=200, request_id=f"r{index}", route="/v1/locate"
+            )
+        snapshot = recorder.snapshot()
+        assert [entry["request_id"] for entry in snapshot] == ["r3", "r2"]
+        assert [e["request_id"] for e in recorder.snapshot(limit=1)] == ["r3"]
+
+    def test_dump_writes_json(self, tmp_path):
+        recorder = FlightRecorder(capacity=4, slow_threshold_s=0.0)
+        recorder.consider(_trace(0.02), status=200, request_id="d1", route="/v1/locate")
+        path = tmp_path / "flight.json"
+        assert recorder.dump(str(path)) == 1
+        import json
+
+        payload = json.loads(path.read_text())
+        assert payload["traces"][0]["request_id"] == "d1"
+        assert payload["traces"][0]["duration_ms"] == pytest.approx(20.0)
+
+
+# -- telemetry history -----------------------------------------------------
+
+
+def _snapshot(requests: float, errors: float = 0.0, hist_counts=(0, 0, 0), depth=0.0):
+    route = {"route": "/v1/locate"}
+    return {
+        "counters": [
+            {"name": "serve.net.requests_total", "labels": {**route, "status": "200"},
+             "value": requests},
+            {"name": "serve.net.requests_total", "labels": {**route, "status": "500"},
+             "value": errors},
+        ],
+        "gauges": [
+            {"name": "serve.queue_depth", "labels": {}, "value": depth},
+        ],
+        "histograms": [
+            {
+                "name": "serve.net.request_seconds",
+                "labels": route,
+                "buckets": [0.1, 0.25],
+                "counts": list(hist_counts),
+                "sum": 0.0,
+            }
+        ],
+    }
+
+
+class TestMetricsHistory:
+    def test_first_observation_is_baseline(self):
+        history = MetricsHistory()
+        assert history.observe(_snapshot(10), now=0.0) is None
+        assert len(history) == 0
+
+    def test_counter_deltas_and_reset_semantics(self):
+        history = MetricsHistory()
+        history.observe(_snapshot(10), now=0.0)
+        sample = history.observe(_snapshot(17), now=1.0)
+        assert counter_delta(sample, "serve.net.requests_total") == 7.0
+        # A counter that went down means the source restarted: the
+        # current value is the whole delta, never a negative rate.
+        sample = history.observe(_snapshot(3), now=2.0)
+        assert counter_delta(sample, "serve.net.requests_total") == 3.0
+
+    def test_label_filtered_delta_and_gauges(self):
+        history = MetricsHistory()
+        history.observe(_snapshot(0, errors=0), now=0.0)
+        sample = history.observe(_snapshot(8, errors=2, depth=5.0), now=1.0)
+        errors = counter_delta(
+            sample,
+            "serve.net.requests_total",
+            lambda labels: labels.get("status") == "500",
+        )
+        assert errors == 2.0
+        assert gauge_values(sample, "serve.queue_depth") == [({}, 5.0)]
+
+    def test_histogram_delta_quantile_and_count_le(self):
+        history = MetricsHistory()
+        history.observe(_snapshot(0), now=0.0)
+        history.observe(_snapshot(0, hist_counts=(8, 1, 1)), now=1.0)
+        history.observe(_snapshot(0, hist_counts=(16, 2, 2)), now=2.0)
+        merged = histogram_delta(history.window(10.0, now=2.0), "serve.net.request_seconds")
+        assert merged == HistDelta(buckets=(0.1, 0.25), counts=(16, 2, 2), sum=0.0)
+        assert quantile(merged, 0.5) == pytest.approx(0.0625)
+        assert count_le(merged, 0.2) == (18, 0.25)  # snapped up to the 0.25 edge
+        assert count_le(merged, 99.0) == (20, float("inf"))
+        assert quantile(None, 0.5) is None
+
+    def test_window_trims_by_timestamp_and_capacity(self):
+        history = MetricsHistory(capacity=2)
+        for tick in range(4):
+            history.observe(_snapshot(float(tick)), now=float(tick))
+        assert len(history) == 2  # ring capacity
+        assert [s.t for s in history.window(1.5, now=3.0)] == [2.0, 3.0]
+
+
+class TestHistorySampler:
+    def test_start_takes_synchronous_baseline(self):
+        # Traffic landing between start() and the first tick must show
+        # up as a delta, not fold silently into the baseline.
+        value = {"n": 100.0}
+        history = MetricsHistory()
+        sampler = HistorySampler(
+            source=lambda: _snapshot(value["n"]), history=history, cadence_s=3600.0
+        )
+        sampler.start()
+        try:
+            assert len(history) == 0  # baseline only, no interval yet
+            value["n"] = 140.0
+            sample = sampler.sample_once()
+            assert counter_delta(sample, "serve.net.requests_total") == 40.0
+        finally:
+            sampler.stop()
+
+    def test_source_failure_does_not_raise(self):
+        def broken():
+            raise RuntimeError("scrape failed")
+
+        sampler = HistorySampler(source=broken, history=MetricsHistory(), cadence_s=1.0)
+        assert sampler.sample_once() is None
+        assert sampler.sample_once() is None  # second failure stays silent
+
+
+# -- SLOs ------------------------------------------------------------------
+
+
+class TestSloObjectives:
+    def test_factories_and_validation(self):
+        latency = latency_slo(250.0)
+        assert latency.name == "latency_p99_le_250ms"
+        assert latency.threshold_s == pytest.approx(0.25)
+        errors = error_rate_slo(0.01)
+        assert errors.name == "error_rate_le_1pct"
+        assert errors.target == pytest.approx(0.99)
+        with pytest.raises(ValueError):
+            SloObjective(name="x", kind="latency", target=0.99)  # no threshold
+        with pytest.raises(ValueError):
+            SloObjective(name="x", kind="weird", target=0.99)
+        with pytest.raises(ValueError):
+            SloObjective(name="x", kind="error_rate", target=1.5)
+
+
+class TestSloTracker:
+    def _tracker(self, history):
+        return SloTracker(history, [latency_slo(250.0), error_rate_slo(0.01)])
+
+    def test_idle_then_ok(self):
+        history = MetricsHistory()
+        tracker = self._tracker(history)
+        assert tracker.evaluate(now=0.0)["state"] == "idle"
+        history.observe(_snapshot(0), now=0.0)
+        history.observe(_snapshot(100, hist_counts=(100, 0, 0)), now=1.0)
+        payload = tracker.evaluate(now=1.0)
+        assert payload["state"] == "ok"
+        by_name = {entry["name"]: entry for entry in payload["objectives"]}
+        assert by_name["latency_p99_le_250ms"]["state"] == "ok"
+        assert by_name["latency_p99_le_250ms"]["threshold_ms"] == pytest.approx(250.0)
+        assert by_name["error_rate_le_1pct"]["budget_remaining"] == 1.0
+
+    def test_burning_and_recovery_logged(self, capsys):
+        # The repro hierarchy does not propagate to the root logger, so
+        # assert on the structured stderr stream configure_logging owns.
+        configure_logging("info")
+        history = MetricsHistory()
+        tracker = self._tracker(history)
+        history.observe(_snapshot(0, errors=0), now=0.0)
+        # 50% errors: bad_fraction 0.5 / budget 0.01 = burn 50 >= 14.4.
+        history.observe(_snapshot(10, errors=10, hist_counts=(20, 0, 0)), now=1.0)
+        payload = tracker.evaluate(now=1.0)
+        assert payload["state"] == "burning"
+        errors = [e for e in payload["objectives"] if e["kind"] == "error_rate"][0]
+        assert errors["state"] == "burning"
+        assert any(w["burning"] for w in errors["windows"])
+        # Recovery: the error burst ages out of every window.
+        payload = tracker.evaluate(now=1000.0)
+        assert payload["state"] == "idle"
+        captured = capsys.readouterr().err
+        assert "SLO budget burning: objective=error_rate_le_1pct" in captured
+        assert "SLO budget recovered: objective=error_rate_le_1pct" in captured
+
+    def test_latency_objective_burns_on_slow_tail(self):
+        history = MetricsHistory()
+        tracker = SloTracker(history, [latency_slo(250.0)])
+        history.observe(_snapshot(0), now=0.0)
+        # 4 of 20 requests over the 0.25 s edge: bad fraction 0.2 ->
+        # burn 20 against the 1% budget.
+        history.observe(_snapshot(20, hist_counts=(10, 6, 4)), now=1.0)
+        payload = tracker.evaluate(now=1.0)
+        assert payload["objectives"][0]["state"] == "burning"

@@ -68,10 +68,10 @@ def _hologram_body(seed=0, reads=200, grid=0.01, **extra):
     return json.dumps(body).encode()
 
 
-def _post(port, body, method="POST", path="/v1/locate"):
+def _post(port, body, method="POST", path="/v1/locate", headers=None):
     conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
     try:
-        conn.request(method, path, body=body)
+        conn.request(method, path, body=body, headers=headers or {})
         response = conn.getresponse()
         return response.status, dict(response.headers), response.read()
     finally:
@@ -455,3 +455,143 @@ class TestProcessMode:
             stats = handle.stop()
             assert [entry["shard"] for entry in stats] == [0, 1]
             assert all(entry["drained_clean"] for entry in stats)
+
+
+def _span_names_and_pids(trace_dict):
+    names, pids = set(), set()
+
+    def walk(node):
+        names.add(node["name"])
+        if node.get("pid"):
+            pids.add(node["pid"])
+        for child in node.get("children", []):
+            walk(child)
+
+    walk(trace_dict)
+    return names, pids
+
+
+class TestRequestTracing:
+    def test_stitched_trace_timeseries_and_slo_process_mode(self):
+        config = NetServeConfig(
+            port=0,
+            shards=2,
+            worker_mode="process",
+            # Fused singletons so even one request takes the batch path.
+            engine=ServeConfig(max_wait_s=0.001, fuse_singletons=True),
+            recorder_slow_ms=0.0,  # record every request
+            history_cadence_s=0.05,
+        )
+        with ServerHandle(config) as handle:
+            status, headers, raw = _post(
+                handle.port,
+                _lion_body(seed=3),
+                headers={"X-Request-Id": "itest-trace-1"},
+            )
+            assert status == 200
+            payload = json.loads(raw)
+            # The caller-supplied id is echoed in header and body.
+            assert headers["X-Request-Id"] == "itest-trace-1"
+            assert payload["request_id"] == "itest-trace-1"
+            for seed in range(4, 10):  # burst for the timeseries
+                status, _, _ = _post(handle.port, _lion_body(seed=seed))
+                assert status == 200
+
+            # One stitched trace: ingress and shard-route spans from the
+            # server process, batch and solve spans from the worker.
+            status, recorder = _get(handle.port, "/debug/traces")
+            assert status == 200
+            ours = [
+                entry
+                for entry in recorder["traces"]
+                if entry["request_id"] == "itest-trace-1"
+            ]
+            assert len(ours) == 1
+            assert ours[0]["status"] == 200 and ours[0]["route"] == "/v1/locate"
+            names, pids = _span_names_and_pids(ours[0]["trace"])
+            assert {"serve.net.ingress", "serve.net.route", "serve.batch", "solve"} <= names
+            assert len(pids) >= 2  # spans crossed the process boundary
+            assert recorder["stats"]["recorded"] >= 7
+
+            time.sleep(0.25)  # let the sampler tick past the burst
+            status, series = _get(handle.port, "/debug/timeseries?window=60")
+            assert status == 200
+            assert series["samples"]
+            assert sum(row["req_s"] for row in series["samples"]) > 0
+
+            status, slo = _get(handle.port, "/slo")
+            assert status == 200
+            assert slo["route"] == "/v1/locate"
+            assert slo["state"] in ("ok", "burning")
+            by_kind = {entry["kind"]: entry for entry in slo["objectives"]}
+            # No request errored, so the error budget is intact.
+            assert by_kind["error_rate"]["state"] == "ok"
+            assert by_kind["error_rate"]["budget_remaining"] == 1.0
+            assert 0.0 <= by_kind["latency"]["budget_remaining"] <= 1.0
+
+    def test_tracing_disabled_records_nothing(self):
+        # Thread-mode servers share this process's tracing flag; a
+        # previous tracing-enabled server leaves it on, so clear it.
+        from repro.obs import disable_tracing, reset_request_spans, reset_tracing
+
+        disable_tracing()
+        reset_tracing()
+        reset_request_spans()
+        config = _thread_config(shards=1, tracing=False, recorder_slow_ms=0.0)
+        with ServerHandle(config) as handle:
+            status, headers, raw = _post(
+                handle.port, _lion_body(seed=5), headers={"X-Request-Id": "no-trace"}
+            )
+            assert status == 200
+            # Ids still flow with tracing off...
+            assert headers["X-Request-Id"] == "no-trace"
+            assert json.loads(raw)["request_id"] == "no-trace"
+            # ...but the flight recorder stays empty.
+            status, recorder = _get(handle.port, "/debug/traces")
+            assert status == 200
+            assert recorder["traces"] == []
+            assert recorder["stats"]["considered"] == 0
+
+
+class TestShardRestart:
+    def test_metrics_merge_survives_worker_restart(self):
+        config = NetServeConfig(
+            port=0,
+            shards=2,
+            worker_mode="process",
+            engine=ServeConfig(max_wait_s=0.001),
+        )
+        with ServerHandle(config) as handle:
+            status, _, raw = _post(handle.port, _lion_body(seed=11))
+            assert status == 200
+            shard = int(json.loads(raw)["shard"])
+
+            handle.server.supervisor.restart_shard(shard)
+
+            # The replacement worker serves the same traffic...
+            status, _, raw = _post(handle.port, _lion_body(seed=12))
+            assert status == 200
+            assert int(json.loads(raw)["shard"]) == shard
+
+            # ...and the merged exporter still carries its shard label.
+            status, _, raw = _post(handle.port, None, method="GET", path="/metrics")
+            assert status == 200
+            text = raw.decode()
+            assert f'shard="{shard}"' in text
+            assert "lion_serve_net_shard_requests_total" in text
+
+            status, statz = _get(handle.port, "/statz")
+            assert status == 200
+            assert statz["shards"] == 2
+            assert sorted(s["shard"] for s in statz["per_shard"]) == [0, 1]
+            assert statz["draining"] is False
+
+            stats = handle.stop()
+            assert [entry["shard"] for entry in stats] == [0, 1]
+            assert all(entry["drained_clean"] for entry in stats)
+
+    def test_restart_shard_rejects_bad_index(self):
+        config = _thread_config(shards=1)
+        with ServerHandle(config) as handle:
+            with pytest.raises(RuntimeError):
+                handle.server.supervisor.restart_shard(5)

@@ -1,19 +1,21 @@
-"""Streaming localization on an edge node (extension beyond the paper).
+"""Streaming localization through the session layer (beyond the paper).
 
 The paper motivates LION with edge deployments: limited compute, realtime
-requirements. Because the model is linear, it admits a *recursive* form —
-each read updates small normal equations in O(1), so an estimate is
-available continuously during the scan, not just at its end.
+requirements. Because the model is linear it admits a recursive form, and
+:mod:`repro.stream` packages that into a full session subsystem — a
+:class:`~repro.stream.SessionManager` owning per-``(tag, antenna)`` state
+machines that fold each read in O(1) on the fast path, periodically
+re-solve their sliding window through the batch solver, and narrate the
+whole lifecycle as typed events (``tag_entered`` → ``position_updated``
+→ ``tag_settled`` → ``tag_departed``).
 
-This example replays a conveyor scan read-by-read through
-:class:`repro.core.online.OnlineLionLocalizer`, printing how the estimate
-sharpens as the tag approaches and passes the antenna, and compares the
-final streaming estimate with the batch solver on the same data.
+This example replays a conveyor scan chunk-by-chunk through a session,
+prints the event stream as the estimate sharpens, and then verifies the
+headline invariant: the final windowed re-solve is **bit-identical** to
+the one-shot batch solver on the same window.
 
 Run:  python examples/online_tracking.py
 """
-
-import time
 
 import numpy as np
 
@@ -22,10 +24,13 @@ from repro import (
     BurstyPhaseNoise,
     LinearTrajectory,
     LionLocalizer,
-    OnlineLionLocalizer,
     SnrScaledPhaseNoise,
     simulate_scan,
 )
+from repro.stream import SessionManager, StreamConfig
+
+#: Reads per feed chunk — the cadence a reader would deliver them at.
+CHUNK_READS = 25
 
 
 def main() -> None:
@@ -46,34 +51,56 @@ def main() -> None:
         noise=noise,
     )
     print(f"replaying {len(scan)} reads; true phase center {truth.round(4)}")
-    print(f"{'reads':>6} {'x est':>8} {'y est':>8} {'error (cm)':>11}")
 
-    online = OnlineLionLocalizer(dim=2, pair_lag=300, gate_threshold=4.0)
-    start = time.perf_counter()
-    for index, (position, phase) in enumerate(zip(scan.positions, scan.phases)):
-        online.add_read(position, phase)
-        if online.ready() and (index + 1) % 250 == 0:
-            estimate = online.estimate()
-            error = np.linalg.norm(estimate.position - truth) * 100
+    manager = SessionManager(
+        defaults=StreamConfig(
+            max_window_reads=len(scan),  # keep the whole scan in the window
+            update_every_reads=50,
+            resolve_every_reads=300,
+            fast_pair_lag=300,  # long-lag pairs: the fast path needs the
+            # approach-and-pass geometry to pin down depth
+        )
+    )
+    session = manager.open_session(tag="PALLET-7", antenna=antenna.name)
+
+    timestamps = np.arange(len(scan)) / 120.0  # 120 Hz read rate
+    print(f"{'event':>22} {'reads':>6} {'x est':>8} {'y est':>8} {'error (cm)':>11}")
+    for start in range(0, len(scan), CHUNK_READS):
+        end = min(start + CHUNK_READS, len(scan))
+        chunk = [
+            (float(timestamps[k]), scan.positions[k], float(scan.phases[k]))
+            for k in range(start, end)
+        ]
+        result = manager.feed(session.session_id, chunk)
+        for event in result.events:
+            payload = event.to_dict()
+            position = payload.get("position")
+            if position is None:
+                print(f"{event.kind:>22} {session.reads:>6}")
+                continue
+            error = np.linalg.norm(np.asarray(position) - truth) * 100
+            source = payload.get("source", "")
             print(
-                f"{index + 1:>6} {estimate.position[0]:>8.4f} "
-                f"{estimate.position[1]:>8.4f} {error:>11.2f}"
+                f"{event.kind:>22} {session.reads:>6} {position[0]:>8.4f} "
+                f"{position[1]:>8.4f} {error:>11.2f}  {source}"
             )
-    streaming_seconds = time.perf_counter() - start
-    final = online.estimate()
 
-    batch = LionLocalizer(dim=2, interval_m=0.25)
-    start = time.perf_counter()
-    batch_result = batch.locate(scan.positions, scan.phases)
-    batch_seconds = time.perf_counter() - start
+    # The invariant the streaming layer guarantees: the final windowed
+    # re-solve equals the one-shot batch solve of the same window, bit
+    # for bit.
+    final = session.final_resolve()
+    assert final is not None
+    _, positions, phases = session.window_arrays()
+    batch = LionLocalizer(dim=2).locate(positions, phases)
+    assert np.array_equal(final.position, batch.position), "bit-identity broken!"
 
     print()
     print(f"streaming final error : "
-          f"{np.linalg.norm(final.position - truth) * 100:.2f} cm "
-          f"({streaming_seconds * 1e3 / len(scan):.3f} ms/read)")
+          f"{np.linalg.norm(final.position - truth) * 100:.2f} cm")
     print(f"batch solver error    : "
-          f"{np.linalg.norm(batch_result.position - truth) * 100:.2f} cm "
-          f"({batch_seconds * 1e3:.1f} ms once)")
+          f"{np.linalg.norm(batch.position - truth) * 100:.2f} cm")
+    print("windowed re-solve is bit-identical to the one-shot batch solve")
+    manager.close_session(session.session_id)
 
 
 if __name__ == "__main__":

@@ -1,9 +1,13 @@
-"""Record and replay scans through the LLRP-shaped CSV format.
+"""Record a scan to CSV, replay it through the streaming session layer.
 
-A realistic workflow: a technician records a calibration scan once, ships
-the CSV, and the calibration is computed offline (possibly re-run later
-with different parameters). This example simulates the recording, writes
-it to disk, reloads it, and calibrates from the replayed records alone.
+A realistic workflow: a technician records a scan once, ships the CSV,
+and the stream is replayed offline — for debugging, regression checks,
+or re-running with different parameters. This example simulates the
+recording, writes it to disk, reloads it with
+:func:`repro.datasets.session_streams`, and replays it through
+:mod:`repro.stream` at max speed, verifying that the replayed session's
+final windowed re-solve is **bit-identical** to a one-shot estimate over
+the same window (``lion replay scan.csv`` is the CLI for exactly this).
 
 Run:  python examples/record_replay.py
 """
@@ -14,20 +18,21 @@ from pathlib import Path
 import numpy as np
 
 from repro import (
-    ParameterGrid,
     SnrScaledPhaseNoise,
     ThreeLineScan,
-    calibrate_antenna,
     default_antenna,
     read_records_csv,
     simulate_scan,
     write_records_csv,
 )
+from repro.datasets import session_streams
+from repro.stream import replay_records
 
 
 def main() -> None:
     rng = np.random.default_rng(42)
     antenna = default_antenna((0.0, 0.8, 0.0), rng, name="dock-3")
+    truth = antenna.phase_center[:2]
 
     # --- recording session -------------------------------------------------
     scan = simulate_scan(
@@ -37,40 +42,30 @@ def main() -> None:
         noise=SnrScaledPhaseNoise(base_std_rad=0.08, reference_distance_m=0.8),
     )
     with tempfile.TemporaryDirectory() as workdir:
-        csv_path = Path(workdir) / "dock-3-calibration.csv"
+        csv_path = Path(workdir) / "dock-3-scan.csv"
         write_records_csv(scan.records, csv_path)
         print(f"recorded {len(scan.records)} reads -> {csv_path.name} "
               f"({csv_path.stat().st_size // 1024} KiB)")
 
         # --- offline replay -------------------------------------------------
         records = read_records_csv(csv_path)
-        positions = np.array([r.tag_position for r in records])
-        phases = np.array([r.phase_rad for r in records])
+        streams = session_streams(records, dim=2)
+        print(f"replaying {len(streams)} recorded session stream(s) at max speed")
+        results = replay_records(streams, verify=True)
 
-        # Rebuild the segment structure from the known scan geometry. (The
-        # trajectory definition travels with the CSV in a real deployment.)
-        trajectory = ThreeLineScan(-0.55, 0.55, origin=(0.0, 0.0, 0.0))
-        samples = trajectory.sample()
-        assert len(samples) == len(records)
-        segment_ids = samples.segment_ids
-        exclude = trajectory.transit_mask(samples)
-
-        calibration, _ = calibrate_antenna(
-            positions,
-            phases,
-            antenna.physical_center_array,
-            antenna_name=antenna.name,
-            segment_ids=segment_ids,
-            exclude_mask=exclude,
-            grid=ParameterGrid(ranges_m=(0.8, 0.9, 1.0), intervals_m=(0.2, 0.25, 0.3)),
-        )
-
-    error = np.linalg.norm(calibration.estimated_center - antenna.phase_center)
-    print(f"replayed calibration for {calibration.antenna_name}:")
-    print(f"  estimated phase center: {calibration.estimated_center.round(4)}")
-    print(f"  true phase center     : {antenna.phase_center.round(4)}")
-    print(f"  error                 : {error * 100:.2f} cm")
-    print(f"  phase offset          : {calibration.phase_offset_rad:.3f} rad")
+    for result in results:
+        assert result.bit_identical, "replayed solve diverged from one-shot!"
+        final = np.asarray(result.final_position)
+        error = np.linalg.norm(final - truth)
+        print(f"replayed session {result.tag} @ antenna {result.antenna}:")
+        print(f"  reads               : {result.reads} "
+              f"({result.reads_per_sec:,.0f} reads/s)")
+        print(f"  events              : "
+              + ", ".join(f"{kind}={n}" for kind, n in sorted(result.events.items())))
+        print(f"  final estimate      : {final.round(4).tolist()}")
+        print(f"  true phase center   : {truth.round(4).tolist()}")
+        print(f"  error               : {error * 100:.2f} cm")
+        print("  windowed re-solve is bit-identical to the one-shot estimate")
 
 
 if __name__ == "__main__":

@@ -15,6 +15,11 @@ Data tooling (CSV read-record workflow, see repro.datasets.io)::
     lion estimators                # list registered estimation methods
     lion calibrate scan.csv --physical-center 0,0.8,0 --scenario three-line
 
+Streaming sessions (repro.stream, docs/serving.md)::
+
+    lion replay scan.csv                   # replay at max speed + verify
+    lion replay scan.csv --speed 2 --events  # 2x wall clock, print events
+
 Serving (docs/serving.md)::
 
     lion serve --port 8321 --shards 4              # networked sharded front end
@@ -296,6 +301,46 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve_bench_parser.add_argument(
         "--out", metavar="PATH", help="also write the payload as JSON to PATH"
+    )
+
+    replay_parser = subparsers.add_parser(
+        "replay",
+        help="replay a recorded CSV through the streaming session layer",
+        parents=[obs_parent],
+    )
+    replay_parser.add_argument("csv", help="input CSV (from 'lion simulate' or a logger)")
+    replay_parser.add_argument(
+        "--speed",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help=(
+            "replay at wall clock scaled by FACTOR (1.0 = real time, 2 = twice "
+            "as fast); omitted replays at max speed"
+        ),
+    )
+    replay_parser.add_argument(
+        "--estimator",
+        default="lion",
+        metavar="NAME",
+        help="estimation method per session (see 'lion estimators'; default: lion)",
+    )
+    replay_parser.add_argument(
+        "--estimator-config",
+        metavar="JSON",
+        help="JSON object of config overrides for the estimator",
+    )
+    replay_parser.add_argument("--dim", type=int, choices=(2, 3), default=2)
+    replay_parser.add_argument(
+        "--chunk", type=int, default=32, help="reads per feed chunk (default: 32)"
+    )
+    replay_parser.add_argument(
+        "--events", action="store_true", help="print every lifecycle event"
+    )
+    replay_parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the bit-identity check against a one-shot solve",
     )
 
     calibrate_parser = subparsers.add_parser(
@@ -642,6 +687,79 @@ def _command_top(args: argparse.Namespace) -> int:
             return 0
 
 
+def _command_replay(args: argparse.Namespace) -> int:
+    """Replay a recorded CSV through the streaming session layer.
+
+    Exit code 1 when any session's final windowed re-solve fails the
+    bit-identity check against the one-shot solve of the same window.
+    """
+    import json
+
+    from repro.datasets.io import read_records_csv, session_streams
+    from repro.stream import SessionEvent, StreamConfig, replay_records
+
+    if args.speed is not None and args.speed <= 0:
+        _logger.error("--speed must be positive, got %s", args.speed)
+        return 2
+    if args.chunk <= 0:
+        _logger.error("--chunk must be positive, got %s", args.chunk)
+        return 2
+    estimator_config = None
+    if args.estimator_config:
+        estimator_config = json.loads(args.estimator_config)
+        if not isinstance(estimator_config, dict):
+            _logger.error("--estimator-config must be a JSON object")
+            return 2
+
+    records = read_records_csv(args.csv)
+    streams = session_streams(records, dim=args.dim)
+    try:
+        config = StreamConfig(estimator=args.estimator, estimator_config=estimator_config)
+    except (KeyError, TypeError, ValueError) as error:
+        _logger.error("bad stream config: %s", error)
+        return 2
+
+    def print_event(event: SessionEvent) -> None:
+        payload = event.to_dict()
+        kind = payload.pop("kind")
+        print(f"  [{kind}] {json.dumps(payload)}")
+
+    try:
+        results = replay_records(
+            streams,
+            config=config,
+            speed=args.speed,
+            chunk_reads=args.chunk,
+            verify=not args.no_verify,
+            subscriber=print_event if args.events else None,
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        _logger.error("replay failed: %s", error)
+        return 1
+
+    pace = "max speed" if args.speed is None else f"{args.speed:g}x wall clock"
+    print(f"== replay: {len(streams)} session(s) from {args.csv} at {pace} ==")
+    failed = False
+    for result in results:
+        position = (
+            "unsolved"
+            if result.final_position is None
+            else np.round(result.final_position, 4).tolist()
+        )
+        print(
+            f"  {result.tag} @ antenna {result.antenna}: {result.reads} reads, "
+            f"{result.reads_per_sec:,.0f} reads/s, final {position} "
+            f"({result.final_state})"
+        )
+        summary = ", ".join(f"{kind}={n}" for kind, n in sorted(result.events.items()))
+        print(f"    events: {summary}")
+        if result.bit_identical is not None:
+            verdict = "bit-identical" if result.bit_identical else "MISMATCH"
+            print(f"    windowed re-solve vs one-shot solve: {verdict}")
+            failed = failed or not result.bit_identical
+    return 1 if failed else 0
+
+
 def _command_calibrate(args: argparse.Namespace) -> int:
     from repro.core.calibration import calibrate_antenna
     from repro.datasets.io import read_records_csv
@@ -712,6 +830,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _command_top(args)
     if args.command == "serve-bench":
         return _command_serve_bench(args)
+    if args.command == "replay":
+        return _command_replay(args)
     if args.command == "calibrate":
         return _command_calibrate(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -75,6 +75,7 @@ from repro.core.multiref import (
     locate_multireference,
     solve_multireference,
 )
+from repro.core.incremental import IncrementalScanAssembler, unwrap_correction
 from repro.core.online import OnlineEstimate, OnlineLionLocalizer
 from repro.core.pairgraph import PairingDiagnostics, analyze_pairing, component_runs
 from repro.core.uncertainty import (
@@ -136,6 +137,8 @@ __all__ = [
     "solve_multireference",
     "locate_multireference",
     "OnlineLionLocalizer",
+    "IncrementalScanAssembler",
+    "unwrap_correction",
     "OnlineEstimate",
     "PairingDiagnostics",
     "analyze_pairing",

@@ -12,7 +12,12 @@ from repro.datasets.synthetic import (
     simulate_scan,
     simulate_static_reads,
 )
-from repro.datasets.io import read_records_csv, write_records_csv
+from repro.datasets.io import (
+    RecordedStream,
+    read_records_csv,
+    session_streams,
+    write_records_csv,
+)
 from repro.datasets.workloads import (
     Workload,
     get_workload,
@@ -27,6 +32,8 @@ __all__ = [
     "simulate_static_reads",
     "read_records_csv",
     "write_records_csv",
+    "RecordedStream",
+    "session_streams",
     "Workload",
     "get_workload",
     "list_workloads",

@@ -10,8 +10,11 @@ setup. Files written here replay byte-identically through
 from __future__ import annotations
 
 import csv
+from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Sequence
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
 
 from repro.rf.reader import ReadRecord
 
@@ -92,3 +95,79 @@ def read_records_csv(path: "str | Path") -> List[ReadRecord]:
                 )
             )
     return records
+
+
+@dataclass(frozen=True)
+class RecordedStream:
+    """One ``(tag, antenna)`` read stream extracted from recorded data.
+
+    The streaming-session replay unit (:mod:`repro.stream.replay`):
+    timestamps preserved for wall-clock pacing, positions trimmed to the
+    requested dimension, phases raw/wrapped exactly as recorded.
+
+    Attributes:
+        tag: the EPC.
+        antenna: the antenna id.
+        timestamps_s: read timestamps, shape ``(n,)``, time-ordered.
+        positions: ground-truth tag positions, shape ``(n, dim)``.
+        phases_rad: wrapped phases as recorded, shape ``(n,)``.
+    """
+
+    tag: str
+    antenna: str
+    timestamps_s: np.ndarray
+    positions: np.ndarray
+    phases_rad: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.phases_rad.shape[0])
+
+    @property
+    def duration_s(self) -> float:
+        """Recorded span from first to last read."""
+        if self.timestamps_s.size < 2:
+            return 0.0
+        return float(self.timestamps_s[-1] - self.timestamps_s[0])
+
+
+def session_streams(records: Sequence[ReadRecord], dim: int = 2) -> List[RecordedStream]:
+    """Split recorded reads into per-``(tag, antenna)`` session streams.
+
+    Reads are grouped by ``(epc, antenna)`` and stably sorted by
+    timestamp inside each group, which is exactly the order a live
+    reader would have delivered them — so a recorded scan replays
+    through :mod:`repro.stream` read-for-read.
+
+    Args:
+        records: recorded reads (e.g. from :func:`read_records_csv`).
+        dim: keep the first ``dim`` position coordinates (2 or 3).
+
+    Raises:
+        ValueError: on an unsupported ``dim``.
+    """
+    if dim not in (2, 3):
+        raise ValueError(f"dim must be 2 or 3, got {dim}")
+    grouped: Dict[Tuple[str, str], List[ReadRecord]] = {}
+    order: List[Tuple[str, str]] = []
+    for record in records:
+        key = (record.epc, record.antenna)
+        if key not in grouped:
+            grouped[key] = []
+            order.append(key)
+        grouped[key].append(record)
+    streams: List[RecordedStream] = []
+    for key in order:
+        group = grouped[key]
+        timestamps = np.array([r.timestamp_s for r in group], dtype=float)
+        sorting = np.argsort(timestamps, kind="stable")
+        positions = np.array([group[i].tag_position[:dim] for i in sorting], dtype=float)
+        streams.append(
+            RecordedStream(
+                tag=key[0],
+                antenna=key[1],
+                timestamps_s=timestamps[sorting],
+                positions=positions,
+                phases_rad=np.array([group[i].phase_rad for i in sorting], dtype=float),
+            )
+        )
+    return streams

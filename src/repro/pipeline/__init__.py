@@ -26,6 +26,7 @@ from repro.pipeline.contract import (
     EstimationReport,
     EstimationRequest,
     Estimator,
+    StreamingEstimator,
     build_report,
 )
 from repro.pipeline.registry import (
@@ -37,6 +38,7 @@ from repro.pipeline.registry import (
     list_estimators,
     register_estimator,
     resolve_config,
+    supports_streaming,
 )
 from repro.pipeline.estimators import (
     AdaptiveLionConfig,
@@ -65,6 +67,7 @@ __all__ = [
     "EstimationRequest",
     "EstimationReport",
     "Estimator",
+    "StreamingEstimator",
     "EstimatorConfig",
     "build_report",
     # registry
@@ -77,6 +80,7 @@ __all__ = [
     "list_estimators",
     "get_spec",
     "resolve_config",
+    "supports_streaming",
     # estimator adapters + typed configs
     "LionConfig",
     "LionEstimator",

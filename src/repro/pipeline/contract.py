@@ -249,3 +249,35 @@ class Estimator(Protocol):
     def estimate(self, request: EstimationRequest) -> EstimationReport:
         """Run the method on ``request`` and report the estimate."""
         ...
+
+
+@runtime_checkable
+class StreamingEstimator(Estimator, Protocol):
+    """The incremental facet a streaming-capable estimator adds.
+
+    Estimators that can fold reads in one at a time (``lion-online``)
+    implement this on top of the batch :class:`Estimator` contract, and
+    advertise it in the registry (``EstimatorSpec.streaming``). The
+    session layer (:mod:`repro.stream`) drives :meth:`ingest` per read
+    and :meth:`snapshot` for fast-path estimates; estimators *without*
+    this facet still serve sessions through the windowed-re-solve
+    fallback (a periodic batch :meth:`Estimator.estimate` over the
+    sliding window), so streaming support is an optimization, never a
+    requirement.
+    """
+
+    def ingest(self, position: np.ndarray, wrapped_phase_rad: float) -> None:
+        """Fold one read (known position + wrapped phase) into the state."""
+        ...
+
+    def ready(self) -> bool:
+        """Whether enough state has accumulated for :meth:`snapshot`."""
+        ...
+
+    def snapshot(self) -> EstimationReport:
+        """Report the current incremental estimate without consuming state."""
+        ...
+
+    def reset(self) -> None:
+        """Clear the incremental state (new target / new session)."""
+        ...

@@ -656,6 +656,7 @@ register_estimator(
 register_estimator(
     "lion-online", OnlineLionConfig, OnlineLionEstimator,
     summary="streaming RLS LION with incremental ingest",
+    streaming=True,
 )
 register_estimator(
     "lion-multiref", MultiRefLionConfig, MultiRefLionEstimator,

@@ -28,12 +28,17 @@ class EstimatorSpec:
         summary: one-line human description (shown by ``lion estimators``).
         config_cls: the method's :class:`EstimatorConfig` subclass.
         factory: builds the estimator from a config instance.
+        streaming: whether instances implement the incremental
+            :class:`~repro.pipeline.contract.StreamingEstimator` facet
+            (``ingest``/``ready``/``snapshot``/``reset``). Sessions of
+            non-streaming estimators fall back to windowed re-solves.
     """
 
     name: str
     summary: str
     config_cls: Type[EstimatorConfig]
     factory: Callable[[EstimatorConfig], Estimator]
+    streaming: bool = False
 
 
 def register_estimator(
@@ -41,8 +46,13 @@ def register_estimator(
     config_cls: Type[EstimatorConfig],
     factory: Callable[[EstimatorConfig], Estimator],
     summary: str = "",
+    streaming: bool = False,
 ) -> None:
     """Register a method under ``name``.
+
+    Args:
+        streaming: advertise the incremental
+            :class:`~repro.pipeline.contract.StreamingEstimator` facet.
 
     Raises:
         ValueError: if the name is already taken (each estimator must be
@@ -53,7 +63,11 @@ def register_estimator(
     if name in _REGISTRY:
         raise ValueError(f"estimator {name!r} is already registered")
     _REGISTRY[name] = EstimatorSpec(
-        name=name, summary=summary, config_cls=config_cls, factory=factory
+        name=name,
+        summary=summary,
+        config_cls=config_cls,
+        factory=factory,
+        streaming=streaming,
     )
 
 
@@ -105,6 +119,15 @@ def resolve_config(
             )
         return config
     return spec.config_cls.from_dict(dict(config))
+
+
+def supports_streaming(name: str) -> bool:
+    """Whether ``name`` advertises the incremental streaming facet.
+
+    Raises:
+        KeyError: for an unknown estimator name.
+    """
+    return get_spec(name).streaming
 
 
 def create_estimator(

@@ -18,7 +18,10 @@ that loses no accepted request, per-request ids (``X-Request-Id`` /
 ``traceparent``) with cross-process trace stitching into a flight
 recorder (``/debug/traces``, dumped on SIGUSR2), ring-buffer telemetry
 history (``/debug/timeseries``, ``lion top``), and multi-window
-burn-rate SLOs (``/slo``). Start one with ``lion serve``, embed one
+burn-rate SLOs (``/slo``). Streaming tags ride the session surface
+(``POST /v1/sessions`` + NDJSON ``/reads`` chunks, lifecycle events in
+every response) over one front-end :class:`repro.stream.SessionManager`
+with session-aware drain. Start one with ``lion serve``, embed one
 with :class:`ServerHandle`, or await :class:`NetServer` inside an
 existing loop. See ``docs/serving.md`` and ``docs/observability.md``.
 """
@@ -34,6 +37,12 @@ from repro.serve.net.protocol import (
     encode_report_payload,
     error_body,
     parse_locate_body,
+)
+from repro.serve.net.sessions import (
+    classify_session_error,
+    feed_result_body,
+    parse_reads_ndjson,
+    parse_session_create,
 )
 from repro.serve.net.supervisor import ShardSupervisor, shard_for
 from repro.serve.net.worker import WireRequest, WireResponse, WorkerConfig, worker_main
@@ -56,6 +65,11 @@ __all__ = [
     "encode_report_payload",
     "classify_error",
     "error_body",
+    # sessions
+    "parse_session_create",
+    "parse_reads_ndjson",
+    "feed_result_body",
+    "classify_session_error",
     # supervisor
     "ShardSupervisor",
     "shard_for",

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.serve.engine import ServeConfig
+from repro.stream import StreamConfig
 
 #: Worker hosting modes. ``"process"`` is the real deployment shape:
 #: spawned worker processes, true per-shard isolation, shared-memory
@@ -75,6 +76,12 @@ class NetServeConfig:
             at or under this many milliseconds.
         slo_error_rate: error objective — the 5xx fraction of
             ``/v1/locate`` responses must stay at or under this.
+        max_sessions: live streaming-session capacity of the front end;
+            ``POST /v1/sessions`` beyond it sheds with 429.
+        stream: default :class:`repro.stream.StreamConfig` of sessions
+            opened without per-session overrides.
+        session_sweep_cadence_s: cadence of the background idle sweep
+            departing sessions past their ``depart_after_s``.
     """
 
     host: str = "127.0.0.1"
@@ -99,6 +106,9 @@ class NetServeConfig:
     trace_dump_path: str = "lion-flight-recorder.json"
     slo_p99_ms: float = 250.0
     slo_error_rate: float = 0.01
+    max_sessions: int = 1024
+    stream: StreamConfig = field(default_factory=StreamConfig)
+    session_sweep_cadence_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.shards <= 0:
@@ -149,4 +159,11 @@ class NetServeConfig:
         if not 0.0 < self.slo_error_rate < 1.0:
             raise ValueError(
                 f"slo_error_rate must be in (0, 1), got {self.slo_error_rate}"
+            )
+        if self.max_sessions <= 0:
+            raise ValueError(f"max_sessions must be positive, got {self.max_sessions}")
+        if self.session_sweep_cadence_s <= 0:
+            raise ValueError(
+                f"session_sweep_cadence_s must be positive, got "
+                f"{self.session_sweep_cadence_s}"
             )

@@ -5,6 +5,10 @@ on ``asyncio`` streams — no web framework, because the surface is eight
 routes and the dependency budget is zero:
 
 - ``POST /v1/locate`` — parse, route via the supervisor, answer JSON.
+- ``POST /v1/sessions`` / ``POST /v1/sessions/{id}/reads`` (NDJSON) /
+  ``GET|DELETE /v1/sessions/{id}`` — the streaming session surface over
+  one front-end :class:`repro.stream.SessionManager` (429 at capacity,
+  503 while draining, lifecycle events in each response).
 - ``GET /healthz``    — liveness: 200 while the process runs.
 - ``GET /readyz``     — readiness: 503 the moment draining starts (and
   while any shard is down), so load balancers stop sending *before* the
@@ -28,10 +32,12 @@ spans (``serve.batch``/``serve.scalar`` down to the solver), shipped
 back on the wire response and grafted by request id.
 
 Shutdown is a strict sequence — flip readiness, grace sleep, close the
-listener, wait for in-flight HTTP exchanges, then drain the supervisor
-(which flushes every worker engine). Requests that were read off a
-socket before the listener closed always get real answers: the
-supervisor only starts refusing after the in-flight set is empty.
+listener, wait for in-flight HTTP exchanges, drain the session manager
+(final windowed re-solves + departures for every live session), then
+drain the supervisor (which flushes every worker engine). Requests that
+were read off a socket before the listener closed always get real
+answers: the supervisor only starts refusing after the in-flight set is
+empty.
 
 Three entry points share :class:`NetServer`: ``await``-able use inside
 an existing loop, :class:`ServerHandle` for tests and the benchmark
@@ -80,13 +86,22 @@ from repro.serve.net.protocol import (
     error_body,
     parse_locate_body,
 )
+from repro.serve.net.sessions import (
+    classify_session_error,
+    feed_result_body,
+    parse_reads_ndjson,
+    parse_session_create,
+)
 from repro.serve.net.supervisor import ShardSupervisor
+from repro.stream import SessionManager
 
 _STATUS_TEXT = {
     200: "OK",
+    201: "Created",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     413: "Payload Too Large",
     422: "Unprocessable Entity",
     429: "Too Many Requests",
@@ -108,7 +123,8 @@ def derive_serve_sample(sample: Sample, route: str = "/v1/locate") -> Dict[str, 
     The shape ``GET /debug/timeseries`` serves (and ``lion top`` renders):
     per-second request/error/shed rates over the sample interval,
     bucket-interpolated latency quantiles (``None`` when the interval saw
-    no requests), and the summed inflight/queue-depth gauges.
+    no requests), the summed inflight/queue-depth gauges, and the
+    streaming-session lane (live sessions, read/event ingest rates).
     """
 
     def on_route(labels: Dict[str, str]) -> bool:
@@ -126,6 +142,11 @@ def derive_serve_sample(sample: Sample, route: str = "/v1/locate") -> Dict[str, 
     p99 = quantile(latency, 0.99)
     inflight = sum(value for _, value in gauge_values(sample, "serve.net.shard_inflight"))
     queue_depth = sum(value for _, value in gauge_values(sample, "serve.queue_depth"))
+    sessions = sum(
+        value for _, value in gauge_values(sample, "serve.stream.sessions_active")
+    )
+    stream_reads = counter_delta(sample, "serve.stream.reads_total")
+    stream_events = counter_delta(sample, "serve.stream.events_total")
     return {
         "t": sample.t,
         "dt": round(sample.dt, 6),
@@ -136,6 +157,9 @@ def derive_serve_sample(sample: Sample, route: str = "/v1/locate") -> Dict[str, 
         "p99_ms": None if p99 is None else round(p99 * 1e3, 3),
         "inflight": inflight,
         "queue_depth": queue_depth,
+        "sessions": sessions,
+        "stream_reads_s": round(stream_reads / dt, 3),
+        "stream_events_s": round(stream_events / dt, 3),
     }
 
 
@@ -162,6 +186,15 @@ class NetServer:
         self._draining = False
         self._drained = False
         self._drain_stats: List[Dict[str, Any]] = []
+        # Sessions live in the front-end process: windowed re-solves run
+        # on the serving thread pool, so their events and
+        # ``serve.stream.*`` series land in the registry ``/metrics``
+        # merges.
+        self._sessions = SessionManager(
+            defaults=config.stream, max_sessions=config.max_sessions
+        )
+        self._session_drain: Optional[Dict[str, Any]] = None
+        self._sweep_task: Optional["asyncio.Task[None]"] = None
         capacity = int(math.ceil(config.history_window_s / config.history_cadence_s)) + 8
         self._history = MetricsHistory(capacity=capacity)
         self._recorder = FlightRecorder(
@@ -197,6 +230,11 @@ class NetServer:
     @property
     def supervisor(self) -> ShardSupervisor:
         return self._supervisor
+
+    @property
+    def sessions(self) -> SessionManager:
+        """The streaming-session manager behind ``/v1/sessions``."""
+        return self._sessions
 
     @property
     def recorder(self) -> FlightRecorder:
@@ -240,6 +278,16 @@ class NetServer:
         )
         if self.config.metrics:
             self._sampler.start()
+        self._sweep_task = asyncio.create_task(self._sweep_sessions())
+
+    async def _sweep_sessions(self) -> None:
+        """Background idle sweep: depart sessions past ``depart_after_s``."""
+        try:
+            while True:
+                await asyncio.sleep(self.config.session_sweep_cadence_s)
+                await asyncio.to_thread(self._sessions.poll)
+        except asyncio.CancelledError:
+            pass
 
     async def shutdown(self) -> List[Dict[str, Any]]:
         """Graceful drain; returns per-shard final engine stats.
@@ -247,8 +295,11 @@ class NetServer:
         Sequence: flip ``/readyz`` to 503 -> ``drain_grace_s`` (load
         balancers observe not-ready while the socket still accepts) ->
         close the listener -> wait for in-flight exchanges (bounded by
-        ``drain_timeout_s``) -> drain the supervisor and workers.
-        Idempotent: a second call returns the recorded stats.
+        ``drain_timeout_s``) -> drain the session manager (one final
+        windowed re-solve and a ``TagDeparted(reason="drain")`` per live
+        session; the summary lands in :attr:`session_drain`) -> drain
+        the supervisor and workers. Idempotent: a second call returns
+        the recorded stats.
         """
         if self._draining:
             if not self._drained:
@@ -267,10 +318,22 @@ class NetServer:
             pass
         for writer in list(self._connections):
             writer.close()
+        if self._sweep_task is not None:
+            self._sweep_task.cancel()
+            try:
+                await self._sweep_task
+            except asyncio.CancelledError:
+                pass
+        self._session_drain = await asyncio.to_thread(self._sessions.drain)
         self._drain_stats = await asyncio.to_thread(self._supervisor.drain)
         self._supervisor.close()
         self._drained = True
         return self._drain_stats
+
+    @property
+    def session_drain(self) -> Optional[Dict[str, Any]]:
+        """Session-drain summary; populated by :meth:`shutdown`."""
+        return self._session_drain
 
     async def _wait_drained(self) -> None:
         """Second ``shutdown`` caller: poll until the first finishes."""
@@ -422,6 +485,8 @@ class NetServer:
             ("POST", "/v1/locate"): lambda: self._locate(body, request_id, trace_children),
         }
         handler = routes.get((method, path))
+        if handler is None and path.startswith("/v1/sessions"):
+            handler = self._session_route(method, path, body)
         if handler is None:
             if any(route_path == path for _, route_path in routes):
                 return 405, error_body("method_not_allowed", f"{method} {path}"), None
@@ -434,7 +499,10 @@ class NetServer:
             with bind_request_id(request_id):
                 status, payload, extra = await handler()
         except Exception as error:  # noqa: BLE001 - total mapping to HTTP
-            status, payload = classify_error(error, self.config.retry_after_s)
+            if path.startswith("/v1/sessions"):
+                status, payload = classify_session_error(error, self.config.retry_after_s)
+            else:
+                status, payload = classify_error(error, self.config.retry_after_s)
             extra = None
             if status == 429:
                 # RFC 9110 Retry-After is delta-seconds (an integer);
@@ -518,6 +586,7 @@ class NetServer:
                 "worker_mode": self.config.worker_mode,
                 "draining": self._draining,
                 "per_shard": stats,
+                "sessions": self._sessions.stats(),
             },
             None,
         )
@@ -567,6 +636,83 @@ class NetServer:
             encode_report_payload(payload, shard, server_ms, request_id=request_id),
             None,
         )
+
+    # ------------------------------------------------------------------
+    # streaming sessions
+    # ------------------------------------------------------------------
+    def _session_route(
+        self, method: str, path: str, body: bytes
+    ) -> Optional[Callable[[], Awaitable[Tuple[int, Any, Optional[Dict[str, str]]]]]]:
+        """Resolve one ``/v1/sessions[...]`` path to its handler.
+
+        ``None`` falls through to the router's 404; a known path with
+        the wrong method returns a handler that answers 405 (the router
+        cannot see dynamic paths in its exact-match table).
+        """
+        parts = [part for part in path.split("/") if part]
+        if parts[:2] != ["v1", "sessions"]:
+            return None
+
+        async def method_not_allowed() -> Tuple[int, Any, Optional[Dict[str, str]]]:
+            return 405, error_body("method_not_allowed", f"{method} {path}"), None
+
+        if len(parts) == 2:
+            if method == "POST":
+                return lambda: self._session_create(body)
+            return method_not_allowed
+        if len(parts) == 3:
+            session_id = parts[2]
+            if method == "GET":
+                return lambda: self._session_get(session_id)
+            if method == "DELETE":
+                return lambda: self._session_close(session_id)
+            return method_not_allowed
+        if len(parts) == 4 and parts[3] == "reads":
+            if method == "POST":
+                return lambda: self._session_feed(parts[2], body)
+            return method_not_allowed
+        return None
+
+    async def _session_create(
+        self, body: bytes
+    ) -> Tuple[int, Any, Optional[Dict[str, str]]]:
+        """``POST /v1/sessions``: open one streaming session (201)."""
+        if self._draining:
+            return 503, error_body("draining", "server is draining"), None
+        tag, antenna, session_id, config = parse_session_create(body, self.config.stream)
+        session = await asyncio.to_thread(
+            self._sessions.open_session, tag, antenna, config, session_id
+        )
+        return 201, session.snapshot(), None
+
+    async def _session_feed(
+        self, session_id: str, body: bytes
+    ) -> Tuple[int, Any, Optional[Dict[str, str]]]:
+        """``POST /v1/sessions/{id}/reads``: NDJSON chunk ingest.
+
+        Reads apply under the session's lock in chunk order; the
+        response carries the triggered lifecycle events and the latest
+        estimate, so a client tails its tag without a second poll.
+        """
+        if self._draining:
+            return 503, error_body("draining", "server is draining"), None
+        reads = parse_reads_ndjson(body)
+        result = await asyncio.to_thread(self._sessions.feed, session_id, reads)
+        return 200, feed_result_body(result), None
+
+    async def _session_get(
+        self, session_id: str
+    ) -> Tuple[int, Any, Optional[Dict[str, str]]]:
+        """``GET /v1/sessions/{id}``: the session snapshot."""
+        session = self._sessions.get_session(session_id)
+        return 200, session.snapshot(), None
+
+    async def _session_close(
+        self, session_id: str
+    ) -> Tuple[int, Any, Optional[Dict[str, str]]]:
+        """``DELETE /v1/sessions/{id}``: final re-solve, then departure."""
+        result = await asyncio.to_thread(self._sessions.close_session, session_id)
+        return 200, feed_result_body(result), None
 
     async def _slo_route(self) -> Tuple[int, Any, Optional[Dict[str, str]]]:
         report = await asyncio.to_thread(self._slo.evaluate)

@@ -1,0 +1,29 @@
+"""Error taxonomy of the streaming session layer.
+
+Every error maps to one HTTP status in :mod:`repro.serve.net` (see
+``classify_error``): capacity → 429, unknown id → 404, duplicate key →
+409, closed session → 409, draining → 503. All subclass
+:class:`StreamError` so embedding callers can catch the layer wholesale.
+"""
+
+from __future__ import annotations
+
+
+class StreamError(RuntimeError):
+    """Base class of every streaming-session error."""
+
+
+class SessionCapacityError(StreamError):
+    """The manager is at ``max_sessions``; shed load (HTTP 429)."""
+
+
+class UnknownSessionError(StreamError):
+    """No session with the given id exists (HTTP 404)."""
+
+
+class DuplicateSessionError(StreamError):
+    """An active session already owns this ``(tag, antenna)`` key (HTTP 409)."""
+
+
+class SessionClosedError(StreamError):
+    """Reads arrived for a departed/closed session (HTTP 409)."""

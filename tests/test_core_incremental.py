@@ -1,0 +1,175 @@
+"""Tests for repro.core.incremental — append-aware scan assembly.
+
+The whole streaming subsystem rests on one identity: a window re-solve
+through :class:`IncrementalScanAssembler` is bit-identical to a one-shot
+:meth:`LionLocalizer.locate` over the same window's raw reads. These
+tests pin that identity at every stage (unwrap correction, preprocessed
+profile, full solve), across window eviction, and through reset.
+"""
+
+import numpy as np
+import pytest
+
+from repro import LinearTrajectory, default_antenna, simulate_scan
+from repro.core.incremental import IncrementalScanAssembler, unwrap_correction
+from repro.core.localizer import LionLocalizer, PreprocessConfig, TooFewReadsError
+
+
+def _scan(seed=3, reads=None):
+    rng = np.random.default_rng(seed)
+    antenna = default_antenna((0.15, 0.95, 0.0), rng)
+    return simulate_scan(
+        LinearTrajectory((-0.5, 0.0, 0.0), (0.5, 0.0, 0.0)), antenna, rng=rng
+    )
+
+
+def _filled(localizer, scan, max_reads=4096):
+    assembler = IncrementalScanAssembler(localizer, max_reads=max_reads)
+    for k in range(len(scan)):
+        assembler.append(scan.positions[k], scan.phases[k], timestamp_s=k / 120.0)
+    return assembler
+
+
+class TestUnwrapCorrection:
+    def test_cumulative_corrections_reproduce_np_unwrap(self):
+        rng = np.random.default_rng(11)
+        wrapped = rng.uniform(0.0, 2.0 * np.pi, size=500)
+        corrections = np.zeros_like(wrapped)
+        for i in range(1, wrapped.size):
+            corrections[i] = unwrap_correction(wrapped[i - 1], wrapped[i], np.pi)
+        rebuilt = wrapped.copy()
+        rebuilt[1:] = wrapped[1:] + np.cumsum(corrections[1:])
+        assert np.array_equal(rebuilt, np.unwrap(wrapped))
+
+    def test_small_step_has_zero_correction(self):
+        assert unwrap_correction(1.0, 1.2, np.pi) == 0.0
+
+    def test_wrap_jump_corrected(self):
+        # 6.2 -> 0.1 is a forward wrap: np.unwrap adds 2*pi.
+        correction = unwrap_correction(6.2, 0.1, np.pi)
+        assert correction == pytest.approx(2.0 * np.pi)
+
+    def test_matches_np_unwrap_at_exact_pi_jump(self):
+        for previous, phase in [(0.0, np.pi), (np.pi, 0.0), (0.0, -np.pi)]:
+            expected = np.unwrap(np.array([previous, phase]))[1] - phase
+            assert unwrap_correction(previous, phase, np.pi) == expected
+
+
+class TestWindowProfile:
+    def test_profile_bit_identical_to_batch_preprocess(self):
+        scan = _scan()
+        localizer = LionLocalizer(dim=2)
+        assembler = _filled(localizer, scan)
+        batch = localizer.preprocess_phase(scan.phases)
+        assert np.array_equal(assembler.window_profile(), batch)
+
+    def test_profile_identity_survives_eviction(self):
+        scan = _scan()
+        localizer = LionLocalizer(dim=2)
+        max_reads = 200
+        assembler = _filled(localizer, scan, max_reads=max_reads)
+        assert len(assembler) == max_reads
+        window_phases = scan.phases[-max_reads:]
+        batch = localizer.preprocess_phase(window_phases)
+        assert np.array_equal(assembler.window_profile(), batch)
+
+    def test_window_arrays_are_the_raw_reads(self):
+        scan = _scan()
+        assembler = _filled(LionLocalizer(dim=2), scan)
+        timestamps, positions, phases = assembler.window_arrays()
+        assert np.array_equal(positions, np.asarray(scan.positions, dtype=float))
+        assert np.array_equal(phases, np.asarray(scan.phases, dtype=float))
+        assert timestamps[-1] == pytest.approx((len(scan) - 1) / 120.0)
+
+
+class TestResolveIdentity:
+    @pytest.mark.parametrize("method", ["wls", "ls"])
+    def test_resolve_bit_identical_to_locate(self, method):
+        scan = _scan()
+        localizer = LionLocalizer(dim=2, method=method)
+        assembler = _filled(localizer, scan)
+        incremental = assembler.resolve()
+        batch = localizer.locate(scan.positions, scan.phases)
+        assert np.array_equal(incremental.position, batch.position)
+        assert incremental.reference_distance_m == batch.reference_distance_m
+
+    def test_resolve_bit_identical_after_eviction(self):
+        scan = _scan()
+        localizer = LionLocalizer(dim=2)
+        max_reads = 300
+        assembler = _filled(localizer, scan, max_reads=max_reads)
+        incremental = assembler.resolve()
+        batch = localizer.locate(
+            np.asarray(scan.positions)[-max_reads:], scan.phases[-max_reads:]
+        )
+        assert np.array_equal(incremental.position, batch.position)
+
+    def test_repeated_resolves_are_stable(self):
+        scan = _scan()
+        assembler = _filled(LionLocalizer(dim=2), scan)
+        first = assembler.resolve()
+        second = assembler.resolve()
+        assert np.array_equal(first.position, second.position)
+
+    def test_resolve_after_reset_and_refill(self):
+        scan = _scan()
+        localizer = LionLocalizer(dim=2)
+        assembler = _filled(localizer, scan)
+        assembler.reset()
+        assert len(assembler) == 0
+        assert assembler.appended == 0
+        for k in range(len(scan)):
+            assembler.append(scan.positions[k], scan.phases[k])
+        batch = localizer.locate(scan.positions, scan.phases)
+        assert np.array_equal(assembler.resolve().position, batch.position)
+
+
+class TestValidation:
+    def test_window_bound_must_hold_three_reads(self):
+        with pytest.raises(ValueError):
+            IncrementalScanAssembler(LionLocalizer(dim=2), max_reads=2)
+
+    def test_too_few_reads_to_resolve(self):
+        assembler = IncrementalScanAssembler(LionLocalizer(dim=2), max_reads=16)
+        assembler.append((0.0, 0.0), 0.1)
+        assembler.append((0.01, 0.0), 0.2)
+        with pytest.raises(TooFewReadsError):
+            assembler.resolve()
+
+    def test_non_finite_phase_rejected(self):
+        assembler = IncrementalScanAssembler(LionLocalizer(dim=2), max_reads=16)
+        with pytest.raises(ValueError):
+            assembler.append((0.0, 0.0), float("nan"))
+
+    def test_bad_position_shape_rejected(self):
+        assembler = IncrementalScanAssembler(LionLocalizer(dim=2), max_reads=16)
+        with pytest.raises(ValueError):
+            assembler.append((0.0, 0.0, 0.0, 0.0), 0.1)
+        with pytest.raises(ValueError):
+            assembler.append((float("inf"), 0.0), 0.1)
+
+    def test_appended_counts_evicted_reads(self):
+        scan = _scan()
+        assembler = _filled(LionLocalizer(dim=2), scan, max_reads=100)
+        assert assembler.appended == len(scan)
+        assert len(assembler) == 100
+
+
+class TestSmoothingVariants:
+    def test_identity_with_smoothing_disabled(self):
+        scan = _scan()
+        localizer = LionLocalizer(
+            dim=2, preprocess=PreprocessConfig(smoothing_window=1)
+        )
+        assembler = _filled(localizer, scan)
+        batch = localizer.locate(scan.positions, scan.phases)
+        assert np.array_equal(assembler.resolve().position, batch.position)
+
+    def test_identity_with_hampel_filter(self):
+        scan = _scan()
+        localizer = LionLocalizer(
+            dim=2, preprocess=PreprocessConfig(hampel_window=7)
+        )
+        assembler = _filled(localizer, scan)
+        batch = localizer.locate(scan.positions, scan.phases)
+        assert np.array_equal(assembler.resolve().position, batch.position)

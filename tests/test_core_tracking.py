@@ -60,3 +60,26 @@ class TestTrackTagStart:
             track_tag_start(
                 localizer, np.zeros((10, 3)), np.zeros(10), np.zeros(2)
             )
+
+    def test_scalar_antenna_rejected_for_2d(self):
+        localizer = LionLocalizer(dim=2)
+        with pytest.raises(ValueError, match="antenna position"):
+            track_tag_start(
+                localizer,
+                np.stack([np.linspace(0.0, 0.5, 20), np.zeros(20)], axis=1),
+                np.zeros(20),
+                np.array([0.3]),
+            )
+
+    def test_degenerate_trajectory_propagates_localizer_error(self):
+        """A stationary tag observes nothing; the solve's own diagnosis
+        (not a downstream shape error) must reach the caller."""
+        from repro.core.localizer import DegenerateGeometryError
+
+        localizer = LionLocalizer(dim=2, preprocess=PreprocessConfig(smoothing_window=1))
+        displacements = np.zeros((50, 2))
+        phases = np.full(50, 1.0)
+        with pytest.raises(DegenerateGeometryError, match="degenerate"):
+            track_tag_start(
+                localizer, displacements, phases, np.array([0.3, 0.9])
+            )

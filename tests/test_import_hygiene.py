@@ -58,3 +58,47 @@ class TestGateVerdicts:
         )
         modules = [module for _, module in hygiene._imported_modules(tree)]
         assert "repro.core.localizer" in modules
+
+
+class TestStreamLayering:
+    """The second rule: nothing below repro.stream may import it back."""
+
+    def test_flags_stream_imports(self):
+        assert hygiene._is_stream("repro.stream")
+        assert hygiene._is_stream("repro.stream.manager")
+        assert hygiene._is_stream("repro.stream.session")
+
+    def test_does_not_flag_lookalikes_or_lower_layers(self):
+        assert not hygiene._is_stream("repro.streaming")
+        assert not hygiene._is_stream("repro.serve")
+        assert not hygiene._is_stream("repro.core")
+
+    def test_gate_exempts_only_the_session_surface(self):
+        relative = {
+            path.relative_to(hygiene.SRC).as_posix()
+            for path in hygiene.stream_gated_files()
+        }
+        # the allowed importers are NOT gated...
+        assert "repro/cli.py" not in relative
+        assert not any(name.startswith("repro/stream/") for name in relative)
+        assert not any(name.startswith("repro/serve/net/") for name in relative)
+        # ...but everything else below the session layer is.
+        assert "repro/__init__.py" in relative
+        assert "repro/serve/engine.py" in relative
+        assert "repro/core/localizer.py" in relative
+        assert "repro/pipeline/registry.py" in relative
+
+    def test_flags_violation_even_when_lazy(self, tmp_path):
+        offender = hygiene.SRC / "repro" / "_hygiene_probe.py"
+        offender.write_text(
+            "def sneaky():\n"
+            "    from repro.stream import SessionManager\n"
+            "    return SessionManager\n"
+        )
+        try:
+            messages = hygiene.check_stream_file(offender)
+        finally:
+            offender.unlink()
+        assert len(messages) == 1
+        assert "repro.stream" in messages[0]
+        assert "session layer" in messages[0]

@@ -1,23 +1,30 @@
 #!/usr/bin/env python3
-"""Import-hygiene gate for the serving layer.
+"""Import-hygiene gates for the serving and streaming layers.
 
-The experiment harness and the CLI must dispatch estimation through the
-:mod:`repro.pipeline` registry — never by importing a concrete solver
-module. This keeps "add a method" a one-file change and keeps the
-figure/CLI layer honest about using the same serving surface downstream
-users get.
+Two rules, both checked by AST walk (so lazy in-function imports count
+too), runnable standalone on the source tree — no package install
+needed::
 
-Rules (checked by AST walk, so lazy in-function imports count too), for
-every file under ``src/repro/experiments/`` plus ``src/repro/cli.py``:
+    python tools/check_import_hygiene.py
+
+**Registry dispatch.** The experiment harness and the CLI must dispatch
+estimation through the :mod:`repro.pipeline` registry — never by
+importing a concrete solver module. This keeps "add a method" a
+one-file change and keeps the figure/CLI layer honest about using the
+same serving surface downstream users get. For every file under
+``src/repro/experiments/`` plus ``src/repro/cli.py``:
 
 - no import of ``repro.baselines`` or any of its submodules;
 - no import of ``repro.core`` or any of its submodules, **except**
   ``repro.core.calibration`` (calibration is a workflow on top of
   estimation, not an estimator, and is itself registry-backed inside).
 
-Runs standalone on the source tree — no package install needed::
-
-    python tools/check_import_hygiene.py
+**Stream layering.** :mod:`repro.stream` sits above core/pipeline/serve:
+it may import them, but nothing below it may import it back. Within
+``src/repro/``, only ``repro/stream/`` itself, ``repro/serve/net/``
+(the HTTP face of sessions), and ``repro/cli.py`` (``lion replay``)
+may import ``repro.stream`` — so the one-shot path never grows a
+hidden dependency on the session subsystem.
 
 Exits non-zero listing every violation.
 """
@@ -32,16 +39,37 @@ from typing import Iterator, List, Tuple
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
 
-#: import prefixes that gated files may never use.
+#: import prefixes that registry-dispatch-gated files may never use.
 FORBIDDEN_PREFIXES = ("repro.baselines", "repro.core")
 #: exact modules exempt from the forbidden prefixes.
 ALLOWED_MODULES = ("repro.core.calibration",)
 
+#: the layered package of the stream rule.
+STREAM_PREFIX = "repro.stream"
+#: directories (relative to src/) whose files may import repro.stream.
+STREAM_ALLOWED_DIRS = ("repro/stream", "repro/serve/net")
+#: single files (relative to src/) that may import repro.stream.
+STREAM_ALLOWED_FILES = ("repro/cli.py",)
+
 
 def gated_files() -> List[Path]:
-    """The files the gate applies to."""
+    """The files the registry-dispatch rule applies to."""
     files = sorted((SRC / "repro" / "experiments").rglob("*.py"))
     files.append(SRC / "repro" / "cli.py")
+    return files
+
+
+def stream_gated_files() -> List[Path]:
+    """The files the stream-layering rule applies to: all of src/repro
+    except the locations allowed to import :mod:`repro.stream`."""
+    files = []
+    for path in sorted((SRC / "repro").rglob("*.py")):
+        relative = path.relative_to(SRC).as_posix()
+        if relative in STREAM_ALLOWED_FILES:
+            continue
+        if any(relative.startswith(prefix + "/") for prefix in STREAM_ALLOWED_DIRS):
+            continue
+        files.append(path)
     return files
 
 
@@ -56,6 +84,10 @@ def _is_forbidden(module: str) -> bool:
     )
 
 
+def _is_stream(module: str) -> bool:
+    return module == STREAM_PREFIX or module.startswith(STREAM_PREFIX + ".")
+
+
 def _imported_modules(tree: ast.AST) -> Iterator[Tuple[int, str]]:
     """Every ``(lineno, module)`` imported anywhere in the tree."""
     for node in ast.walk(tree):
@@ -67,7 +99,7 @@ def _imported_modules(tree: ast.AST) -> Iterator[Tuple[int, str]]:
 
 
 def check_file(path: Path) -> List[str]:
-    """Violation messages for one file (empty when clean)."""
+    """Registry-dispatch violation messages for one file (empty when clean)."""
     tree = ast.parse(path.read_text(), filename=str(path))
     relative = path.relative_to(REPO_ROOT)
     return [
@@ -78,17 +110,35 @@ def check_file(path: Path) -> List[str]:
     ]
 
 
+def check_stream_file(path: Path) -> List[str]:
+    """Stream-layering violation messages for one file (empty when clean)."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    relative = path.relative_to(REPO_ROOT)
+    return [
+        f"{relative}:{lineno}: imports {module!r}; only repro.serve.net "
+        "and the CLI may import the session layer"
+        for lineno, module in _imported_modules(tree)
+        if _is_stream(module)
+    ]
+
+
 def main() -> int:
-    """Run the gate over every gated file; 0 when clean."""
+    """Run both gates over their file sets; 0 when clean."""
     violations: List[str] = []
     for path in gated_files():
         violations.extend(check_file(path))
+    stream_files = stream_gated_files()
+    for path in stream_files:
+        violations.extend(check_stream_file(path))
     if violations:
         print("import-hygiene violations:")
         for message in violations:
             print(f"  {message}")
         return 1
-    print(f"import hygiene OK ({len(gated_files())} files checked)")
+    print(
+        f"import hygiene OK ({len(gated_files())} dispatch-gated, "
+        f"{len(stream_files)} stream-gated files checked)"
+    )
     return 0
 
 

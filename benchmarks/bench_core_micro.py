@@ -4,7 +4,17 @@ These are genuine pytest-benchmark timings (many rounds), quantifying the
 paper's light-weight claim at the operation level: radical-row assembly,
 the WLS solve, the full LionLocalizer pipeline, and one hologram kernel
 evaluation for contrast.
+
+Run directly for the per-stage timing mode — the scalar request path
+split into validate / preprocess / prepare-scan / pair / assemble /
+solve, so a whole-path regression localizes to one stage::
+
+    PYTHONPATH=src python benchmarks/bench_core_micro.py --reads 400
 """
+
+import argparse
+import json
+import time
 
 import numpy as np
 import pytest
@@ -70,3 +80,122 @@ def test_bench_hologram_kernel(benchmark, scan_data):
     cells = np.stack([m.ravel() for m in mesh], axis=1)
     likelihood = benchmark(hologram_likelihood, positions, phases, cells)
     assert likelihood.shape == (cells.shape[0],)
+
+
+# ---------------------------------------------------------------------------
+# per-stage timing mode (CLI)
+# ---------------------------------------------------------------------------
+
+
+def _time_stage(fn, repeats: int) -> float:
+    """Median-of-five best wall time per call, microseconds."""
+    samples = []
+    for _ in range(5):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            fn()
+        samples.append((time.perf_counter() - start) / repeats)
+    return float(np.median(samples)) * 1e6
+
+
+def run_stage_breakdown(reads: int = 400, repeats: int = 200, seed: int = 0) -> dict:
+    """Time each stage of the scalar LION request path in isolation.
+
+    The stages mirror :meth:`LionLocalizer.prepare` + ``_solve_prepared``:
+    ``validate`` (the input checks at the top of ``prepare``, replicated
+    here verbatim), ``preprocess`` (unwrap + smoothing),
+    ``prepare_scan`` (masking, reference pick, Eq. (6) deltas),
+    ``pair`` (pair selection), ``assemble`` (radical rows), and
+    ``solve`` (the scalar IRLS). Stage sums approximate but do not
+    exactly equal the end-to-end ``locate`` time (shared ``np.asarray``
+    coercions are paid once per stage here).
+    """
+    from repro.core.localizer import LionLocalizer
+    from repro.core.solvers import solve_weighted_least_squares
+    from repro.core.system import build_system
+
+    rng = np.random.default_rng(seed)
+    x = np.linspace(-0.6, 0.6, reads)
+    positions = np.stack([x, np.zeros_like(x)], axis=1)
+    target = np.array([0.08, 0.85])
+    distances = np.linalg.norm(positions - target, axis=1)
+    wavelength = 0.3262
+    phases = np.mod(
+        4.0 * np.pi / wavelength * distances + rng.normal(0.0, 0.05, reads),
+        2.0 * np.pi,
+    )
+    localizer = LionLocalizer(dim=2, interval_m=0.25)
+
+    def validate():
+        points = np.asarray(positions, dtype=float)
+        raw = np.asarray(phases, dtype=float)
+        assert points.ndim == 2 and points.shape[1] in (2, 3)
+        assert raw.shape == (points.shape[0],)
+        assert points.shape[0] >= 3
+        assert np.all(np.isfinite(points))
+        assert np.all(np.isfinite(raw))
+
+    profile = localizer.preprocess_phase(phases)
+    prepared = localizer._prepare_scan(positions, profile, None, None, None)
+    pairs = tuple(
+        localizer._auto_pairs(
+            prepared.solve_points, prepared.used_segments, localizer.interval_m
+        )
+    )
+    system = build_system(prepared.solve_points, prepared.delta_d, pairs)
+
+    stages = {
+        "validate": _time_stage(validate, repeats),
+        "preprocess": _time_stage(lambda: localizer.preprocess_phase(phases), repeats),
+        "prepare_scan": _time_stage(
+            lambda: localizer._prepare_scan(positions, profile, None, None, None),
+            repeats,
+        ),
+        "pair": _time_stage(
+            lambda: localizer._auto_pairs(
+                prepared.solve_points, prepared.used_segments, localizer.interval_m
+            ),
+            repeats,
+        ),
+        "assemble": _time_stage(
+            lambda: build_system(prepared.solve_points, prepared.delta_d, pairs),
+            repeats,
+        ),
+        "solve": _time_stage(lambda: solve_weighted_least_squares(system), repeats),
+    }
+    total = sum(stages.values())
+    return {
+        "benchmark": "core_stage_breakdown",
+        "reads": reads,
+        "repeats": repeats,
+        "stages_us": {name: round(value, 2) for name, value in stages.items()},
+        "stage_share": {
+            name: round(value / total, 4) for name, value in stages.items()
+        },
+        "total_us": round(total, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="per-stage timing of the scalar LION request path"
+    )
+    parser.add_argument("--reads", type=int, default=400, help="reads per scan")
+    parser.add_argument(
+        "--repeats", type=int, default=200, help="calls per stage sample"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--out", default=None, help="optional output JSON path")
+    args = parser.parse_args(argv)
+    payload = run_stage_breakdown(args.reads, args.repeats, seed=args.seed)
+    print(json.dumps(payload, indent=2))
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -60,6 +60,13 @@ from repro.core.localizer import (
     TooFewReadsError,
 )
 from repro.core.sweep import clear_pair_cache, fused_sweep, pair_cache_info
+from repro.core.batch_prepare import (
+    PreparedMember,
+    batch_prepare,
+    clear_template_cache,
+    prepare_batch,
+    template_cache_info,
+)
 from repro.core.multiantenna import (
     CalibratedArray,
     DifferentialResult,
@@ -124,6 +131,11 @@ __all__ = [
     "clear_pair_cache",
     "fused_sweep",
     "pair_cache_info",
+    "PreparedMember",
+    "batch_prepare",
+    "clear_template_cache",
+    "prepare_batch",
+    "template_cache_info",
     "CalibratedArray",
     "DifferentialResult",
     "differential_hologram",

@@ -331,6 +331,14 @@ class LionLocalizer:
         remaining pair/assemble/solve work across requests. ``locate`` is
         ``prepare`` + ``_solve_prepared``, so results stay bit-identical.
 
+        Copy contract: inputs are never mutated, and the returned
+        :class:`PreparedScan` never aliases caller arrays — every array it
+        carries is produced by boolean-mask indexing or arithmetic, both
+        of which allocate. ``assume_preprocessed`` therefore uses the
+        caller's phase array in place (read-only) instead of defensively
+        copying it; sweep engines call this per candidate window, so that
+        copy was pure overhead.
+
         Raises:
             TooFewReadsError / DegenerateGeometryError / ValueError: as on
                 :meth:`locate`.
@@ -353,7 +361,7 @@ class LionLocalizer:
             )
 
         if assume_preprocessed:
-            profile = phases.copy()
+            profile = phases  # read-only from here; _prepare_scan copies via masking
         else:
             profile = self.preprocess_phase(
                 phases,

@@ -73,7 +73,16 @@ class _AssemblyRecipe:
     assembled system is bit-identical to an uncached build.
     """
 
-    __slots__ = ("pairs", "index_i", "index_j", "spatial", "squared", "dim")
+    __slots__ = (
+        "pairs",
+        "index_i",
+        "index_j",
+        "spatial",
+        "squared",
+        "dim",
+        "_spatial32",
+        "_squared32",
+    )
 
     def __init__(
         self,
@@ -109,6 +118,8 @@ class _AssemblyRecipe:
             "ij,ij->i", pj, pj
         )
         self.dim = dim
+        self._spatial32: np.ndarray | None = None
+        self._squared32: np.ndarray | None = None
 
     def assemble(self, delta_d: np.ndarray) -> LinearSystem:
         """Complete the system from one trial's distance differences."""
@@ -119,6 +130,19 @@ class _AssemblyRecipe:
         matrix[:, self.dim] = 2.0 * (di - dj)
         rhs = self.squared - di**2 + dj**2
         return LinearSystem(matrix=matrix, rhs=rhs, dim=self.dim)
+
+    def geometry32(self) -> tuple[np.ndarray, np.ndarray]:
+        """Float32 casts of the geometry terms, computed once per recipe.
+
+        The serving engine's float32 pipeline assembles padded system
+        stacks directly from these; recipes are cached cross-call, so the
+        cast amortizes to zero over repeat-trajectory traffic. The lazy
+        fill is idempotent, so a racing double-compute is harmless.
+        """
+        if self._spatial32 is None or self._squared32 is None:
+            self._spatial32 = self.spatial.astype(np.float32)
+            self._squared32 = self.squared.astype(np.float32)
+        return self._spatial32, self._squared32
 
 
 _PAIR_CACHE: "OrderedDict[tuple, _AssemblyRecipe]" = OrderedDict()

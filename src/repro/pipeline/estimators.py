@@ -119,6 +119,12 @@ class LionEstimator:
     def __init__(self, config: LionConfig) -> None:
         self.config = config
         self._localizer = config.build_localizer()
+        # Serialized config + fingerprint are pure functions of the frozen
+        # config; computed once on first report, then every report is a
+        # dict copy instead of a re-serialize + re-hash (the serving
+        # engine builds one report per request on the hot path).
+        self._serialized_config: Dict[str, object] | None = None
+        self._config_hash: str | None = None
 
     @property
     def localizer(self) -> LionLocalizer:
@@ -137,28 +143,55 @@ class LionEstimator:
         )
         return self.report(result)
 
-    def report(self, result: LocalizationResult) -> EstimationReport:
+    def report(
+        self,
+        result: LocalizationResult,
+        diagnostics: Dict[str, object] | None = None,
+    ) -> EstimationReport:
         """Wrap a core localization result in the contract report.
 
         Split from :meth:`estimate` so the serving engine
         (:mod:`repro.serve`) can run the solve through the fused batch path
         and still emit reports field-identical to the scalar path.
+        ``diagnostics`` lets that engine pass the summary scalars it
+        already computed batched (float32 pipeline) instead of re-deriving
+        them per member from the :class:`Solution` properties.
         """
-        return build_report(
-            self.name,
-            self.config,
-            result.position,
+        if diagnostics is None:
+            diagnostics = self._diagnostics(result)
+        if self._serialized_config is None or self._config_hash is None:
+            report = build_report(
+                self.name,
+                self.config,
+                result.position,
+                reference_distance_m=result.reference_distance_m,
+                residuals=result.solution.normalized_residuals,
+                diagnostics=diagnostics,
+                raw=result,
+            )
+            self._serialized_config = dict(report.config)
+            self._config_hash = report.config_hash
+            return report
+        return EstimationReport(
+            estimator=self.name,
+            position=np.asarray(result.position, dtype=float),
+            config=dict(self._serialized_config),
+            config_hash=self._config_hash,
             reference_distance_m=result.reference_distance_m,
             residuals=result.solution.normalized_residuals,
-            diagnostics={
-                "mean_residual": float(result.mean_residual),
-                "mean_abs_residual": float(result.solution.mean_abs_residual),
-                "iterations": int(result.solution.iterations),
-                "converged": bool(result.solution.converged),
-                "recovered_axis": result.recovered_axis,
-            },
+            diagnostics=diagnostics,
             raw=result,
         )
+
+    @staticmethod
+    def _diagnostics(result: LocalizationResult) -> Dict[str, object]:
+        return {
+            "mean_residual": float(result.mean_residual),
+            "mean_abs_residual": float(result.solution.mean_abs_residual),
+            "iterations": int(result.solution.iterations),
+            "converged": bool(result.solution.converged),
+            "recovered_axis": result.recovered_axis,
+        }
 
 
 # ---------------------------------------------------------------------------

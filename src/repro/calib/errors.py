@@ -1,0 +1,43 @@
+"""Error taxonomy of the calibration registry.
+
+Every failure the store can produce maps onto one of these so callers
+(the HTTP routes, the CLI, the scheduler) can branch on *kind* rather
+than parse messages: a version conflict is a retryable race, an unknown
+antenna is a 404, a corrupt record is an operator page.
+"""
+
+from __future__ import annotations
+
+
+class CalibStoreError(RuntimeError):
+    """Base class for calibration-store failures."""
+
+
+class VersionConflictError(CalibStoreError):
+    """Compare-and-swap commit lost the race.
+
+    Raised when ``expected_version`` does not match the antenna's current
+    latest version at commit time. The losing writer should re-read the
+    latest record and decide whether its calibration still supersedes it.
+    """
+
+    def __init__(self, antenna: str, expected: int, actual: int) -> None:
+        super().__init__(
+            f"calibration for {antenna!r}: expected version {expected}, "
+            f"store is at {actual}"
+        )
+        self.antenna = antenna
+        self.expected = expected
+        self.actual = actual
+
+
+class UnknownAntennaError(CalibStoreError):
+    """Lookup of an antenna the store has no records for."""
+
+    def __init__(self, antenna: str) -> None:
+        super().__init__(f"no calibration records for antenna {antenna!r}")
+        self.antenna = antenna
+
+
+class CorruptRecordError(CalibStoreError):
+    """A persisted record failed to parse or validate on load."""

@@ -1,0 +1,211 @@
+"""Versioned, JSON-safe calibration records.
+
+A :class:`CalibrationRecord` wraps one
+:class:`repro.core.calibration.AntennaCalibration` with everything fleet
+management needs beyond the physics: a monotonically increasing
+per-antenna version, a wall-clock commit timestamp, the provenance of the
+run that produced it (a serialized :class:`repro.obs.RunManifest` plus
+the estimator config hash), and quality stats of the calibration scan
+(read count, adaptive-sweep residual). Records are immutable and
+round-trip losslessly through plain JSON dicts — the store's on-disk
+format is exactly :meth:`CalibrationRecord.to_dict`, one record per line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.calib.errors import CorruptRecordError
+from repro.core.calibration import AntennaCalibration
+
+#: Record sources the registry distinguishes. ``scan`` is a direct
+#: field calibration, ``scheduled`` came from the recalibration
+#: scheduler, ``manual`` via the HTTP/CLI surface, ``seed`` from fleet
+#: bootstrap.
+KNOWN_SOURCES: Tuple[str, ...] = ("scan", "scheduled", "manual", "seed")
+
+
+def _as_vec3(value: Any, name: str) -> Tuple[float, float, float]:
+    array = np.asarray(value, dtype=float).reshape(-1)
+    if array.shape != (3,) or not np.all(np.isfinite(array)):
+        raise CorruptRecordError(f"{name} must be a finite 3-vector, got {value!r}")
+    return (float(array[0]), float(array[1]), float(array[2]))
+
+
+@dataclass(frozen=True)
+class CalibrationRecord:
+    """One committed calibration version for one antenna.
+
+    Attributes:
+        antenna: antenna identifier (the store's primary key).
+        version: per-antenna version, 1-based, assigned by the store.
+        physical_center: manually measured center, meters.
+        estimated_center: calibrated phase center, meters.
+        phase_offset_rad: ``theta_T + theta_R`` estimate (Eq. 17).
+        created_unix: commit wall-clock time, seconds since the epoch.
+        source: one of :data:`KNOWN_SOURCES`.
+        reads: number of reads in the calibration scan, when known.
+        residual_rms_m: RMS residual of the winning adaptive solve, when
+            known — the error budget staleness checks can gate on.
+        config_hash: estimator/config fingerprint of the producing run.
+        manifest: serialized :class:`repro.obs.RunManifest` provenance.
+    """
+
+    antenna: str
+    version: int
+    physical_center: Tuple[float, float, float]
+    estimated_center: Tuple[float, float, float]
+    phase_offset_rad: float
+    created_unix: float
+    source: str = "scan"
+    reads: Optional[int] = None
+    residual_rms_m: Optional[float] = None
+    config_hash: Optional[str] = None
+    manifest: Optional[Dict[str, Any]] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.antenna:
+            raise CorruptRecordError("record must name an antenna")
+        if self.version < 1:
+            raise CorruptRecordError(f"version must be >= 1, got {self.version}")
+        if self.source not in KNOWN_SOURCES:
+            raise CorruptRecordError(
+                f"unknown record source {self.source!r}; expected one of {KNOWN_SOURCES}"
+            )
+        if not np.isfinite(self.phase_offset_rad):
+            raise CorruptRecordError("phase offset must be finite")
+        object.__setattr__(
+            self, "physical_center", _as_vec3(self.physical_center, "physical_center")
+        )
+        object.__setattr__(
+            self, "estimated_center", _as_vec3(self.estimated_center, "estimated_center")
+        )
+
+    @property
+    def center_displacement(self) -> Tuple[float, float, float]:
+        """Estimated minus physical center, meters."""
+        delta = np.asarray(self.estimated_center) - np.asarray(self.physical_center)
+        return (float(delta[0]), float(delta[1]), float(delta[2]))
+
+    @property
+    def displacement_magnitude_m(self) -> float:
+        """Euclidean size of the center displacement."""
+        return float(np.linalg.norm(np.asarray(self.center_displacement)))
+
+    def age_s(self, now: float) -> float:
+        """Seconds elapsed since the record was committed."""
+        return max(0.0, now - self.created_unix)
+
+    def to_calibration(self) -> AntennaCalibration:
+        """The physics payload as the core layer's calibration record."""
+        return AntennaCalibration(
+            antenna_name=self.antenna,
+            physical_center=np.asarray(self.physical_center, dtype=float),
+            estimated_center=np.asarray(self.estimated_center, dtype=float),
+            phase_offset_rad=float(self.phase_offset_rad),
+        )
+
+    @classmethod
+    def from_calibration(
+        cls,
+        calibration: AntennaCalibration,
+        version: int,
+        created_unix: float,
+        source: str = "scan",
+        reads: Optional[int] = None,
+        residual_rms_m: Optional[float] = None,
+        config_hash: Optional[str] = None,
+        manifest: Optional[Mapping[str, Any]] = None,
+    ) -> "CalibrationRecord":
+        """Wrap a core calibration result into a versioned record."""
+        return cls(
+            antenna=calibration.antenna_name,
+            version=version,
+            physical_center=_as_vec3(calibration.physical_center, "physical_center"),
+            estimated_center=_as_vec3(calibration.estimated_center, "estimated_center"),
+            phase_offset_rad=float(calibration.phase_offset_rad),
+            created_unix=float(created_unix),
+            source=source,
+            reads=reads,
+            residual_rms_m=residual_rms_m,
+            config_hash=config_hash,
+            manifest=dict(manifest) if manifest is not None else None,
+        )
+
+    def with_version(self, version: int) -> "CalibrationRecord":
+        """A copy stamped with a different version (store commit path)."""
+        return replace(self, version=version)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe representation; the store's on-disk line format."""
+        payload: Dict[str, Any] = {
+            "antenna": self.antenna,
+            "version": self.version,
+            "physical_center": list(self.physical_center),
+            "estimated_center": list(self.estimated_center),
+            "phase_offset_rad": self.phase_offset_rad,
+            "created_unix": self.created_unix,
+            "source": self.source,
+        }
+        if self.reads is not None:
+            payload["reads"] = self.reads
+        if self.residual_rms_m is not None:
+            payload["residual_rms_m"] = self.residual_rms_m
+        if self.config_hash is not None:
+            payload["config_hash"] = self.config_hash
+        if self.manifest is not None:
+            payload["manifest"] = self.manifest
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CalibrationRecord":
+        """Parse a persisted record; raises :class:`CorruptRecordError`."""
+        try:
+            return cls(
+                antenna=str(payload["antenna"]),
+                version=int(payload["version"]),
+                physical_center=_as_vec3(payload["physical_center"], "physical_center"),
+                estimated_center=_as_vec3(
+                    payload["estimated_center"], "estimated_center"
+                ),
+                phase_offset_rad=float(payload["phase_offset_rad"]),
+                created_unix=float(payload["created_unix"]),
+                source=str(payload.get("source", "scan")),
+                reads=None if payload.get("reads") is None else int(payload["reads"]),
+                residual_rms_m=(
+                    None
+                    if payload.get("residual_rms_m") is None
+                    else float(payload["residual_rms_m"])
+                ),
+                config_hash=(
+                    None
+                    if payload.get("config_hash") is None
+                    else str(payload["config_hash"])
+                ),
+                manifest=(
+                    None if payload.get("manifest") is None else dict(payload["manifest"])
+                ),
+            )
+        except CorruptRecordError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CorruptRecordError(f"malformed calibration record: {exc}") from exc
+
+    def summary(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """Compact JSON-safe view for status tables and ``/statz``."""
+        view: Dict[str, Any] = {
+            "antenna": self.antenna,
+            "version": self.version,
+            "phase_offset_rad": round(self.phase_offset_rad, 6),
+            "displacement_m": round(self.displacement_magnitude_m, 6),
+            "source": self.source,
+            "created_unix": self.created_unix,
+        }
+        if now is not None:
+            view["age_s"] = round(self.age_s(now), 3)
+        if self.residual_rms_m is not None:
+            view["residual_rms_m"] = round(self.residual_rms_m, 6)
+        return view

@@ -1,0 +1,263 @@
+"""Staleness and drift detection over the calibration registry.
+
+An antenna's calibration goes bad two ways: silently, by *aging* past
+the budget the deployment trusts (offsets random-walk whether or not
+anyone is watching), and loudly, by the streaming layer's
+``calibration_drift_alarm`` events — :mod:`repro.stream` emits one when
+a session's fast incremental estimate and its windowed re-solve diverge
+beyond threshold, which in a calibrated deployment is the symptom of a
+moved phase center or rotated offset. :class:`DriftMonitor` folds both
+signals (plus the per-record residual error budget) into one verdict
+per antenna.
+
+The monitor consumes events *structurally* — anything with ``kind``,
+``antenna`` and ``drift_m`` attributes — so this module does not import
+:mod:`repro.stream` and stays below it in the layer diagram; attach it
+to a live :class:`repro.stream.EventBus` with :meth:`DriftMonitor.attach`
+(the bus's kind filter does the selection).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+)
+
+from repro.calib.store import CalibrationStore
+
+#: The event kind :class:`repro.stream.events.CalibrationDriftAlarm`
+#: publishes under; referenced by name so :mod:`repro.calib` need not
+#: import the stream layer.
+DRIFT_ALARM_KIND = "calibration_drift_alarm"
+
+
+class _SubscribableBus(Protocol):
+    """The slice of ``repro.stream.EventBus`` the monitor needs."""
+
+    def subscribe(
+        self, callback: Callable[[Any], None], kinds: Optional[Tuple[str, ...]] = None
+    ) -> int: ...
+
+
+@dataclass(frozen=True)
+class StalenessPolicy:
+    """Budgets that decide when a calibration stops being trusted.
+
+    Attributes:
+        max_age_s: trusted lifetime of a committed record; older means
+            stale regardless of observed behaviour.
+        max_drift_alarms: drift alarms tolerated inside ``alarm_window_s``
+            before the antenna is marked stale.
+        alarm_window_s: sliding window over which alarms are counted.
+        max_residual_rms_m: optional error budget on the committed
+            record's adaptive residual; a calibration that solved badly
+            is stale from birth.
+        aging_fraction: fraction of ``max_age_s`` past which an antenna
+            reports ``aging`` (recalibrate opportunistically, before the
+            hard budget trips).
+    """
+
+    max_age_s: float = 24.0 * 3600.0
+    max_drift_alarms: int = 3
+    alarm_window_s: float = 600.0
+    max_residual_rms_m: Optional[float] = None
+    aging_fraction: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.max_age_s <= 0.0 or self.alarm_window_s <= 0.0:
+            raise ValueError("age and alarm windows must be positive")
+        if self.max_drift_alarms < 1:
+            raise ValueError("max_drift_alarms must be >= 1")
+        if not 0.0 < self.aging_fraction <= 1.0:
+            raise ValueError("aging_fraction must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class AntennaHealth:
+    """One antenna's verdict.
+
+    ``status`` is one of ``fresh`` / ``aging`` / ``stale`` /
+    ``uncalibrated``; ``reasons`` lists every tripped budget (an antenna
+    can be both over-age and alarming).
+    """
+
+    antenna: str
+    status: str
+    reasons: Tuple[str, ...] = ()
+    version: int = 0
+    age_s: Optional[float] = None
+    alarms: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe view for ``/statz`` and the CLI."""
+        payload: Dict[str, Any] = {
+            "antenna": self.antenna,
+            "status": self.status,
+            "version": self.version,
+            "alarms": self.alarms,
+        }
+        if self.age_s is not None:
+            payload["age_s"] = round(self.age_s, 3)
+        if self.reasons:
+            payload["reasons"] = list(self.reasons)
+        return payload
+
+
+@dataclass(frozen=True)
+class FleetHealth:
+    """The fleet-wide verdict: every antenna, plus rollup counts."""
+
+    generated_unix: float
+    antennas: Tuple[AntennaHealth, ...]
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def stale(self) -> Tuple[str, ...]:
+        """Antennas needing recalibration (stale or uncalibrated)."""
+        return tuple(
+            health.antenna
+            for health in self.antennas
+            if health.status in ("stale", "uncalibrated")
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe view for ``/statz`` and the CLI."""
+        return {
+            "generated_unix": self.generated_unix,
+            "counts": dict(self.counts),
+            "stale": list(self.stale()),
+            "antennas": [health.to_dict() for health in self.antennas],
+        }
+
+
+class DriftMonitor:
+    """Folds drift alarms and record budgets into per-antenna health.
+
+    Thread-safe: alarms arrive from stream session threads, evaluation
+    happens on scheduler or serving threads.
+
+    Args:
+        store: the registry whose records are judged.
+        policy: the staleness budgets.
+        clock: injectable wall clock (tests); defaults to ``time.time``.
+    """
+
+    def __init__(
+        self,
+        store: CalibrationStore,
+        policy: Optional[StalenessPolicy] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.store = store
+        self.policy = policy if policy is not None else StalenessPolicy()
+        self._clock: Callable[[], float] = clock if clock is not None else time.time
+        self._lock = threading.Lock()
+        self._alarms: Dict[str, Deque[float]] = {}
+
+    # -- alarm ingestion --------------------------------------------------
+
+    def observe_alarm(
+        self, antenna: str, drift_m: float = 0.0, timestamp: Optional[float] = None
+    ) -> None:
+        """Record one drift alarm against ``antenna`` (wall-clock time)."""
+        stamp = float(self._clock()) if timestamp is None else float(timestamp)
+        with self._lock:
+            window = self._alarms.setdefault(antenna, deque())
+            window.append(stamp)
+            self._prune(window, stamp)
+
+    def on_event(self, event: Any) -> None:
+        """Structural event sink for stream buses and session callbacks.
+
+        Accepts any object carrying ``kind`` and ``antenna`` attributes;
+        non-drift kinds and events without an antenna label are ignored,
+        so the sink is safe to subscribe unfiltered.
+        """
+        if getattr(event, "kind", None) != DRIFT_ALARM_KIND:
+            return
+        antenna = getattr(event, "antenna", None)
+        if not antenna:
+            return
+        self.observe_alarm(str(antenna), float(getattr(event, "drift_m", 0.0)))
+
+    def attach(self, bus: _SubscribableBus) -> int:
+        """Subscribe to a stream event bus, filtered to drift alarms.
+
+        Returns the bus's subscription token (for unsubscribe).
+        """
+        return bus.subscribe(self.on_event, kinds=(DRIFT_ALARM_KIND,))
+
+    def alarm_count(self, antenna: str, now: Optional[float] = None) -> int:
+        """Alarms inside the sliding window, as of ``now``."""
+        stamp = float(self._clock()) if now is None else float(now)
+        with self._lock:
+            window = self._alarms.get(antenna)
+            if not window:
+                return 0
+            self._prune(window, stamp)
+            return len(window)
+
+    def _prune(self, window: Deque[float], now: float) -> None:
+        horizon = now - self.policy.alarm_window_s
+        while window and window[0] < horizon:
+            window.popleft()
+
+    # -- evaluation -------------------------------------------------------
+
+    def evaluate(self, now: Optional[float] = None) -> FleetHealth:
+        """Judge every antenna in the store against the policy."""
+        stamp = float(self._clock()) if now is None else float(now)
+        policy = self.policy
+        verdicts: List[AntennaHealth] = []
+        for name in self.store.antennas():
+            record = self.store.latest(name)
+            age = record.age_s(stamp)
+            alarms = self.alarm_count(name, now=stamp)
+            reasons: List[str] = []
+            if age > policy.max_age_s:
+                reasons.append(f"age {age:.0f}s exceeds budget {policy.max_age_s:.0f}s")
+            if alarms >= policy.max_drift_alarms:
+                reasons.append(
+                    f"{alarms} drift alarms in {policy.alarm_window_s:.0f}s window"
+                )
+            if (
+                policy.max_residual_rms_m is not None
+                and record.residual_rms_m is not None
+                and record.residual_rms_m > policy.max_residual_rms_m
+            ):
+                reasons.append(
+                    f"residual {record.residual_rms_m:.4f}m exceeds budget "
+                    f"{policy.max_residual_rms_m:.4f}m"
+                )
+            if reasons:
+                status = "stale"
+            elif age > policy.aging_fraction * policy.max_age_s:
+                status = "aging"
+            else:
+                status = "fresh"
+            verdicts.append(
+                AntennaHealth(
+                    antenna=name,
+                    status=status,
+                    reasons=tuple(reasons),
+                    version=record.version,
+                    age_s=age,
+                    alarms=alarms,
+                )
+            )
+        counts: Dict[str, int] = {}
+        for health in verdicts:
+            counts[health.status] = counts.get(health.status, 0) + 1
+        return FleetHealth(
+            generated_unix=stamp, antennas=tuple(verdicts), counts=counts
+        )

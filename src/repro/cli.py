@@ -23,8 +23,16 @@ Streaming sessions (repro.stream, docs/serving.md)::
 Serving (docs/serving.md)::
 
     lion serve --port 8321 --shards 4              # networked sharded front end
+    lion serve --calibration-store fleet/          # + /v1/calibrations surface
     lion serve-bench --quick                       # engine load test, CI sizing
     lion serve-bench --batch-sizes 1,8,32 --out BENCH_serve.json
+
+Fleet calibration registry (docs/calibration.md)::
+
+    lion calib init fleet/ --size 10 --seed 0      # seed-calibrate a fleet
+    lion calib status fleet/                       # fleet health (age + drift)
+    lion calib recalibrate fleet/ --drift-hours 6  # drift, detect, recalibrate
+    lion calib history fleet/ ant-003              # version history
 
 Observability (docs/observability.md)::
 
@@ -220,6 +228,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="seconds /readyz reports draining before the listener closes",
     )
     serve_parser.add_argument(
+        "--calibration-store",
+        metavar="DIR",
+        help=(
+            "calibration store directory; enables /v1/calibrations, fleet "
+            "health in /statz, and 'antennas' resolution on /v1/locate"
+        ),
+    )
+    serve_parser.add_argument(
         "--no-metrics",
         action="store_true",
         help="disable the /metrics exporter and per-shard instrumentation",
@@ -342,6 +358,78 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the bit-identity check against a one-shot solve",
     )
+
+    calib_parser = subparsers.add_parser(
+        "calib",
+        help="fleet calibration registry (docs/calibration.md)",
+        parents=[obs_parent],
+    )
+    calib_sub = calib_parser.add_subparsers(dest="calib_command", required=True)
+
+    calib_init = calib_sub.add_parser(
+        "init",
+        help="create a store and seed-calibrate a simulated fleet",
+        parents=[obs_parent],
+    )
+    calib_init.add_argument("store", help="calibration store directory (created)")
+    calib_init.add_argument(
+        "--size", type=int, default=10, help="fleet size (default: 10)"
+    )
+    calib_init.add_argument("--seed", type=int, default=0, help="fleet random seed")
+    calib_init.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default="process",
+        help="how calibration scans fan out (default: process)",
+    )
+
+    calib_status = calib_sub.add_parser(
+        "status",
+        help="fleet health: versions, age, staleness verdicts",
+        parents=[obs_parent],
+    )
+    calib_status.add_argument("store", help="calibration store directory")
+    calib_status.add_argument(
+        "--max-age-s",
+        type=float,
+        default=24.0 * 3600.0,
+        help="staleness age budget in seconds (default: 86400)",
+    )
+    calib_status.add_argument(
+        "--json", action="store_true", help="print the health payload as JSON"
+    )
+
+    calib_recal = calib_sub.add_parser(
+        "recalibrate",
+        help="advance the simulated fleet drift and recalibrate stale antennas",
+        parents=[obs_parent],
+    )
+    calib_recal.add_argument("store", help="calibration store directory")
+    calib_recal.add_argument(
+        "--drift-hours",
+        type=float,
+        default=0.0,
+        help="simulated drift to apply before recalibrating (hours)",
+    )
+    calib_recal.add_argument(
+        "--antennas",
+        metavar="NAME,NAME,...",
+        help="recalibrate only these antennas (default: all)",
+    )
+    calib_recal.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default="process",
+        help="how calibration scans fan out (default: process)",
+    )
+
+    calib_history = calib_sub.add_parser(
+        "history",
+        help="print every committed version of one antenna",
+        parents=[obs_parent],
+    )
+    calib_history.add_argument("store", help="calibration store directory")
+    calib_history.add_argument("antenna", help="antenna name, e.g. ant-003")
 
     calibrate_parser = subparsers.add_parser(
         "calibrate",
@@ -598,6 +686,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             recorder_slow_ms=args.trace_slow_ms,
             slo_p99_ms=args.slo_p99_ms,
             slo_error_rate=args.slo_error_rate,
+            calibration_store=args.calibration_store,
         )
     except ValueError as error:
         _logger.error("bad serve configuration: %s", error)
@@ -760,6 +849,187 @@ def _command_replay(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _calib_open_store(path: str):
+    from repro.calib import CalibrationStore, CalibStoreError
+
+    try:
+        return CalibrationStore(path, create=False)
+    except CalibStoreError as error:
+        _logger.error("cannot open calibration store %s: %s", path, error)
+        return None
+
+
+def _calib_rebuild_fleet(store):
+    """Rebuild the simulated fleet from the store's persisted sim state.
+
+    The fleet is deterministic from ``(seed, size)`` plus the exact
+    sequence of ``advance`` steps, so the store's ``sim`` meta entry
+    records the step list and this replays it — ``status`` and
+    ``recalibrate`` across separate CLI invocations see one continuous
+    drifting fleet.
+    """
+    from repro.datasets.fleet import AntennaFleet, FleetDriftConfig
+
+    sim = store.meta_get("sim")
+    if sim is None:
+        return None, None
+    fleet = AntennaFleet(FleetDriftConfig(size=int(sim["size"]), seed=int(sim["seed"])))
+    for step in sim.get("steps", []):
+        fleet.advance(float(step))
+    return fleet, sim
+
+
+def _print_recalibration_report(report) -> None:
+    print(
+        f"committed {len(report.committed)}, conflicts {len(report.conflicts)}, "
+        f"failures {len(report.failures)} in {report.duration_s:.2f} s "
+        f"({report.antennas_per_sec:.1f} antennas/s)"
+    )
+    for antenna, version in sorted(report.committed.items()):
+        print(f"  {antenna}: -> v{version}")
+    for antenna in report.conflicts:
+        print(f"  {antenna}: CONFLICT (lost the CAS race)")
+    for antenna, message in sorted(report.failures.items()):
+        print(f"  {antenna}: FAILED {message}")
+
+
+def _command_calib_init(args: argparse.Namespace) -> int:
+    from repro.calib import CalibrationStore, RecalibrationScheduler, fleet_scan_source
+    from repro.datasets.fleet import AntennaFleet, FleetDriftConfig
+
+    if args.size <= 0:
+        _logger.error("--size must be positive, got %d", args.size)
+        return 2
+    store = CalibrationStore(args.store, create=True)
+    if store.meta_get("sim") is not None or store.antennas():
+        _logger.error("store %s is already initialized", args.store)
+        return 1
+    fleet = AntennaFleet(FleetDriftConfig(size=args.size, seed=args.seed))
+    scheduler = RecalibrationScheduler(
+        store,
+        fleet_scan_source(fleet),
+        executor=args.executor,
+        jobs=args.jobs,
+        source="seed",
+    )
+    report = scheduler.recalibrate(fleet.names)
+    store.meta_set(
+        "sim", {"seed": args.seed, "size": args.size, "steps": [], "salt": 0}
+    )
+    print(f"initialized {args.store}: fleet of {args.size} (seed {args.seed})")
+    _print_recalibration_report(report)
+    return 0 if not report.failures else 1
+
+
+def _command_calib_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.calib import DriftMonitor, StalenessPolicy
+
+    store = _calib_open_store(args.store)
+    if store is None:
+        return 1
+    if args.max_age_s <= 0:
+        _logger.error("--max-age-s must be positive, got %s", args.max_age_s)
+        return 2
+    monitor = DriftMonitor(store, StalenessPolicy(max_age_s=args.max_age_s))
+    health = monitor.evaluate()
+    if args.json:
+        print(json.dumps(health.to_dict(), indent=2))
+        return 0
+    counts = ", ".join(f"{k}={v}" for k, v in sorted(health.counts.items()))
+    print(f"store {args.store}: generation {store.generation}  [{counts}]")
+    for item in health.antennas:
+        age = "-" if item.age_s is None else f"{item.age_s / 3600.0:6.1f} h"
+        reasons = f"  ({'; '.join(item.reasons)})" if item.reasons else ""
+        print(f"  {item.antenna}: v{item.version}  age {age}  {item.status}{reasons}")
+    return 0
+
+
+def _command_calib_recalibrate(args: argparse.Namespace) -> int:
+    from repro.calib import RecalibrationScheduler, fleet_scan_source
+
+    store = _calib_open_store(args.store)
+    if store is None:
+        return 1
+    if args.drift_hours < 0:
+        _logger.error("--drift-hours must be non-negative, got %s", args.drift_hours)
+        return 2
+    fleet, sim = _calib_rebuild_fleet(store)
+    if fleet is None:
+        _logger.error(
+            "store %s has no fleet-sim state; initialize it with 'lion calib init'",
+            args.store,
+        )
+        return 1
+    if args.drift_hours > 0:
+        fleet.advance(args.drift_hours * 3600.0)
+        sim["steps"] = list(sim.get("steps", [])) + [args.drift_hours * 3600.0]
+        print(
+            f"advanced drift by {args.drift_hours:g} h "
+            f"(simulated clock {fleet.clock_s / 3600.0:g} h, "
+            f"ambient {fleet.ambient_temperature_c():+.1f} C)"
+        )
+    salt = int(sim.get("salt", 0)) + 1
+    targets = fleet.names
+    if args.antennas:
+        targets = tuple(part for part in args.antennas.split(",") if part)
+        unknown = sorted(set(targets) - set(fleet.names))
+        if unknown:
+            _logger.error("unknown antennas: %s", ", ".join(unknown))
+            return 2
+    scheduler = RecalibrationScheduler(
+        store,
+        fleet_scan_source(fleet, salt=salt),
+        executor=args.executor,
+        jobs=args.jobs,
+    )
+    report = scheduler.recalibrate(targets)
+    sim["salt"] = salt
+    store.meta_set("sim", sim)
+    _print_recalibration_report(report)
+    return 0 if not report.failures and not report.conflicts else 1
+
+
+def _command_calib_history(args: argparse.Namespace) -> int:
+    from repro.calib import UnknownAntennaError
+
+    store = _calib_open_store(args.store)
+    if store is None:
+        return 1
+    try:
+        records = store.history(args.antenna)
+    except UnknownAntennaError as error:
+        _logger.error("%s", error)
+        return 1
+    print(f"{args.antenna}: {len(records)} version(s)")
+    for record in records:
+        residual = (
+            "-"
+            if record.residual_rms_m is None
+            else f"{record.residual_rms_m * 1000:.2f} mm"
+        )
+        print(
+            f"  v{record.version}  source={record.source}  reads={record.reads}  "
+            f"offset={record.phase_offset_rad:.4f} rad  "
+            f"displacement={record.displacement_magnitude_m * 100:.2f} cm  "
+            f"residual={residual}"
+        )
+    return 0
+
+
+def _command_calib(args: argparse.Namespace) -> int:
+    if args.calib_command == "init":
+        return _command_calib_init(args)
+    if args.calib_command == "status":
+        return _command_calib_status(args)
+    if args.calib_command == "recalibrate":
+        return _command_calib_recalibrate(args)
+    if args.calib_command == "history":
+        return _command_calib_history(args)
+    raise AssertionError(f"unhandled calib command {args.calib_command!r}")
+
+
 def _command_calibrate(args: argparse.Namespace) -> int:
     from repro.core.calibration import calibrate_antenna
     from repro.datasets.io import read_records_csv
@@ -832,6 +1102,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _command_serve_bench(args)
     if args.command == "replay":
         return _command_replay(args)
+    if args.command == "calib":
+        return _command_calib(args)
     if args.command == "calibrate":
         return _command_calibrate(args)
     raise AssertionError(f"unhandled command {args.command!r}")

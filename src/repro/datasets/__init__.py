@@ -6,6 +6,11 @@ wrapped phases, segment structure, transit mask). :mod:`repro.datasets.io`
 round-trips read records through CSV so scans can be archived and replayed.
 """
 
+from repro.datasets.fleet import (
+    AntennaFleet,
+    FleetDriftConfig,
+    antenna_name,
+)
 from repro.datasets.synthetic import (
     ScanData,
     default_antenna,
@@ -26,6 +31,9 @@ from repro.datasets.workloads import (
 )
 
 __all__ = [
+    "AntennaFleet",
+    "FleetDriftConfig",
+    "antenna_name",
     "ScanData",
     "default_antenna",
     "simulate_scan",

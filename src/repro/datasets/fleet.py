@@ -1,0 +1,289 @@
+"""Simulated antenna fleets with calibration drift.
+
+The paper calibrates one antenna once; a warehouse deployment has
+hundreds whose hardware characteristics move under it. This module
+models that regime on top of :mod:`repro.rf`: a row of portal antennas
+(each with the usual hidden phase-center displacement and phase offset)
+whose offsets evolve as a **per-device random walk plus a shared
+temperature coupling** — the two empirically dominant drift terms.
+Advancing simulated time mutates the hidden truth; the calibration
+registry (:mod:`repro.calib`) is then responsible for noticing and
+chasing it.
+
+Drift model, per antenna ``k`` over a step of ``dt`` seconds::
+
+    theta_k  +=  sigma_w * sqrt(dt / 3600) * N(0, 1)          (random walk)
+               + c_T * s_k * (T(t + dt) - T(t))               (temperature)
+
+with ambient ``T(t) = A * sin(2*pi * t / period)`` shared by the fleet
+and ``s_k`` a per-device sensitivity drawn once at construction. The
+phase-center displacement performs an (much slower) independent walk.
+Everything is deterministic from the config seed: two fleets built from
+the same config and advanced by the same steps agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.constants import DEFAULT_WAVELENGTH_M, TWO_PI
+from repro.core.adaptive import ParameterGrid
+from repro.datasets.synthetic import ScanData, default_antenna, simulate_scan
+from repro.rf.antenna import Antenna
+from repro.rf.noise import GaussianPhaseNoise
+from repro.rf.tag import Tag
+from repro.trajectory.multiline import ThreeLineScan
+
+
+@dataclass(frozen=True)
+class FleetDriftConfig:
+    """Geometry and drift dynamics of a simulated antenna fleet.
+
+    Attributes:
+        size: number of antennas, laid out along x.
+        spacing_m: portal-to-portal spacing along x.
+        standoff_m: antenna y position; scans run along the x-axis at
+            ``y = 0`` in front of each antenna (the paper's geometry).
+        height_m: antenna z position.
+        displacement_scale_m: magnitude of the hidden phase-center
+            displacement drawn per device (Fig. 2's 2-3 cm).
+        offset_walk_std_rad: phase-offset random-walk scale, radians per
+            sqrt hour.
+        offset_temp_coeff_rad_per_c: fleet-mean offset sensitivity to
+            ambient temperature, radians per degree C.
+        temp_sensitivity_spread: relative per-device spread of that
+            sensitivity (``s_k ~ 1 + U(-spread, spread)``).
+        temp_amplitude_c: ambient temperature swing amplitude.
+        temp_period_s: ambient temperature period (default: diurnal).
+        displacement_walk_std_m: per-axis phase-center walk, meters per
+            sqrt hour (mechanical creep; much slower than the offset).
+        tag_offset_rad: offset of the shared calibration tag. All fleet
+            calibrations use the *same* tag so relative offsets are
+            tag-free (Sec. IV-C2).
+        seed: master seed; every randomized quantity derives from it.
+    """
+
+    size: int = 10
+    spacing_m: float = 2.0
+    standoff_m: float = 0.8
+    height_m: float = 0.0
+    displacement_scale_m: float = 0.025
+    offset_walk_std_rad: float = 0.08
+    offset_temp_coeff_rad_per_c: float = 0.02
+    temp_sensitivity_spread: float = 0.5
+    temp_amplitude_c: float = 6.0
+    temp_period_s: float = 86400.0
+    displacement_walk_std_m: float = 0.0005
+    tag_offset_rad: float = 0.8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("fleet must contain at least one antenna")
+        if self.spacing_m <= 0.0 or self.standoff_m <= 0.0:
+            raise ValueError("spacing and standoff must be positive")
+        if self.temp_period_s <= 0.0:
+            raise ValueError("temperature period must be positive")
+
+
+def antenna_name(index: int) -> str:
+    """Canonical fleet antenna name (``ant-000``, ``ant-001``, ...)."""
+    return f"ant-{index:03d}"
+
+
+class AntennaFleet:
+    """A drifting fleet of portal antennas; see module docstring.
+
+    The fleet owns the hidden ground truth. ``advance`` moves simulated
+    time (drifting every antenna); ``calibration_scan`` produces the
+    known-trajectory scan (plus the matching adaptive grid) a
+    recalibration of one antenna consumes — at the *current* truth, so a
+    scan taken after drift reflects the drifted hardware.
+    """
+
+    def __init__(self, config: FleetDriftConfig) -> None:
+        self.config = config
+        build_rng = np.random.default_rng(config.seed)
+        self.tag = Tag(phase_offset_rad=config.tag_offset_rad)
+        self.clock_s = 0.0
+        self._antennas: Dict[str, Antenna] = {}
+        self._temp_sensitivity: Dict[str, float] = {}
+        half_extent = (config.size - 1) * config.spacing_m / 2.0
+        for index in range(config.size):
+            name = antenna_name(index)
+            position = (
+                index * config.spacing_m - half_extent,
+                config.standoff_m,
+                config.height_m,
+            )
+            self._antennas[name] = default_antenna(
+                position,
+                rng=build_rng,
+                displacement_scale_m=config.displacement_scale_m,
+                name=name,
+                boresight=(0.0, -1.0, 0.0),
+            )
+            self._temp_sensitivity[name] = 1.0 + config.temp_sensitivity_spread * float(
+                build_rng.uniform(-1.0, 1.0)
+            )
+        self._drift_rng = np.random.default_rng(
+            np.random.SeedSequence((config.seed, 0x0D21F7))
+        )
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Antenna names in layout order."""
+        return tuple(self._antennas)
+
+    def antenna(self, name: str) -> Antenna:
+        """The current (drifted) antenna object for ``name``."""
+        return self._antennas[name]
+
+    def true_offset_rad(self, name: str) -> float:
+        """The hidden antenna-side phase offset ``theta_R``, right now."""
+        return float(self._antennas[name].phase_offset_rad)
+
+    def true_relative_offsets(
+        self, names: Optional[Tuple[str, ...]] = None, reference_index: int = 0
+    ) -> np.ndarray:
+        """Hidden offsets relative to a reference antenna, ``(-pi, pi]``.
+
+        The shared-tag offset cancels in differences, so this is directly
+        comparable to what calibration + :func:`relative_phase_offsets`
+        recovers.
+        """
+        ordered = self.names if names is None else names
+        offsets = np.asarray([self.true_offset_rad(n) for n in ordered], dtype=float)
+        deltas = offsets - offsets[reference_index]
+        return np.mod(deltas + np.pi, TWO_PI) - np.pi
+
+    def ambient_temperature_c(self, t_s: Optional[float] = None) -> float:
+        """Shared ambient temperature at simulated time ``t_s``."""
+        t = self.clock_s if t_s is None else t_s
+        return float(
+            self.config.temp_amplitude_c
+            * np.sin(TWO_PI * t / self.config.temp_period_s)
+        )
+
+    # -- drift ------------------------------------------------------------
+
+    def advance(self, dt_s: float) -> None:
+        """Advance simulated time, drifting every antenna's hidden truth."""
+        if dt_s < 0.0:
+            raise ValueError("time cannot go backward")
+        if dt_s == 0.0:
+            return
+        sqrt_hours = float(np.sqrt(dt_s / 3600.0))
+        delta_temp = self.ambient_temperature_c(
+            self.clock_s + dt_s
+        ) - self.ambient_temperature_c(self.clock_s)
+        config = self.config
+        for name, antenna in self._antennas.items():
+            walk = config.offset_walk_std_rad * sqrt_hours * float(
+                self._drift_rng.standard_normal()
+            )
+            thermal = (
+                config.offset_temp_coeff_rad_per_c
+                * self._temp_sensitivity[name]
+                * delta_temp
+            )
+            offset = float(np.mod(antenna.phase_offset_rad + walk + thermal, TWO_PI))
+            creep = (
+                config.displacement_walk_std_m
+                * sqrt_hours
+                * self._drift_rng.standard_normal(3)
+            )
+            displacement = np.asarray(antenna.center_displacement, dtype=float) + creep
+            self._antennas[name] = Antenna(
+                physical_center=antenna.physical_center,
+                center_displacement=tuple(float(v) for v in displacement),
+                phase_offset_rad=offset,
+                boresight=antenna.boresight,
+                beamwidth_deg=antenna.beamwidth_deg,
+                gain_dbi=antenna.gain_dbi,
+                center_wander_m=antenna.center_wander_m,
+                name=antenna.name,
+            )
+        self.clock_s += dt_s
+
+    # -- calibration scans ------------------------------------------------
+
+    def calibration_scan(
+        self,
+        name: str,
+        salt: int = 0,
+        half_span_m: float = 0.5,
+        noise_std_rad: float = 0.03,
+        read_rate_hz: float = 40.0,
+    ) -> Tuple[ScanData, ParameterGrid]:
+        """A three-line calibration scan in front of one antenna.
+
+        The trajectory is the paper's Fig. 11 scan translated to the
+        antenna's portal (x position), interrogated with the fleet's
+        shared calibration tag at the antenna's *current* drifted truth.
+        ``salt`` varies the read noise deterministically (distinct scans
+        of the same antenna); everything else derives from the fleet
+        seed, so a scan is reproducible bit-for-bit.
+
+        Returns:
+            ``(scan, grid)`` — the scan bundle and the adaptive
+            :class:`ParameterGrid` centered on this antenna's portal.
+        """
+        antenna = self._antennas[name]
+        index = list(self._antennas).index(name)
+        portal_x = float(antenna.physical_center_array[0])
+        trajectory = ThreeLineScan(
+            -half_span_m, half_span_m, origin=(portal_x, 0.0, 0.0)
+        )
+        rng = np.random.default_rng(
+            np.random.SeedSequence((self.config.seed, 0x5CA7, index, salt))
+        )
+        scan = simulate_scan(
+            trajectory,
+            antenna,
+            tag=self.tag,
+            rng=rng,
+            noise=GaussianPhaseNoise(noise_std_rad),
+            read_rate_hz=read_rate_hz,
+        )
+        grid = ParameterGrid(
+            ranges_m=(0.8, 1.0), intervals_m=(0.2, 0.3), axis=0, center=portal_x
+        )
+        return scan, grid
+
+    def static_tag_phases(
+        self,
+        tag_position: Tuple[float, float, float],
+        names: Optional[Tuple[str, ...]] = None,
+        noise_std_rad: float = 0.0,
+        salt: int = 0,
+    ) -> np.ndarray:
+        """One wrapped phase per antenna for a static tag (Sec. V-F1).
+
+        The measurement the multi-antenna differential estimators
+        consume: each antenna reads the same static tag once (circular
+        noise optional), at the current drifted truth.
+        """
+        ordered = self.names if names is None else names
+        point = np.asarray(tag_position, dtype=float)
+        rng = np.random.default_rng(
+            np.random.SeedSequence((self.config.seed, 0x57A7, salt))
+        )
+        values: List[float] = []
+        for name in ordered:
+            antenna = self._antennas[name]
+            distance = antenna.distance_to(point)
+            phase = (
+                2.0 * TWO_PI / DEFAULT_WAVELENGTH_M * distance
+                + antenna.phase_offset_rad
+                + self.tag.phase_offset_rad
+            )
+            if noise_std_rad > 0.0:
+                phase += float(rng.normal(0.0, noise_std_rad))
+            values.append(float(np.mod(phase, TWO_PI)))
+        return np.asarray(values, dtype=float)

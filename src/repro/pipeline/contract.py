@@ -57,6 +57,11 @@ class EstimationRequest:
             (``lion-multiantenna`` only).
         reference_index: Eq. (6) reference read override (``lion``,
             ``hologram``).
+        antennas: registry antenna names (``lion-multiantenna`` only).
+            When serving is wired to a :mod:`repro.calib` store, the
+            resolver fills ``positions`` / ``offset_corrections_rad``
+            from the named antennas' latest committed calibrations;
+            explicitly provided arrays always win.
     """
 
     positions: np.ndarray | None = None
@@ -70,6 +75,7 @@ class EstimationRequest:
     initial_guess: np.ndarray | None = None
     offset_corrections_rad: np.ndarray | None = None
     reference_index: int | None = None
+    antennas: Tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "positions", _as_optional_array(self.positions, float))
@@ -91,6 +97,10 @@ class EstimationRequest:
                 self,
                 "bounds",
                 tuple((float(low), float(high)) for low, high in self.bounds),
+            )
+        if self.antennas is not None:
+            object.__setattr__(
+                self, "antennas", tuple(str(name) for name in self.antennas)
             )
 
     @classmethod
@@ -162,7 +172,9 @@ class EstimationRequest:
                 hasher.update(repr((name, array.shape, array.dtype.str)).encode())
                 hasher.update(array.tobytes())
         hasher.update(
-            repr((self.radius_m, self.bounds, self.reference_index)).encode()
+            repr(
+                (self.radius_m, self.bounds, self.reference_index, self.antennas)
+            ).encode()
         )
         digest = hasher.hexdigest()
         object.__setattr__(self, "_fingerprint", digest)

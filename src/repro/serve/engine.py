@@ -42,6 +42,7 @@ from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Deque,
@@ -53,6 +54,9 @@ from typing import (
     Tuple,
     cast,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.calib.resolver import CalibrationResolver
 
 from repro.core.batch_prepare import template_cache_info
 from repro.core.sweep import pair_cache_info
@@ -289,10 +293,23 @@ class ServeEngine:
     ``start=False`` leaves the batcher stopped — queued items then only
     dispatch on :meth:`drain_once`, which tests use to pin batching
     decisions deterministically.
+
+    ``calibration`` (optional) is a
+    :class:`repro.calib.resolver.CalibrationResolver`; with one wired,
+    requests naming their ``antennas`` have calibrated centers and
+    offset corrections filled from the registry's latest committed
+    versions at submit time (generation-stamped cache, invalidated by
+    any store commit).
     """
 
-    def __init__(self, config: Optional[ServeConfig] = None, start: bool = True) -> None:
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        start: bool = True,
+        calibration: Optional["CalibrationResolver"] = None,
+    ) -> None:
         self.config = config or ServeConfig()
+        self._calibration = calibration
         self._queue: Deque[_Item] = deque()
         self._cv = threading.Condition()
         self._closed = False
@@ -376,6 +393,12 @@ class ServeEngine:
         """
         if self._closed:
             raise EngineClosedError("engine is closed")
+        if self._calibration is not None and request.antennas is not None:
+            # Resolve named antennas into calibrated centers / offset
+            # corrections *before* fingerprinting, so the result cache
+            # keys on the resolved arrays — a recalibration commit
+            # changes the fingerprint and can never serve a stale hit.
+            request = self._calibration.resolve(request)
         memo_key: Optional[Tuple[str, Any]] = (name, config)
         try:
             memoized = self._config_memo.get(memo_key)
@@ -531,6 +554,8 @@ class ServeEngine:
         payload["cache"] = self._cache.info()
         payload["template_cache"] = _with_hit_rate(template_cache_info())
         payload["pair_cache"] = _with_hit_rate(pair_cache_info())
+        if self._calibration is not None:
+            payload["calibration"] = self._calibration.stats()
         return payload
 
     def clear_cache(self) -> None:

@@ -82,6 +82,15 @@ class NetServeConfig:
             opened without per-session overrides.
         session_sweep_cadence_s: cadence of the background idle sweep
             departing sessions past their ``depart_after_s``.
+        calibration_store: path of a :class:`repro.calib.CalibrationStore`
+            directory; when set the front end opens it, serves
+            ``GET/POST /v1/calibrations``, reports fleet health in
+            ``/statz``, and resolves ``antennas`` on ``/v1/locate``
+            requests into calibrated centers / offset corrections before
+            routing. ``None`` (default) disables the calibration surface.
+        calibration_max_age_s: staleness age budget used by the fleet
+            health block of ``/statz`` (:class:`repro.calib.StalenessPolicy`
+            ``max_age_s``).
     """
 
     host: str = "127.0.0.1"
@@ -109,6 +118,8 @@ class NetServeConfig:
     max_sessions: int = 1024
     stream: StreamConfig = field(default_factory=StreamConfig)
     session_sweep_cadence_s: float = 1.0
+    calibration_store: str | None = None
+    calibration_max_age_s: float = 24.0 * 3600.0
 
     def __post_init__(self) -> None:
         if self.shards <= 0:
@@ -166,4 +177,9 @@ class NetServeConfig:
             raise ValueError(
                 f"session_sweep_cadence_s must be positive, got "
                 f"{self.session_sweep_cadence_s}"
+            )
+        if self.calibration_max_age_s <= 0:
+            raise ValueError(
+                f"calibration_max_age_s must be positive, got "
+                f"{self.calibration_max_age_s}"
             )

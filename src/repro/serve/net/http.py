@@ -9,6 +9,12 @@ routes and the dependency budget is zero:
   ``GET|DELETE /v1/sessions/{id}`` — the streaming session surface over
   one front-end :class:`repro.stream.SessionManager` (429 at capacity,
   503 while draining, lifecycle events in each response).
+- ``GET /v1/calibrations`` / ``GET /v1/calibrations/{antenna}`` /
+  ``POST /v1/calibrations`` — the calibration registry surface (fleet
+  status, per-antenna version history, CAS commits; present only with
+  ``calibration_store`` configured). A ``/v1/locate`` request naming
+  ``antennas`` resolves to calibrated centers/offsets here, in the
+  front end, before the shard hop.
 - ``GET /healthz``    — liveness: 200 while the process runs.
 - ``GET /readyz``     — readiness: 503 the moment draining starts (and
   while any shard is down), so load balancers stop sending *before* the
@@ -53,9 +59,20 @@ import math
 import os
 import threading
 import time
+from dataclasses import replace
 from typing import Any, Awaitable, Callable, Dict, List, Optional, Set, Tuple
-from urllib.parse import parse_qs
+from urllib.parse import parse_qs, unquote
 
+import numpy as np
+
+from repro.calib import (
+    CalibrationResolver,
+    CalibrationStore,
+    CorruptRecordError,
+    UnknownAntennaError,
+    VersionConflictError,
+)
+from repro.core.calibration import AntennaCalibration
 from repro.obs import (
     FlightRecorder,
     HistorySampler,
@@ -81,6 +98,7 @@ from repro.obs import (
 from repro.serve.net.config import NetServeConfig
 from repro.serve.net.protocol import (
     BadRequestError,
+    LocateCall,
     classify_error,
     encode_report_payload,
     error_body,
@@ -229,6 +247,15 @@ class NetServer:
             cadence_s=config.history_cadence_s,
             on_sample=self._evaluate_slo,
         )
+        # The calibration registry lives in the front-end process:
+        # ``antennas`` on /v1/locate resolve here (generation-stamped
+        # cache) so workers only ever see explicit arrays — no
+        # cross-process store synchronisation.
+        self._calib_store: Optional[CalibrationStore] = None
+        self._calib_resolver: Optional[CalibrationResolver] = None
+        if config.calibration_store is not None:
+            self._calib_store = CalibrationStore(config.calibration_store, create=True)
+            self._calib_resolver = CalibrationResolver(self._calib_store)
 
     def _evaluate_slo(self) -> None:
         """Per-sample SLO pass so budget-burn transitions hit the log."""
@@ -253,6 +280,11 @@ class NetServer:
     def sessions(self) -> SessionManager:
         """The streaming-session manager behind ``/v1/sessions``."""
         return self._sessions
+
+    @property
+    def calibration_store(self) -> Optional[CalibrationStore]:
+        """The calibration registry behind ``/v1/calibrations`` (or None)."""
+        return self._calib_store
 
     @property
     def recorder(self) -> FlightRecorder:
@@ -501,8 +533,12 @@ class NetServer:
             ("GET", "/debug/timeseries"): lambda: self._debug_timeseries(query),
             ("GET", "/debug/traces"): lambda: self._debug_traces(query),
             ("POST", "/v1/locate"): lambda: self._locate(body, request_id, trace_children),
+            ("GET", "/v1/calibrations"): self._calibrations_list,
+            ("POST", "/v1/calibrations"): lambda: self._calibrations_commit(body),
         }
         handler = routes.get((method, path))
+        if handler is None and path.startswith("/v1/calibrations/"):
+            handler = self._calibration_route(method, path)
         if handler is None and path.startswith("/v1/sessions"):
             handler = self._session_route(method, path, body)
         if handler is None:
@@ -597,17 +633,32 @@ class NetServer:
 
     async def _statz(self) -> Tuple[int, Any, Optional[Dict[str, str]]]:
         stats = await asyncio.to_thread(self._supervisor.shard_stats)
-        return (
-            200,
-            {
-                "shards": self.config.shards,
-                "worker_mode": self.config.worker_mode,
-                "draining": self._draining,
-                "per_shard": stats,
-                "sessions": self._sessions.stats(),
-            },
-            None,
+        payload = {
+            "shards": self.config.shards,
+            "worker_mode": self.config.worker_mode,
+            "draining": self._draining,
+            "per_shard": stats,
+            "sessions": self._sessions.stats(),
+            "calibration": self._calibration_health(),
+        }
+        return 200, payload, None
+
+    def _calibration_health(self) -> Dict[str, Any]:
+        """The fleet-health rollup of ``/statz`` (cheap: no per-antenna
+        detail — ``GET /v1/calibrations`` carries the full table)."""
+        if self._calib_store is None or self._calib_resolver is None:
+            return {"enabled": False}
+        status = self._calib_store.fleet_status(
+            max_age_s=self.config.calibration_max_age_s
         )
+        return {
+            "enabled": True,
+            "generation": status["generation"],
+            "antennas": status["antennas"],
+            "versions_total": status["versions_total"],
+            "stale_by_age": status["stale_by_age"],
+            "resolver": self._calib_resolver.stats(),
+        }
 
     async def _locate(
         self, body: bytes, request_id: str, trace_children: List[SpanNode]
@@ -624,6 +675,8 @@ class NetServer:
         started_epoch = time.time()
         traced = tracing_enabled()
         call = parse_locate_body(body, max_deadline_s=self.config.max_deadline_s)
+        if "antennas" in call.scalars:
+            call = self._resolve_call_calibration(call)
         future, shard = self._supervisor.submit(
             call, request_id=request_id if traced else None
         )
@@ -654,6 +707,158 @@ class NetServer:
             encode_report_payload(payload, shard, server_ms, request_id=request_id),
             None,
         )
+
+    # ------------------------------------------------------------------
+    # calibration registry
+    # ------------------------------------------------------------------
+    def _resolve_call_calibration(self, call: LocateCall) -> LocateCall:
+        """Resolve ``antennas`` into explicit arrays before routing.
+
+        Workers never see antenna names: the registry lives here in the
+        front end, so resolution must happen before the shard hop. The
+        resolved call is bit-identical to one the client could have sent
+        with explicit arrays — and caches identically in the workers'
+        engines, since the request fingerprint covers the arrays.
+
+        Raises:
+            BadRequestError: no calibration store is configured.
+            UnknownAntennaError: an antenna the store has no records for
+                (mapped to 404 by :func:`classify_error`).
+        """
+        if self._calib_resolver is None:
+            raise BadRequestError(
+                "request names 'antennas' but the server has no calibration "
+                "store configured (NetServeConfig.calibration_store)"
+            )
+        scalars = dict(call.scalars)
+        antennas = tuple(scalars.pop("antennas"))
+        arrays = dict(call.arrays)
+        needs_positions = "positions" not in arrays
+        needs_offsets = "offset_corrections_rad" not in arrays
+        if needs_positions or needs_offsets:
+            bounds = scalars.get("bounds")
+            dim = len(bounds) if bounds else 3
+            centers, offsets = self._calib_resolver.lookup(antennas, dim)
+            if needs_positions:
+                arrays["positions"] = np.asarray(centers)
+            if needs_offsets:
+                arrays["offset_corrections_rad"] = np.asarray(offsets)
+        return replace(call, arrays=arrays, scalars=scalars)
+
+    async def _calibrations_list(self) -> Tuple[int, Any, Optional[Dict[str, str]]]:
+        """``GET /v1/calibrations``: the full fleet status table."""
+        if self._calib_store is None:
+            return 404, error_body("not_found", "no calibration store configured"), None
+        status = await asyncio.to_thread(
+            self._calib_store.fleet_status, self.config.calibration_max_age_s
+        )
+        return 200, status, None
+
+    async def _calibrations_commit(
+        self, body: bytes
+    ) -> Tuple[int, Any, Optional[Dict[str, str]]]:
+        """``POST /v1/calibrations``: commit one calibration version.
+
+        Body: ``{"antenna": ..., "physical_center": [x,y,z],
+        "estimated_center": [x,y,z], "phase_offset_rad": ...}`` plus
+        optional ``source`` / ``reads`` / ``residual_rms_m`` /
+        ``config_hash`` / ``manifest`` / ``expected_version`` (the CAS
+        token; 409 on conflict). The store assigns the version.
+        """
+        if self._calib_store is None:
+            return 404, error_body("not_found", "no calibration store configured"), None
+        try:
+            payload = json.loads(body)
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise BadRequestError(f"body is not valid JSON: {error}") from error
+        if not isinstance(payload, dict):
+            raise BadRequestError("body must be a JSON object")
+        try:
+            calibration = AntennaCalibration(
+                antenna_name=str(payload["antenna"]),
+                physical_center=np.asarray(payload["physical_center"], dtype=float),
+                estimated_center=np.asarray(payload["estimated_center"], dtype=float),
+                phase_offset_rad=float(payload["phase_offset_rad"]),
+            )
+            expected_version = payload.get("expected_version")
+            if expected_version is not None:
+                expected_version = int(expected_version)
+            record = await asyncio.to_thread(
+                lambda: self._calib_store.commit(  # type: ignore[union-attr]
+                    calibration,
+                    source=str(payload.get("source", "manual")),
+                    reads=None if payload.get("reads") is None else int(payload["reads"]),
+                    residual_rms_m=(
+                        None
+                        if payload.get("residual_rms_m") is None
+                        else float(payload["residual_rms_m"])
+                    ),
+                    config_hash=(
+                        None
+                        if payload.get("config_hash") is None
+                        else str(payload["config_hash"])
+                    ),
+                    manifest=payload.get("manifest"),
+                    expected_version=expected_version,
+                )
+            )
+        except VersionConflictError as error:
+            return (
+                409,
+                {
+                    **error_body("version_conflict", str(error)),
+                    "antenna": error.antenna,
+                    "expected": error.expected,
+                    "actual": error.actual,
+                },
+                None,
+            )
+        except CorruptRecordError as error:
+            raise BadRequestError(str(error)) from error
+        except (KeyError, TypeError, ValueError) as error:
+            raise BadRequestError(f"malformed calibration payload: {error}") from error
+        if metrics_enabled():
+            get_registry().counter(
+                "serve.calib.commits_total", source=record.source
+            ).inc()
+        return 201, record.to_dict(), None
+
+    def _calibration_route(
+        self, method: str, path: str
+    ) -> Optional[Callable[[], Awaitable[Tuple[int, Any, Optional[Dict[str, str]]]]]]:
+        """``GET /v1/calibrations/{antenna}``: full version history."""
+        antenna = unquote(path[len("/v1/calibrations/"):])
+        if not antenna or "/" in antenna:
+            return None
+
+        async def method_not_allowed() -> Tuple[int, Any, Optional[Dict[str, str]]]:
+            return 405, error_body("method_not_allowed", f"{method} {path}"), None
+
+        if method != "GET":
+            return method_not_allowed
+
+        async def history() -> Tuple[int, Any, Optional[Dict[str, str]]]:
+            if self._calib_store is None:
+                return (
+                    404,
+                    error_body("not_found", "no calibration store configured"),
+                    None,
+                )
+            try:
+                records = await asyncio.to_thread(self._calib_store.history, antenna)
+            except UnknownAntennaError as error:
+                return 404, error_body("unknown_antenna", str(error)), None
+            return (
+                200,
+                {
+                    "antenna": antenna,
+                    "latest_version": records[-1].version,
+                    "versions": [record.to_dict() for record in records],
+                },
+                None,
+            )
+
+        return history
 
     # ------------------------------------------------------------------
     # streaming sessions

@@ -31,6 +31,7 @@ from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.calib.errors import UnknownAntennaError, VersionConflictError
 from repro.serve.errors import (
     DeadlineExceededError,
     EngineClosedError,
@@ -53,6 +54,12 @@ ARRAY_FIELDS: Tuple[str, ...] = (
 
 #: Plain-value :class:`EstimationRequest` fields (wire: as-is).
 SCALAR_FIELDS: Tuple[str, ...] = ("radius_m", "bounds", "reference_index")
+
+#: String-tuple :class:`EstimationRequest` fields (wire: list of strings).
+#: ``antennas`` names registry entries a calibration-wired front end
+#: resolves into ``positions`` / ``offset_corrections_rad`` before
+#: routing; see :mod:`repro.calib.resolver`.
+STRING_TUPLE_FIELDS: Tuple[str, ...] = ("antennas",)
 
 
 class BadRequestError(ValueError):
@@ -102,7 +109,12 @@ def parse_locate_body(raw: bytes, max_deadline_s: Optional[float] = None) -> Loc
     request_fields = body.get("request")
     if not isinstance(request_fields, dict):
         raise BadRequestError("'request' must be a JSON object of request fields")
-    unknown = sorted(set(request_fields) - set(ARRAY_FIELDS) - set(SCALAR_FIELDS))
+    unknown = sorted(
+        set(request_fields)
+        - set(ARRAY_FIELDS)
+        - set(SCALAR_FIELDS)
+        - set(STRING_TUPLE_FIELDS)
+    )
     if unknown:
         raise BadRequestError(f"unknown request fields: {unknown}")
 
@@ -132,6 +144,19 @@ def parse_locate_body(raw: bytes, max_deadline_s: Optional[float] = None) -> Loc
             )
         except (TypeError, ValueError) as error:
             raise BadRequestError(f"'bounds' must be [[low, high], ...]: {error}") from error
+    for name in STRING_TUPLE_FIELDS:
+        value = request_fields.get(name)
+        if value is None:
+            continue
+        if (
+            not isinstance(value, (list, tuple))
+            or not value
+            or not all(isinstance(item, str) and item for item in value)
+        ):
+            raise BadRequestError(
+                f"request field {name!r} must be a non-empty list of strings"
+            )
+        scalars[name] = tuple(value)
 
     deadline_s: Optional[float] = None
     deadline_ms = body.get("deadline_ms")
@@ -206,6 +231,10 @@ def classify_error(error: BaseException, retry_after_s: float) -> Tuple[int, Dic
         body = error_body("estimation_failed", str(error))
         body["error"]["exc_type"] = error.exc_type
         return 422, body
+    if isinstance(error, UnknownAntennaError):
+        return 404, error_body("unknown_antenna", str(error))
+    if isinstance(error, VersionConflictError):
+        return 409, error_body("version_conflict", str(error))
     if isinstance(error, (BadRequestError, KeyError, TypeError, ValueError)):
         # KeyError/TypeError/ValueError surface config-resolution failures
         # exactly as repro.pipeline.resolve_config raises them.

@@ -1,0 +1,146 @@
+"""Tests for the drifting antenna-fleet simulator (repro.datasets.fleet)."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import calibrate_antenna
+from repro.datasets.fleet import AntennaFleet, FleetDriftConfig, antenna_name
+
+
+def _fleet(**overrides):
+    return AntennaFleet(FleetDriftConfig(size=4, seed=11, **overrides))
+
+
+class TestFleetConstruction:
+    def test_layout_and_names(self):
+        fleet = _fleet()
+        assert fleet.names == ("ant-000", "ant-001", "ant-002", "ant-003")
+        assert antenna_name(7) == "ant-007"
+        xs = [fleet.antenna(n).physical_center_array[0] for n in fleet.names]
+        assert xs == sorted(xs)
+        assert np.isclose(np.mean(xs), 0.0)
+        for name in fleet.names:
+            assert fleet.antenna(name).physical_center_array[1] == pytest.approx(0.8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FleetDriftConfig(size=0)
+        with pytest.raises(ValueError):
+            FleetDriftConfig(spacing_m=-1.0)
+        with pytest.raises(ValueError):
+            _fleet().advance(-1.0)
+
+
+class TestDrift:
+    def test_deterministic_replay(self):
+        first, second = _fleet(), _fleet()
+        for fleet in (first, second):
+            fleet.advance(3600.0)
+            fleet.advance(1800.0)
+        for name in first.names:
+            assert first.true_offset_rad(name) == second.true_offset_rad(name)
+            assert np.array_equal(
+                first.antenna(name).phase_center, second.antenna(name).phase_center
+            )
+
+    def test_step_sequence_matters(self):
+        whole, split = _fleet(), _fleet()
+        whole.advance(7200.0)
+        split.advance(3600.0)
+        split.advance(3600.0)
+        assert whole.clock_s == split.clock_s
+        # Different draw sequences: the walks disagree even at equal time.
+        assert any(
+            whole.true_offset_rad(n) != split.true_offset_rad(n) for n in whole.names
+        )
+
+    def test_offsets_move_and_wrap(self):
+        fleet = _fleet()
+        before = [fleet.true_offset_rad(n) for n in fleet.names]
+        fleet.advance(12 * 3600.0)
+        after = [fleet.true_offset_rad(n) for n in fleet.names]
+        assert all(0.0 <= offset < 2 * np.pi for offset in after)
+        assert any(a != b for a, b in zip(after, before))
+
+    def test_temperature_coupling_dominates_when_walk_off(self):
+        fleet = _fleet(
+            offset_walk_std_rad=0.0,
+            displacement_walk_std_m=0.0,
+            offset_temp_coeff_rad_per_c=0.1,
+            temp_sensitivity_spread=0.0,
+        )
+        before = np.array([fleet.true_offset_rad(n) for n in fleet.names])
+        dt = fleet.config.temp_period_s / 4.0  # up to the temperature peak
+        expected_delta = 0.1 * (
+            fleet.ambient_temperature_c(dt) - fleet.ambient_temperature_c(0.0)
+        )
+        fleet.advance(dt)
+        after = np.array([fleet.true_offset_rad(n) for n in fleet.names])
+        deltas = np.mod(after - before + np.pi, 2 * np.pi) - np.pi
+        assert np.allclose(deltas, expected_delta, atol=1e-9)
+
+    def test_zero_drift_without_dynamics(self):
+        fleet = _fleet(
+            offset_walk_std_rad=0.0,
+            displacement_walk_std_m=0.0,
+            offset_temp_coeff_rad_per_c=0.0,
+        )
+        before = [fleet.true_offset_rad(n) for n in fleet.names]
+        fleet.advance(3600.0)
+        assert [fleet.true_offset_rad(n) for n in fleet.names] == before
+
+
+class TestScansAndPhases:
+    def test_calibration_scan_shapes_and_grid(self):
+        fleet = _fleet()
+        scan, grid = fleet.calibration_scan("ant-002")
+        assert scan.positions.shape[0] == scan.phases.shape[0]
+        assert scan.segment_ids.shape == scan.phases.shape
+        assert scan.exclude_mask.shape == scan.phases.shape
+        portal_x = fleet.antenna("ant-002").physical_center_array[0]
+        assert grid.center == pytest.approx(portal_x)
+        # Scan track is centered on the portal, not the origin.
+        assert np.isclose(np.median(scan.positions[:, 0]), portal_x, atol=0.05)
+
+    def test_scan_deterministic_and_salted(self):
+        fleet = _fleet()
+        one, _ = fleet.calibration_scan("ant-001")
+        two, _ = fleet.calibration_scan("ant-001")
+        salted, _ = fleet.calibration_scan("ant-001", salt=1)
+        assert np.array_equal(one.phases, two.phases)
+        assert not np.array_equal(one.phases, salted.phases)
+
+    def test_scan_calibrates_to_truth(self):
+        fleet = _fleet()
+        scan, grid = fleet.calibration_scan("ant-001")
+        calibration, _ = calibrate_antenna(
+            scan.positions,
+            scan.phases,
+            fleet.antenna("ant-001").physical_center_array,
+            antenna_name="ant-001",
+            segment_ids=scan.segment_ids,
+            exclude_mask=scan.exclude_mask,
+            grid=grid,
+        )
+        true_total = fleet.true_offset_rad("ant-001") + fleet.tag.phase_offset_rad
+        delta = np.mod(calibration.phase_offset_rad - true_total + np.pi, 2 * np.pi) - np.pi
+        assert abs(delta) < 0.1
+        truth_center = fleet.antenna("ant-001").phase_center
+        assert np.linalg.norm(calibration.estimated_center - truth_center) < 0.05
+
+    def test_static_tag_phases(self):
+        fleet = _fleet()
+        phases = fleet.static_tag_phases((0.2, -0.5, 0.0))
+        assert phases.shape == (4,)
+        assert np.all((phases >= 0.0) & (phases < 2 * np.pi))
+        again = fleet.static_tag_phases((0.2, -0.5, 0.0))
+        assert np.array_equal(phases, again)
+        noisy = fleet.static_tag_phases((0.2, -0.5, 0.0), noise_std_rad=0.05)
+        assert not np.array_equal(phases, noisy)
+
+    def test_true_relative_offsets_wrapped(self):
+        fleet = _fleet()
+        fleet.advance(24 * 3600.0)
+        relative = fleet.true_relative_offsets()
+        assert relative[0] == 0.0
+        assert np.all((relative > -np.pi) & (relative <= np.pi))

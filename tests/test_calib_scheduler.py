@@ -1,0 +1,203 @@
+"""Tests for drift monitoring + the recalibration scheduler (repro.calib)."""
+
+import numpy as np
+import pytest
+
+from repro.calib import (
+    CalibrationStore,
+    CalibrationTask,
+    DriftMonitor,
+    RecalibrationScheduler,
+    StalenessPolicy,
+    fleet_scan_source,
+    solve_calibration_task,
+)
+from repro.datasets.fleet import AntennaFleet, FleetDriftConfig
+
+
+@pytest.fixture()
+def fleet():
+    return AntennaFleet(FleetDriftConfig(size=3, seed=5))
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return CalibrationStore(tmp_path / "store")
+
+
+def _seed(store, fleet, **kwargs):
+    scheduler = RecalibrationScheduler(
+        store, fleet_scan_source(fleet), executor="serial", source="seed", **kwargs
+    )
+    report = scheduler.recalibrate(fleet.names)
+    assert not report.failures and not report.conflicts
+    return scheduler
+
+
+class TestScheduler:
+    def test_build_tasks_stamps_cas_tokens(self, store, fleet):
+        scheduler = RecalibrationScheduler(
+            store, fleet_scan_source(fleet), executor="serial"
+        )
+        fresh = scheduler.build_tasks(fleet.names)
+        assert [task.expected_version for task in fresh] == [0, 0, 0]
+        scheduler.recalibrate(fleet.names)
+        again = scheduler.build_tasks(fleet.names)
+        assert [task.expected_version for task in again] == [1, 1, 1]
+
+    def test_serial_cycle_commits_all_bit_identical(self, store, fleet):
+        _seed(store, fleet, manifest={"cycle": 0})
+        for name in fleet.names:
+            record = store.latest(name)
+            assert record.version == 1
+            assert record.source == "seed"
+            assert record.manifest == {"cycle": 0}
+            direct = solve_calibration_task(fleet_scan_source(fleet)(name))
+            assert (
+                record.phase_offset_rad
+                == direct.calibration.phase_offset_rad
+            )
+            assert np.array_equal(
+                np.asarray(record.estimated_center),
+                direct.calibration.estimated_center,
+            )
+            assert record.residual_rms_m == direct.residual_rms_m
+            assert record.reads == direct.reads
+
+    def test_thread_executor_matches_serial(self, store, fleet, tmp_path):
+        _seed(store, fleet)
+        other = CalibrationStore(tmp_path / "threaded")
+        RecalibrationScheduler(
+            other, fleet_scan_source(fleet), executor="thread", jobs=2, source="seed"
+        ).recalibrate(fleet.names)
+        for name in fleet.names:
+            assert (
+                other.latest(name).phase_offset_rad
+                == store.latest(name).phase_offset_rad
+            )
+
+    def test_conflict_loses_cleanly(self, store, fleet, monkeypatch):
+        scheduler = _seed(store, fleet)
+        real_build = RecalibrationScheduler.build_tasks
+
+        def stale_build(self, antennas):
+            tasks = real_build(self, antennas)
+            # Simulate a concurrent commit landing mid-flight on one antenna.
+            loser = tasks[0]
+            store.commit(
+                solve_calibration_task(loser).calibration,
+                source="manual",
+                expected_version=loser.expected_version,
+            )
+            return tasks
+
+        monkeypatch.setattr(RecalibrationScheduler, "build_tasks", stale_build)
+        report = scheduler.recalibrate(fleet.names)
+        assert report.conflicts == (fleet.names[0],)
+        assert set(report.committed) == set(fleet.names[1:])
+        # The concurrent commit survived; nothing overwrote it.
+        assert store.latest(fleet.names[0]).source == "manual"
+
+    def test_failures_reported_not_raised(self, store, fleet):
+        def flaky_source(name):
+            task = fleet_scan_source(fleet)(name)
+            if name == fleet.names[1]:
+                # Rank-deficient: every read from the same point.
+                return CalibrationTask(
+                    antenna=task.antenna,
+                    positions=np.tile(task.positions[:1], (task.positions.shape[0], 1)),
+                    phases_rad=task.phases_rad,
+                    physical_center=task.physical_center,
+                    grid=task.grid,
+                )
+            return task
+
+        report = RecalibrationScheduler(
+            store, flaky_source, executor="serial"
+        ).recalibrate(fleet.names)
+        assert set(report.failures) == {fleet.names[1]}
+        assert set(report.committed) == {fleet.names[0], fleet.names[2]}
+        assert report.antennas_per_sec > 0.0
+
+    def test_report_to_dict_round_trips(self, store, fleet):
+        report = _seed(store, fleet).recalibrate(fleet.names)
+        payload = report.to_dict()
+        assert payload["committed"] == {name: 2 for name in fleet.names}
+        assert payload["conflicts"] == [] and payload["failures"] == {}
+        assert payload["duration_s"] > 0.0
+
+
+class TestDriftMonitor:
+    def test_fresh_fleet_no_work(self, store, fleet):
+        scheduler = _seed(store, fleet)
+        monitor = DriftMonitor(store)
+        report, stale = scheduler.run_cycle(monitor)
+        assert stale == []
+        assert report.committed == {} and report.duration_s == 0.0
+
+    def test_age_budget_marks_stale(self, fleet, tmp_path):
+        clock = [0.0]
+        store = CalibrationStore(tmp_path / "aging", clock=lambda: clock[0])
+        scheduler = _seed(store, fleet)
+        policy = StalenessPolicy(max_age_s=3600.0, aging_fraction=0.5)
+        monitor = DriftMonitor(store, policy, clock=lambda: clock[0])
+        clock[0] = 2000.0
+        health = monitor.evaluate()
+        assert all(h.status == "aging" for h in health.antennas)
+        clock[0] = 4000.0
+        report, stale = scheduler.run_cycle(monitor)
+        assert sorted(stale) == sorted(fleet.names)
+        assert all(version == 2 for version in report.committed.values())
+        assert monitor.evaluate().counts == {"fresh": 3}
+
+    def test_alarm_budget_with_sliding_window(self, store, fleet):
+        _seed(store, fleet)
+        clock = [100.0]
+        policy = StalenessPolicy(max_drift_alarms=3, alarm_window_s=60.0)
+        monitor = DriftMonitor(store, policy, clock=lambda: clock[0])
+        target = fleet.names[2]
+        for _ in range(3):
+            monitor.observe_alarm(target, drift_m=0.2)
+            clock[0] += 10.0
+        health = monitor.evaluate()
+        assert health.stale() == (target,)
+        flagged = next(h for h in health.antennas if h.antenna == target)
+        assert flagged.alarms == 3
+        assert any("drift alarms" in reason for reason in flagged.reasons)
+        # Alarms age out of the window; the verdict clears on its own.
+        clock[0] += 120.0
+        assert monitor.evaluate().stale() == ()
+
+    def test_structural_event_sink(self, store, fleet):
+        _seed(store, fleet)
+        monitor = DriftMonitor(store, StalenessPolicy(max_drift_alarms=1))
+
+        class FakeAlarm:
+            kind = "calibration_drift_alarm"
+            antenna = fleet.names[0]
+            drift_m = 0.5
+
+        class OtherEvent:
+            kind = "session_started"
+            antenna = fleet.names[1]
+
+        monitor.on_event(FakeAlarm())
+        monitor.on_event(OtherEvent())
+        assert monitor.alarm_count(fleet.names[0]) == 1
+        assert monitor.alarm_count(fleet.names[1]) == 0
+        assert monitor.evaluate().stale() == (fleet.names[0],)
+
+    def test_residual_budget(self, store, fleet):
+        _seed(store, fleet)
+        tight = DriftMonitor(store, StalenessPolicy(max_residual_rms_m=1e-9))
+        assert sorted(tight.evaluate().stale()) == sorted(fleet.names)
+        loose = DriftMonitor(store, StalenessPolicy(max_residual_rms_m=1.0))
+        assert loose.evaluate().stale() == ()
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            StalenessPolicy(max_age_s=0.0)
+        with pytest.raises(ValueError):
+            StalenessPolicy(max_drift_alarms=0)
+        with pytest.raises(ValueError):
+            StalenessPolicy(aging_fraction=1.5)

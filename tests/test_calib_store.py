@@ -1,0 +1,167 @@
+"""Tests for the versioned calibration store (repro.calib.store/records)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.calib import (
+    CalibrationRecord,
+    CalibrationStore,
+    CorruptRecordError,
+    UnknownAntennaError,
+    VersionConflictError,
+)
+from repro.core.calibration import AntennaCalibration
+
+
+def _calibration(name="ant-000", offset=1.25, center=(0.01, 0.81, 0.005)):
+    return AntennaCalibration(
+        antenna_name=name,
+        physical_center=np.array([0.0, 0.8, 0.0]),
+        estimated_center=np.array(center),
+        phase_offset_rad=offset,
+    )
+
+
+class TestCalibrationRecord:
+    def test_round_trip(self):
+        record = CalibrationRecord.from_calibration(
+            _calibration(),
+            version=3,
+            created_unix=1234.5,
+            source="scan",
+            reads=400,
+            residual_rms_m=0.0012,
+            manifest={"run": "abc"},
+        )
+        clone = CalibrationRecord.from_dict(record.to_dict())
+        assert clone == record
+        assert clone.manifest == {"run": "abc"}
+
+    def test_to_calibration_inverts_from_calibration(self):
+        calibration = _calibration(offset=5.9)
+        record = CalibrationRecord.from_calibration(
+            calibration, version=1, created_unix=0.0, source="scan"
+        )
+        back = record.to_calibration()
+        assert back.antenna_name == calibration.antenna_name
+        assert back.phase_offset_rad == calibration.phase_offset_rad
+        assert np.array_equal(back.estimated_center, calibration.estimated_center)
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(CorruptRecordError):
+            CalibrationRecord.from_dict({"antenna": "a"})
+
+    def test_validation(self):
+        with pytest.raises(CorruptRecordError):
+            CalibrationRecord(
+                antenna="a",
+                version=0,
+                physical_center=(0.0, 0.0, 0.0),
+                estimated_center=(0.0, 0.0, 0.0),
+                phase_offset_rad=0.0,
+                created_unix=0.0,
+            )
+        with pytest.raises(CorruptRecordError):
+            CalibrationRecord(
+                antenna="a",
+                version=1,
+                physical_center=(0.0, 0.0),
+                estimated_center=(0.0, 0.0, 0.0),
+                phase_offset_rad=0.0,
+                created_unix=0.0,
+            )
+
+
+class TestCalibrationStore:
+    def test_commit_assigns_contiguous_versions(self, tmp_path):
+        store = CalibrationStore(tmp_path)
+        first = store.commit(_calibration(offset=1.0), source="scan")
+        second = store.commit(_calibration(offset=2.0), source="scheduled")
+        assert (first.version, second.version) == (1, 2)
+        assert store.latest("ant-000").phase_offset_rad == 2.0
+        assert store.get("ant-000", 1).phase_offset_rad == 1.0
+        assert [r.version for r in store.history("ant-000")] == [1, 2]
+        assert store.generation == 2
+
+    def test_unknown_antenna_and_version(self, tmp_path):
+        store = CalibrationStore(tmp_path)
+        with pytest.raises(UnknownAntennaError):
+            store.latest("ghost")
+        store.commit(_calibration(), source="scan")
+        with pytest.raises(KeyError):
+            store.get("ant-000", 7)
+
+    def test_cas_conflict(self, tmp_path):
+        store = CalibrationStore(tmp_path)
+        store.commit(_calibration(), source="scan", expected_version=0)
+        with pytest.raises(VersionConflictError) as excinfo:
+            store.commit(_calibration(), source="scan", expected_version=0)
+        assert excinfo.value.antenna == "ant-000"
+        assert excinfo.value.expected == 0
+        assert excinfo.value.actual == 1
+        # Matching token commits fine.
+        record = store.commit(_calibration(), source="scan", expected_version=1)
+        assert record.version == 2
+
+    def test_persistence_across_reopen(self, tmp_path):
+        store = CalibrationStore(tmp_path)
+        store.commit(_calibration("rack/7#a", offset=0.5), source="manual")
+        store.commit(_calibration("rack/7#a", offset=0.75), source="manual")
+        store.meta_set("sim", {"seed": 9})
+        reopened = CalibrationStore(tmp_path, create=False)
+        assert reopened.antennas() == ("rack/7#a",)
+        assert reopened.latest("rack/7#a").phase_offset_rad == 0.75
+        assert reopened.generation == store.generation
+        assert reopened.meta_get("sim") == {"seed": 9}
+
+    def test_corrupt_line_fails_load(self, tmp_path):
+        store = CalibrationStore(tmp_path)
+        store.commit(_calibration(), source="scan")
+        jsonl = next((tmp_path / "antennas").glob("*.jsonl"))
+        jsonl.write_text(jsonl.read_text() + "not json\n")
+        with pytest.raises(CorruptRecordError):
+            CalibrationStore(tmp_path, create=False)
+
+    def test_subscribers_fire_post_commit(self, tmp_path):
+        store = CalibrationStore(tmp_path)
+        seen = []
+        token = store.subscribe(lambda record: seen.append(record.version))
+        store.commit(_calibration(), source="scan")
+        store.unsubscribe(token)
+        store.commit(_calibration(), source="scan")
+        assert seen == [1]
+
+    def test_offsets_and_centers_with_version_pins(self, tmp_path):
+        store = CalibrationStore(tmp_path)
+        store.commit(_calibration("a", offset=1.0), source="scan")
+        store.commit(_calibration("b", offset=2.0), source="scan")
+        store.commit(_calibration("a", offset=1.5), source="scan")
+        latest = store.offsets_for(("a", "b"))
+        pinned = store.offsets_for(("a", "b"), versions={"a": 1})
+        assert latest[1] - latest[0] == pytest.approx(0.5)
+        assert pinned[1] - pinned[0] == pytest.approx(1.0)
+        centers = store.centers_for(("a", "b"), dim=2)
+        assert centers.shape == (2, 2)
+        with pytest.raises(UnknownAntennaError):
+            store.offsets_for(("a", "ghost"))
+
+    def test_fleet_status_rollup(self, tmp_path):
+        clock = [1000.0]
+        store = CalibrationStore(tmp_path, clock=lambda: clock[0])
+        store.commit(_calibration("a"), source="scan")
+        clock[0] += 7200.0
+        store.commit(_calibration("b"), source="scan")
+        status = store.fleet_status(max_age_s=3600.0, now=clock[0])
+        assert status["antennas"] == 2
+        assert status["versions_total"] == 2
+        assert status["stale_by_age"] == ["a"]
+        assert status["latest"]["a"]["version"] == 1
+
+    def test_meta_survives_atomic_write(self, tmp_path):
+        store = CalibrationStore(tmp_path)
+        store.meta_set("note", [1, 2, 3])
+        meta = json.loads((tmp_path / "meta.json").read_text())
+        assert meta["note"] == [1, 2, 3]
+        assert meta["format"] == 1

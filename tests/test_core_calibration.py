@@ -109,6 +109,25 @@ class TestCalibrateAntenna:
         assert abs(delta) < 0.1
         assert len(adaptive.outcomes) > 0
 
+    def test_rank_deficient_trajectory_fails_cleanly(self):
+        # Every read from the same point: the linear model has no
+        # geometric diversity, so no sweep cell can localize and the
+        # whole calibration must fail loudly, not return garbage.
+        positions = np.tile(np.array([[0.1, 0.0, 0.0]]), (30, 1))
+        phases = np.linspace(0.0, 1.0, 30)
+        with pytest.raises(ValueError, match="no grid configuration"):
+            calibrate_antenna(positions, phases, np.array([0.0, 0.8, 0.0]))
+
+    def test_single_line_scan_fails_cleanly(self):
+        # One straight line is still rank-deficient for a 3-D phase
+        # center (the paper needs multiple non-collinear lines).
+        x = np.linspace(-0.5, 0.5, 60)
+        positions = np.stack([x, np.zeros_like(x), np.zeros_like(x)], axis=1)
+        distances = np.abs(x - 0.1)
+        phases = np.mod(2 * TWO_PI / DEFAULT_WAVELENGTH_M * distances + 0.3, TWO_PI)
+        with pytest.raises(ValueError, match="no grid configuration"):
+            calibrate_antenna(positions, phases, np.array([0.1, 0.8, 0.0]))
+
     def test_requires_3d_localizer(self):
         with pytest.raises(ValueError):
             calibrate_antenna(

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Import-hygiene gates for the serving and streaming layers.
+"""Import-hygiene gates for the serving, streaming, and calibration layers.
 
-Two rules, both checked by AST walk (so lazy in-function imports count
+Three rules, all checked by AST walk (so lazy in-function imports count
 too), runnable standalone on the source tree — no package install
 needed::
 
@@ -25,6 +25,15 @@ it may import them, but nothing below it may import it back. Within
 (the HTTP face of sessions), and ``repro/cli.py`` (``lion replay``)
 may import ``repro.stream`` — so the one-shot path never grows a
 hidden dependency on the session subsystem.
+
+**Calibration layering.** :mod:`repro.calib` (the fleet calibration
+registry) likewise sits above the solver stack: it may import core /
+pipeline / parallel / datasets, but the estimation path must never
+depend on the registry — a solver works from explicit arrays whether or
+not a store exists. Within ``src/repro/``, only ``repro/calib/`` itself,
+``repro/serve/`` (engine resolver wiring and the HTTP face), and
+``repro/cli.py`` (``lion calib`` / ``lion serve``) may import
+``repro.calib``.
 
 Exits non-zero listing every violation.
 """
@@ -50,6 +59,13 @@ STREAM_PREFIX = "repro.stream"
 STREAM_ALLOWED_DIRS = ("repro/stream", "repro/serve/net")
 #: single files (relative to src/) that may import repro.stream.
 STREAM_ALLOWED_FILES = ("repro/cli.py",)
+
+#: the layered package of the calibration rule.
+CALIB_PREFIX = "repro.calib"
+#: directories (relative to src/) whose files may import repro.calib.
+CALIB_ALLOWED_DIRS = ("repro/calib", "repro/serve")
+#: single files (relative to src/) that may import repro.calib.
+CALIB_ALLOWED_FILES = ("repro/cli.py",)
 
 
 def gated_files() -> List[Path]:
@@ -88,6 +104,24 @@ def _is_stream(module: str) -> bool:
     return module == STREAM_PREFIX or module.startswith(STREAM_PREFIX + ".")
 
 
+def calib_gated_files() -> List[Path]:
+    """The files the calibration-layering rule applies to: all of
+    src/repro except the locations allowed to import :mod:`repro.calib`."""
+    files = []
+    for path in sorted((SRC / "repro").rglob("*.py")):
+        relative = path.relative_to(SRC).as_posix()
+        if relative in CALIB_ALLOWED_FILES:
+            continue
+        if any(relative.startswith(prefix + "/") for prefix in CALIB_ALLOWED_DIRS):
+            continue
+        files.append(path)
+    return files
+
+
+def _is_calib(module: str) -> bool:
+    return module == CALIB_PREFIX or module.startswith(CALIB_PREFIX + ".")
+
+
 def _imported_modules(tree: ast.AST) -> Iterator[Tuple[int, str]]:
     """Every ``(lineno, module)`` imported anywhere in the tree."""
     for node in ast.walk(tree):
@@ -122,14 +156,29 @@ def check_stream_file(path: Path) -> List[str]:
     ]
 
 
+def check_calib_file(path: Path) -> List[str]:
+    """Calibration-layering violation messages for one file (empty when clean)."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    relative = path.relative_to(REPO_ROOT)
+    return [
+        f"{relative}:{lineno}: imports {module!r}; only repro.serve "
+        "and the CLI may import the calibration registry"
+        for lineno, module in _imported_modules(tree)
+        if _is_calib(module)
+    ]
+
+
 def main() -> int:
-    """Run both gates over their file sets; 0 when clean."""
+    """Run all three gates over their file sets; 0 when clean."""
     violations: List[str] = []
     for path in gated_files():
         violations.extend(check_file(path))
     stream_files = stream_gated_files()
     for path in stream_files:
         violations.extend(check_stream_file(path))
+    calib_files = calib_gated_files()
+    for path in calib_files:
+        violations.extend(check_calib_file(path))
     if violations:
         print("import-hygiene violations:")
         for message in violations:
@@ -137,7 +186,8 @@ def main() -> int:
         return 1
     print(
         f"import hygiene OK ({len(gated_files())} dispatch-gated, "
-        f"{len(stream_files)} stream-gated files checked)"
+        f"{len(stream_files)} stream-gated, {len(calib_files)} "
+        "calib-gated files checked)"
     )
     return 0
 
